@@ -1,0 +1,151 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Figures 4-9 plus the Section 5.4/5.6 ablations) on the simulator and
+   prints the same series the paper plots. Absolute numbers are simulated;
+   the shapes — who wins, by what factor, where the crossovers are — are
+   the reproduction target (see EXPERIMENTS.md).
+
+   Part 2 runs Bechamel micro-benchmarks of the simulator itself (host-side
+   performance), one Test.make per experiment family.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- figures      # only the paper figures
+     dune exec bench/main.exe -- micro        # only the Bechamel suite
+     BENCH_SIZE=test dune exec bench/main.exe # quick pass *)
+
+let fmt = Format.std_formatter
+
+let size () =
+  match Sys.getenv_opt "BENCH_SIZE" with
+  | Some s -> Workloads.Size.of_string s
+  | None -> Workloads.Size.S
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.fprintf fmt "@.[%s took %.1fs]@." name (Unix.gettimeofday () -. t0);
+  r
+
+let figures () =
+  let size = size () in
+  time "Figure 4" (fun () -> ignore (Harness.Figures.fig4 ~size fmt));
+  time "Figure 5" (fun () -> ignore (Harness.Figures.fig5 ~size fmt));
+  time "Figure 6a" (fun () -> ignore (Harness.Figures.fig6a fmt));
+  time "Figure 6b" (fun () -> ignore (Harness.Figures.fig6b fmt));
+  time "Figure 7" (fun () -> ignore (Harness.Figures.fig7 ~size fmt));
+  time "Figure 8" (fun () -> ignore (Harness.Figures.fig8 ~size fmt));
+  time "Figure 9" (fun () -> ignore (Harness.Figures.fig9 ~size fmt));
+  time "Section 5.4 ablations" (fun () ->
+      ignore (Harness.Figures.ablation ~size fmt));
+  time "Section 5.6 overhead" (fun () ->
+      ignore (Harness.Figures.overhead ~size fmt));
+  time "Section 5.6 future work (lazy sweep)" (fun () ->
+      ignore (Harness.Figures.future_work ~size fmt));
+  time "Section 7 (CPython-style refcounting)" (fun () ->
+      ignore (Harness.Figures.refcount ~size fmt))
+
+(* ---- Bechamel micro-benchmarks of the simulator ---- *)
+
+open Bechamel
+open Toolkit
+
+let run_guest scheme source () =
+  let cfg = Core.Runner.config ~scheme Htm_sim.Machine.zec12 in
+  ignore (Core.Runner.run_source cfg ~source)
+
+let micro_source =
+  "x = 0\ni = 0\nwhile i < 2000\n  x += i\n  i += 1\nend\nputs x"
+
+let mt_source =
+  {|total = Array.new(2, 0)
+ths = []
+t = 0
+while t < 2
+  ths << Thread.new(t) do |tid|
+    s = 0
+    i = 0
+    while i < 1000
+      s += i
+      i += 1
+    end
+    total[tid] = s
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+puts total.sum|}
+
+(* One Test.make per experiment family: how fast the simulator reproduces
+   each kind of measurement. *)
+let micro_tests =
+  [
+    (* Figure 4 family: single-threaded interpreter + GIL *)
+    Test.make ~name:"fig4:interp-gil"
+      (Staged.stage (run_guest Core.Scheme.Gil_only micro_source));
+    (* Figure 5 family: transactional execution *)
+    Test.make ~name:"fig5:interp-htm-dynamic"
+      (Staged.stage (run_guest Core.Scheme.Htm_dynamic mt_source));
+    (* Figure 6 family: raw HTM engine begin/write/commit *)
+    Test.make ~name:"fig6:htm-engine"
+      (Staged.stage (fun () ->
+           let machine = Htm_sim.Machine.xeon_e3 in
+           let store =
+             Htm_sim.Store.create ~dummy:0 ~line_cells:machine.line_cells 4096
+           in
+           let htm = Htm_sim.Htm.create machine store in
+           Htm_sim.Htm.set_occupied htm 0 true;
+           let region = Htm_sim.Store.reserve_aligned store 1024 in
+           for _ = 1 to 100 do
+             Htm_sim.Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+             for i = 0 to 63 do
+               Htm_sim.Htm.write htm ~ctx:0 (region + (i * 8)) i
+             done;
+             Htm_sim.Htm.tend htm ~ctx:0
+           done));
+    (* Figure 7 family: the server stack's regex routing *)
+    Test.make ~name:"fig7:regex-route"
+      (Staged.stage (fun () ->
+           let re = Regexsim.compile "^/books/([0-9]+)$" in
+           for i = 0 to 99 do
+             ignore (Regexsim.search re (Printf.sprintf "/books/%d" i))
+           done));
+    (* Figure 8 family: compilation pipeline feeding the abort studies *)
+    Test.make ~name:"fig8:compile-npb"
+      (Staged.stage (fun () ->
+           ignore
+             (Rvm.Compiler.compile_string
+                (Workloads.Npb_cg.source ~threads:4 ~size:Workloads.Size.Test))));
+    (* Figure 9 family: coherent (lock-based) execution mode *)
+    Test.make ~name:"fig9:interp-fine-grained"
+      (Staged.stage (run_guest Core.Scheme.Fine_grained mt_source));
+  ]
+
+let micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some (est :: _) -> Format.fprintf fmt "%-28s %12.0f ns/run@." name est
+          | _ -> Format.fprintf fmt "%-28s (no estimate)@." name)
+        results)
+    micro_tests
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "figures" -> figures ()
+  | "micro" -> micro ()
+  | _ ->
+      figures ();
+      micro ());
+  Format.fprintf fmt "@.bench: done@."

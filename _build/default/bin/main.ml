@@ -1,0 +1,216 @@
+(* htm-gil: command-line driver.
+
+     htm-gil run --workload cg --machine zec12 --scheme htm-dynamic -t 12
+     htm-gil exec file.rb --scheme gil
+     htm-gil fig fig5            (regenerate a figure from the paper)
+     htm-gil list                (available workloads)
+
+   All execution is simulated: workloads run on the MiniRuby VM over the
+   HTM/multicore model described in DESIGN.md. *)
+
+open Cmdliner
+
+let machine_arg =
+  let doc = "Machine model: zec12, xeon, or x5670." in
+  Arg.(value & opt string "zec12" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let scheme_arg =
+  let doc =
+    "Synchronisation scheme: gil, htm-1, htm-16, htm-256, htm-dynamic, \
+     fine-grained, free-parallel."
+  in
+  Arg.(value & opt string "htm-dynamic" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let threads_arg =
+  let doc = "Guest threads (clients for server workloads)." in
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let size_arg =
+  let doc = "Problem size class: test, s, w." in
+  Arg.(value & opt string "s" & info [ "size" ] ~docv:"SIZE" ~doc)
+
+let yield_arg =
+  let doc = "Yield-point set: original or extended (Section 4.2)." in
+  Arg.(value & opt string "extended" & info [ "yield-points" ] ~docv:"SET" ~doc)
+
+let baseline_opts_arg =
+  let doc = "Disable the Section 4.4 conflict removals (original CRuby)." in
+  Arg.(value & flag & info [ "no-conflict-removal" ] ~doc)
+
+let lazy_sweep_arg =
+  let doc =
+    "Enable thread-local lazy sweeping (the Section 5.6 future-work \
+     optimisation that removes the global free list from allocation)."
+  in
+  Arg.(value & flag & info [ "lazy-sweep" ] ~doc)
+
+let refcount_arg =
+  let doc =
+    "Model CPython-style reference counting (INCREF/DECREF on every \
+     dispatch) — the Section 7 discussion of why Python needs RETCON-style \
+     help."
+  in
+  Arg.(value & flag & info [ "refcount" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress guest output." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let parse_common machine scheme yield_points no_removal lazy_sweep refcount =
+  let machine = Htm_sim.Machine.by_name machine in
+  let scheme = Core.Scheme.of_string scheme in
+  let yield_points =
+    match yield_points with
+    | "original" -> Core.Yield_points.Original
+    | _ -> Core.Yield_points.Extended
+  in
+  let opts = if no_removal then Rvm.Options.cruby_baseline else Rvm.Options.default in
+  let opts = { opts with Rvm.Options.lazy_sweep; refcount_writes = refcount } in
+  (machine, scheme, yield_points, opts)
+
+let print_outcome ~quiet (o : Harness.Exp.outcome) =
+  if not quiet then print_string o.output;
+  let r = o.result in
+  Format.printf
+    "@.-- %s / %s / %s, %d threads --@."
+    o.p.workload.Workloads.Workload.name o.p.machine.Htm_sim.Machine.name
+    (Core.Scheme.to_string o.p.scheme) o.p.threads;
+  Format.printf "  wall clock          %d cycles (%.3f ms at 1 GHz)@." o.wall_cycles
+    (float_of_int o.wall_cycles /. 1e6);
+  Format.printf "  throughput          %.2f (work/s)@." o.throughput;
+  Format.printf "  instructions        %d@." r.total_insns;
+  Format.printf "  HTM                 %a@." Htm_sim.Stats.pp r.htm_stats;
+  Format.printf "  GIL acquisitions    %d@." r.gil_acquisitions;
+  Format.printf "  GC runs             %d (allocations %d)@." r.gc_runs r.allocs;
+  if o.p.scheme = Core.Scheme.Htm_dynamic then
+    Format.printf "  adjusted lengths    mean %.1f, %.0f%% of points at 1@."
+      r.txlen_mean (100.0 *. r.txlen_at_one);
+  (match o.p.workload.Workloads.Workload.kind with
+  | Workloads.Workload.Server ->
+      Format.printf "  requests            %d completed, %.0f req/s@."
+        r.requests_completed r.request_throughput
+  | Workloads.Workload.Compute -> ());
+  let b = r.breakdown in
+  let total =
+    max 1
+      (b.bd_txn_overhead + b.bd_committed + b.bd_aborted + b.bd_gil_held
+     + b.bd_gil_wait + b.bd_other)
+  in
+  let pct x = 100.0 *. float_of_int x /. float_of_int total in
+  Format.printf
+    "  cycles              begin/end %.1f%%, committed %.1f%%, aborted %.1f%%, \
+     GIL held %.1f%%, GIL wait %.1f%%, other %.1f%%@."
+    (pct b.bd_txn_overhead) (pct b.bd_committed) (pct b.bd_aborted)
+    (pct b.bd_gil_held) (pct b.bd_gil_wait) (pct b.bd_other)
+
+let run_cmd =
+  let workload_arg =
+    let doc = "Workload name (see list)." in
+    Arg.(value & opt string "cg" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet =
+    match Workloads.Workload.find workload with
+    | None ->
+        Format.eprintf "unknown workload %s@." workload;
+        exit 1
+    | Some w ->
+        let machine, scheme, yield_points, opts =
+          parse_common machine scheme yield_points no_removal lazy_sweep refcount
+        in
+        let size = Workloads.Size.of_string size in
+        let o =
+          Harness.Exp.run
+            (Harness.Exp.point ~yield_points ~opts ~workload:w ~machine ~scheme
+               ~threads ~size ())
+        in
+        print_outcome ~quiet o
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload under one scheme")
+    Term.(
+      const run $ workload_arg $ machine_arg $ scheme_arg $ threads_arg
+      $ size_arg $ yield_arg $ baseline_opts_arg $ lazy_sweep_arg
+      $ refcount_arg $ quiet_arg)
+
+let exec_cmd =
+  let file_arg =
+    let doc = "MiniRuby source file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file machine scheme yield_points no_removal lazy_sweep refcount quiet =
+    let machine, scheme, yield_points, opts =
+      parse_common machine scheme yield_points no_removal lazy_sweep refcount
+    in
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    let cfg = Core.Runner.config ~scheme ~yield_points ~opts machine in
+    let r = Core.Runner.run_source cfg ~source in
+    if not quiet then print_string r.Core.Runner.output;
+    Format.printf "@.wall=%d cycles, %d instructions, %a@." r.wall_cycles
+      r.total_insns Htm_sim.Stats.pp r.htm_stats
+  in
+  Cmd.v (Cmd.info "exec" ~doc:"Execute a MiniRuby file on the simulated VM")
+    Term.(
+      const run $ file_arg $ machine_arg $ scheme_arg $ yield_arg
+      $ baseline_opts_arg $ lazy_sweep_arg $ refcount_arg $ quiet_arg)
+
+let fig_cmd =
+  let which_arg =
+    let doc =
+      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 ablation overhead \
+       future-work refcount all."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let size_arg =
+    let doc = "Problem size class for the sweep (test, s, w)." in
+    Arg.(value & opt string "s" & info [ "size" ] ~docv:"SIZE" ~doc)
+  in
+  let run which size =
+    let size = Workloads.Size.of_string size in
+    let fmt = Format.std_formatter in
+    let doit = function
+      | "fig4" -> ignore (Harness.Figures.fig4 ~size fmt)
+      | "fig5" -> ignore (Harness.Figures.fig5 ~size fmt)
+      | "fig6a" -> ignore (Harness.Figures.fig6a fmt)
+      | "fig6b" -> ignore (Harness.Figures.fig6b fmt)
+      | "fig7" -> ignore (Harness.Figures.fig7 ~size fmt)
+      | "fig8" -> ignore (Harness.Figures.fig8 ~size fmt)
+      | "fig9" -> ignore (Harness.Figures.fig9 ~size fmt)
+      | "ablation" -> ignore (Harness.Figures.ablation ~size fmt)
+      | "overhead" -> ignore (Harness.Figures.overhead ~size fmt)
+      | "future-work" -> ignore (Harness.Figures.future_work ~size fmt)
+      | "refcount" -> ignore (Harness.Figures.refcount ~size fmt)
+      | f ->
+          Format.eprintf "unknown figure %s@." f;
+          exit 1
+    in
+    if which = "all" then
+      List.iter doit
+        [
+          "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "ablation";
+          "overhead"; "future-work"; "refcount";
+        ]
+    else doit which
+  in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate a figure from the paper")
+    Term.(const run $ which_arg $ size_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        Format.printf "%-10s %s@." w.name w.describe)
+      Workloads.Workload.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "htm-gil" ~version:"1.0.0"
+      ~doc:
+        "Simulated reproduction of GIL elimination in Ruby via hardware \
+         transactional memory (PPoPP'14)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exec_cmd; fig_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/conflict_analysis.ml: Array Core Format Htm_sim List Option Printf Rvm Sys Workloads

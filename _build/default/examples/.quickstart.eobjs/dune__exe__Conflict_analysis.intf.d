@@ -1,0 +1,1 @@
+examples/conflict_analysis.mli:

@@ -1,0 +1,1 @@
+examples/dynamic_adjustment.ml: Core Harness Htm_sim List Option Printf Workloads

@@ -1,0 +1,1 @@
+examples/gil_vs_htm.ml: Array Core Harness Htm_sim List Printf Sys Workloads

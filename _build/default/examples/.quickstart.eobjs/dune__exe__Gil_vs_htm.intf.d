@@ -1,0 +1,1 @@
+examples/gil_vs_htm.mli:

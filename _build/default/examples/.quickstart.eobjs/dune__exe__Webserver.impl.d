@@ -1,0 +1,1 @@
+examples/webserver.ml: Array Core Harness Htm_sim List Option Printf Sys Workloads

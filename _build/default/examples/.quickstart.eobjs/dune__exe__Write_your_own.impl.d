@@ -1,0 +1,1 @@
+examples/write_your_own.ml: Core Format Htm_sim Printf Rvm

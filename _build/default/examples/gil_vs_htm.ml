@@ -1,0 +1,45 @@
+(* Compare every synchronisation scheme on one NPB kernel, reproducing one
+   column of Figure 5.
+
+     dune exec examples/gil_vs_htm.exe [-- bench threads]        *)
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "cg" in
+  let threads =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 8
+  in
+  let machine = Htm_sim.Machine.zec12 in
+  let workload =
+    match Workloads.Workload.find bench with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown workload %s\n" bench;
+        exit 1
+  in
+  Printf.printf "%s with %d threads on %s (class S)\n\n" bench threads
+    machine.Htm_sim.Machine.name;
+  let base =
+    Harness.Exp.run
+      (Harness.Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only
+         ~threads:1 ~size:Workloads.Size.S ())
+  in
+  Printf.printf "%-14s %12s %10s %10s\n" "scheme" "wall cycles" "vs GIL-1"
+    "abort %";
+  List.iter
+    (fun scheme ->
+      let o =
+        Harness.Exp.run
+          (Harness.Exp.point ~workload ~machine ~scheme ~threads
+             ~size:Workloads.Size.S ())
+      in
+      Printf.printf "%-14s %12d %9.2fx %9.2f%%\n"
+        (Core.Scheme.to_string scheme) o.wall_cycles
+        (float_of_int base.wall_cycles /. float_of_int o.wall_cycles)
+        (100.0 *. o.abort_ratio))
+    [
+      Core.Scheme.Gil_only;
+      Core.Scheme.Htm_fixed 1;
+      Core.Scheme.Htm_fixed 16;
+      Core.Scheme.Htm_fixed 256;
+      Core.Scheme.Htm_dynamic;
+    ]

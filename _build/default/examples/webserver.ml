@@ -1,0 +1,25 @@
+(* Drive the WEBrick-style guest HTTP server with a concurrent client
+   population over the virtual network, like Figure 7.
+
+     dune exec examples/webserver.exe [-- clients] *)
+
+let () =
+  let clients = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let machine = Htm_sim.Machine.xeon_e3 in
+  let workload = Option.get (Workloads.Workload.find "webrick") in
+  Printf.printf
+    "WEBrick on %s, %d concurrent clients, 400 requests (thread per request,\n\
+     blocking socket I/O releases the GIL)\n\n"
+    machine.Htm_sim.Machine.name clients;
+  Printf.printf "%-14s %12s %12s %10s\n" "scheme" "req/s" "requests" "abort %";
+  List.iter
+    (fun scheme ->
+      let o =
+        Harness.Exp.run
+          (Harness.Exp.point ~workload ~machine ~scheme ~threads:clients
+             ~size:Workloads.Size.S ())
+      in
+      Printf.printf "%-14s %12.0f %12d %9.2f%%\n" (Core.Scheme.to_string scheme)
+        o.throughput o.result.Core.Runner.requests_completed
+        (100.0 *. o.abort_ratio))
+    [ Core.Scheme.Gil_only; Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_dynamic ]

@@ -1,0 +1,1 @@
+lib/core/gil.ml: Htm Htm_sim List Rvm

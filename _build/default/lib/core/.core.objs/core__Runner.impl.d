@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Gil Hashtbl Htm Htm_sim List Machine Netsim Option Printf Prng Queue Rvm Scheme Stats Txlen Txn Yield_points

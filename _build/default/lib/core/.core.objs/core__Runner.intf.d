@@ -1,0 +1,1 @@
+lib/core/runner.mli: Gil Hashtbl Htm_sim Netsim Queue Rvm Scheme Txlen Yield_points

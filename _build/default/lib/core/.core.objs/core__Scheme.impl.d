@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Htm Htm_sim Printf Rvm String

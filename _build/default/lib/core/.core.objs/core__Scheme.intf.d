@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Htm_sim Rvm

@@ -1,0 +1,1 @@
+lib/core/txlen.ml: Hashtbl Htm_sim Rvm

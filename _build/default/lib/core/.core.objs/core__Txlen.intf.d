@@ -1,0 +1,1 @@
+lib/core/txlen.mli: Htm_sim Rvm

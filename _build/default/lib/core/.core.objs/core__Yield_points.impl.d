@@ -1,0 +1,1 @@
+lib/core/yield_points.ml: Rvm

@@ -1,0 +1,784 @@
+(* The discrete-event multicore runner.
+
+   Each guest thread is pinned to one hardware context with its own cycle
+   clock. The runner always steps the runnable thread with the smallest
+   clock, one bytecode at a time, which yields a deterministic,
+   sequentially-consistent interleaving in which transactions genuinely
+   overlap in virtual time.
+
+   The scheme logic (GIL yield protocol, TLE transaction begin/end/yield of
+   Figures 1-2, dynamic length adjustment of Figure 3) lives here because it
+   is exactly the part of the paper that glues scheduling, the lock and the
+   HTM together. *)
+
+open Htm_sim
+module V = Rvm.Vmthread
+
+type config = {
+  machine : Machine.t;
+  scheme : Scheme.kind;
+  yield_points : Yield_points.set;
+  opts : Rvm.Options.t;
+  txlen_params : Txlen.params option;  (** default: per-machine *)
+  max_insns : int;  (** safety stop *)
+  trace : bool;
+}
+
+let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
+    ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
+    ?(trace = false) machine =
+  { machine; scheme; yield_points; opts; txlen_params; max_insns; trace }
+
+type breakdown = {
+  mutable bd_txn_overhead : int;
+  mutable bd_committed : int;
+  mutable bd_aborted : int;
+  mutable bd_gil_held : int;
+  mutable bd_gil_wait : int;
+  mutable bd_other : int;
+}
+
+type result = {
+  wall_cycles : int;
+  total_insns : int;
+  output : string;
+  main_value : Rvm.Value.t;
+  htm_stats : Stats.t;
+  breakdown : breakdown;
+  gil_acquisitions : int;
+  gc_runs : int;
+  allocs : int;
+  txlen_at_one : float;  (** fraction of yield points adjusted to length 1 *)
+  txlen_mean : float;
+  requests_completed : int;
+  request_throughput : float;  (** requests/sec where netsim is used *)
+}
+
+exception Stuck of string
+exception Guest_failure of string
+
+(* Per-thread TLE retry state (Figure 1's local variables). *)
+type tle_state = {
+  mutable transient_retry_counter : int;
+  mutable gil_retry_counter : int;
+  mutable first_retry : bool;
+  mutable window_key : (Rvm.Value.code * int) option;
+      (** yield point this window started at *)
+  mutable acq_at_begin : int;
+      (** GIL acquisition count when the transaction began: an abort is a
+          GIL conflict if an acquisition happened since, even if the lock was
+          already released again by the time this thread gets to run its
+          abort handler (on real hardware the handler runs immediately) *)
+}
+
+let transient_retry_max = 3
+let gil_retry_max = 16
+
+type t = {
+  cfg : config;
+  vm : Rvm.Vm.t;
+  gil : Gil.t;
+  txlen : Txlen.t;
+  session : Rvm.Session.t;
+  io : Netsim.t option;
+  (* scheduling state *)
+  mutable free_ctx : int list;
+  mutable ctx_waiters : V.t list;
+  mutable active : V.t list;  (** unfinished threads, for fast scheduling *)
+  mutable outside : bool array;  (** needs transaction_begin / gil acquire *)
+  mutable resume_gil : bool array;
+      (** woken from a blocking operation: CRuby re-acquires the GIL after a
+          blocking region, so the window resumes on the fallback path (this
+          also keeps wake-up tokens safe from transaction rollback) *)
+  mutable skip_yield : bool array;
+      (** the current window began at the current pc: that yield point
+          counts as already passed, so don't fire it again before the
+          instruction executes (otherwise a length-1 window could never
+          get past its own starting bytecode) *)
+  mutable tle : tle_state array;
+  mutable park_clock : int array;
+  (* wait queues *)
+  mutex_waiters : (int, V.t Queue.t) Hashtbl.t;
+  cond_waiters : (int, (V.t * int) Queue.t) Hashtbl.t;
+  join_waiters : (int, V.t list) Hashtbl.t;
+  mutable sleepers : (int * V.t) list;  (** (wake cycle, thread) *)
+  mutable accept_waiters : V.t list;
+  mutable total_insns : int;
+  prng : Prng.t;  (** scheduling-only randomness (retry backoff) *)
+  breakdown : breakdown;
+  mutable stop : unit -> bool;
+}
+
+let max_threads = 64
+
+let fresh_tle () =
+  {
+    transient_retry_counter = transient_retry_max;
+    gil_retry_counter = gil_retry_max;
+    first_retry = true;
+    window_key = None;
+    acq_at_begin = 0;
+  }
+
+let create ?(io : Netsim.t option) cfg ~source =
+  let opts = Scheme.adjust_options cfg.scheme cfg.opts in
+  (* z/OS HEAPPOOLS (Section 5.2) still leaves conflict points in malloc
+     (Section 5.5): model it as much smaller thread-local chunks, so the
+     global bump pointer is touched far more often than on Linux *)
+  let opts =
+    if cfg.machine.Machine.malloc_thread_local then opts
+    else { opts with Rvm.Options.malloc_chunk = min opts.Rvm.Options.malloc_chunk 256 }
+  in
+  let session = Rvm.Session.create ~opts ~htm_mode:(Scheme.htm_mode cfg.scheme) cfg.machine ~source in
+  let vm = session.Rvm.Session.vm in
+  let txlen_mode =
+    match cfg.scheme with
+    | Scheme.Htm_fixed n -> Txlen.Constant n
+    | _ -> Txlen.Dynamic
+  in
+  let params =
+    match cfg.txlen_params with
+    | Some p -> p
+    | None -> Txlen.params_for cfg.machine
+  in
+  {
+    cfg;
+    vm;
+    gil = Gil.create vm;
+    txlen = Txlen.create ~params txlen_mode;
+    session;
+    io;
+    free_ctx = List.init (Machine.n_ctx cfg.machine) (fun i -> i);
+    ctx_waiters = [];
+    active = [];
+    outside = Array.make max_threads true;
+    resume_gil = Array.make max_threads false;
+    skip_yield = Array.make max_threads false;
+    tle = Array.init max_threads (fun _ -> fresh_tle ());
+    park_clock = Array.make max_threads 0;
+    mutex_waiters = Hashtbl.create 16;
+    cond_waiters = Hashtbl.create 16;
+    join_waiters = Hashtbl.create 16;
+    sleepers = [];
+    accept_waiters = [];
+    total_insns = 0;
+    prng = Prng.create 20140215;
+    breakdown =
+      {
+        bd_txn_overhead = 0;
+        bd_committed = 0;
+        bd_aborted = 0;
+        bd_gil_held = 0;
+        bd_gil_wait = 0;
+        bd_other = 0;
+      };
+    stop = (fun () -> false);
+  }
+
+let costs t = t.cfg.machine.costs
+
+(* Grow the per-tid state arrays so [tid] is addressable. *)
+let ensure_tid t tid =
+  let n = Array.length t.outside in
+  if tid >= n then begin
+    let m = max (2 * n) (tid + 1) in
+    let grow_bool a d =
+      let b = Array.make m d in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.outside <- grow_bool t.outside true;
+    t.resume_gil <- grow_bool t.resume_gil false;
+    t.skip_yield <- grow_bool t.skip_yield false;
+    let tle = Array.init m (fun _ -> fresh_tle ()) in
+    Array.blit t.tle 0 tle 0 n;
+    t.tle <- tle;
+    let pk = Array.make m 0 in
+    Array.blit t.park_clock 0 pk 0 n;
+    t.park_clock <- pk
+  end
+
+(* ---- parking / waking --------------------------------------------------- *)
+
+(* A hardware context belongs to a thread only while it can run: parking
+   releases it to the pool (a blocked pthread yields its CPU), waking
+   re-acquires one, possibly waiting for a free core. *)
+let grant_ctx t (th : V.t) =
+  match t.free_ctx with
+  | ctx :: rest ->
+      t.free_ctx <- rest;
+      th.ctx <- ctx;
+      Htm.set_occupied t.vm.Rvm.Vm.htm ctx true;
+      true
+  | [] ->
+      if not (List.memq th t.ctx_waiters) then
+        t.ctx_waiters <- t.ctx_waiters @ [ th ];
+      false
+
+let release_ctx t (th : V.t) =
+  if th.ctx >= 0 then begin
+    Htm.set_occupied t.vm.Rvm.Vm.htm th.ctx false;
+    t.free_ctx <- th.ctx :: t.free_ctx;
+    th.ctx <- -1;
+    match t.ctx_waiters with
+    | w :: rest ->
+        t.ctx_waiters <- rest;
+        ignore (grant_ctx t w);
+        if w.status = V.Waiting_ctx then w.status <- V.Runnable;
+        w.clock <- max w.clock th.clock
+    | [] -> ()
+  end
+
+let park t (th : V.t) reason =
+  th.status <- V.Blocked reason;
+  t.park_clock.(th.tid) <- th.clock;
+  release_ctx t th
+
+let wake t (th : V.t) ~at =
+  th.clock <- max th.clock at;
+  (match th.status with
+  | V.Blocked _ -> th.status <- V.Runnable
+  | V.Runnable | V.Waiting_ctx | V.Finished -> ());
+  if th.ctx < 0 then ignore (grant_ctx t th)
+
+let wake_gil_waiter t (th : V.t) ~at =
+  t.breakdown.bd_gil_wait <- t.breakdown.bd_gil_wait + max 0 (at - t.park_clock.(th.tid));
+  th.cyc_gil_wait <- th.cyc_gil_wait + max 0 (at - t.park_clock.(th.tid));
+  wake t th ~at
+
+let queue_for tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add tbl key q;
+      q
+
+(* ---- transactions (Figures 1 and 2) ------------------------------------- *)
+
+let charge_txn_overhead t (th : V.t) c =
+  th.clock <- th.clock + c;
+  th.cyc_txn_overhead <- th.cyc_txn_overhead + c;
+  t.breakdown.bd_txn_overhead <- t.breakdown.bd_txn_overhead + c
+
+(* The rollback closure run by the engine whenever this thread's transaction
+   dies (self-abort or victim of a conflict). *)
+let rollback_hook t (th : V.t) (_reason : Txn.abort_reason) =
+  th.n_aborts <- th.n_aborts + 1;
+  V.restore th;
+  let wasted = max 0 (th.clock - th.txn_start_clock) in
+  th.cyc_aborted <- th.cyc_aborted + wasted;
+  t.breakdown.bd_aborted <- t.breakdown.bd_aborted + wasted;
+  th.clock <- th.clock + (costs t).cyc_abort
+
+let set_yield_counter t (th : V.t) len =
+  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx
+    (th.struct_base + V.st_yield_counter)
+    (Rvm.Value.VInt len)
+
+let read_yield_counter t (th : V.t) =
+  match Htm.read t.vm.Rvm.Vm.htm ~ctx:th.ctx (th.struct_base + V.st_yield_counter) with
+  | Rvm.Value.VInt n -> n
+  | _ -> 1
+
+(* transaction_begin (Figure 1). Returns false if the thread parked. *)
+let rec transaction_begin t (th : V.t) ~key =
+  let vm = t.vm in
+  let st = t.tle.(th.tid) in
+  if Rvm.Vm.live_count vm <= 1 then begin
+    (* no concurrency needed: revert to the GIL (lines 2-3) *)
+    if Gil.held_by t.gil th then true
+    else if t.gil.owner = -1 then begin
+      Gil.take t.gil th;
+      t.outside.(th.tid) <- false;
+      t.skip_yield.(th.tid) <- true;
+      st.window_key <- Some key;
+      let code, pc = key in
+      set_yield_counter t th (Txlen.set_transaction_length t.txlen ~code ~pc);
+      true
+    end
+    else begin
+      Gil.enqueue_waiter t.gil th;
+      park t th (V.On_mutex (-1));
+      t.outside.(th.tid) <- true;
+      false
+    end
+  end
+  else begin
+    let code, pc = key in
+    let len = Txlen.set_transaction_length t.txlen ~code ~pc in
+    (* wait for the GIL to be released before starting (lines 6-8) *)
+    if t.gil.owner <> -1 then begin
+      Gil.enqueue_waiter t.gil th;
+      park t th (V.On_mutex (-2));
+      t.outside.(th.tid) <- true;
+      false
+    end
+    else begin
+      st.window_key <- Some key;
+      st.first_retry <- true;
+      st.acq_at_begin <- t.gil.acquisitions;
+      charge_txn_overhead t th (costs t).cyc_tbegin;
+      V.snapshot th;
+      th.txn_start_clock <- th.clock;
+      Htm.tbegin vm.Rvm.Vm.htm ~ctx:th.ctx ~rollback:(rollback_hook t th);
+      set_yield_counter t th len;
+      (* publish the running thread (Section 4.4 conflict #1) *)
+      (if vm.Rvm.Vm.opts.tls_current_thread then begin
+         if not t.cfg.machine.tls_fast then th.clock <- th.clock + (costs t).cyc_tls;
+         Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx
+           (th.struct_base + V.st_tls_current)
+           (Rvm.Value.VInt th.tid)
+       end
+       else
+         Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_current_thread
+           (Rvm.Value.VInt th.tid));
+      (* subscribe to the GIL (line 15); abort if it got acquired meanwhile *)
+      (try
+         if Gil.read_acquired t.gil th then
+           Htm.tabort vm.Rvm.Vm.htm ~ctx:th.ctx Txn.Explicit
+       with Htm.Abort_now _ -> ());
+      if Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then begin
+        handle_abort t th;
+        th.status = V.Runnable
+      end
+      else begin
+        t.outside.(th.tid) <- false;
+        t.skip_yield.(th.tid) <- true;
+        true
+      end
+    end
+  end
+
+(* Abort handling (Figure 1 lines 16-37). The transaction has already been
+   rolled back; decide whether to retry, wait, or fall back to the GIL. *)
+and handle_abort t (th : V.t) =
+  let vm = t.vm in
+  let reason =
+    match Htm.pending_abort vm.Rvm.Vm.htm th.ctx with
+    | Some r -> r
+    | None -> assert false
+  in
+  Htm.clear_pending_abort vm.Rvm.Vm.htm th.ctx;
+  let st = t.tle.(th.tid) in
+  let key = match st.window_key with Some k -> k | None -> assert false in
+  if st.first_retry then begin
+    st.first_retry <- false;
+    let code, pc = key in
+    Txlen.adjust_transaction_length t.txlen ~code ~pc
+  end;
+  let fallback_to_gil () =
+    if t.gil.owner = -1 then begin
+      Gil.take t.gil th;
+      t.outside.(th.tid) <- false;
+      t.skip_yield.(th.tid) <- true;
+      reset_retries t th;
+      (* window length is unchanged when reverting to the GIL *)
+      let code, pc = key in
+      set_yield_counter t th (Txlen.set_transaction_length t.txlen ~code ~pc)
+    end
+    else begin
+      Gil.enqueue_waiter t.gil th;
+      park t th (V.On_mutex (-1));
+      t.outside.(th.tid) <- true
+    end
+  in
+  let gil_conflict =
+    t.gil.owner <> -1 || t.gil.acquisitions > st.acq_at_begin
+  in
+  if gil_conflict then begin
+    (* conflict at the GIL (lines 21-27) *)
+    st.gil_retry_counter <- st.gil_retry_counter - 1;
+    if st.gil_retry_counter > 0 then begin
+      if t.gil.owner <> -1 then begin
+        Gil.enqueue_waiter t.gil th;
+        park t th (V.On_mutex (-2));
+        t.outside.(th.tid) <- true
+      end
+      else ignore (transaction_begin t th ~key)
+    end
+    else fallback_to_gil ()
+  end
+  else if Txn.is_persistent reason || reason = Txn.Explicit then fallback_to_gil ()
+  else begin
+    st.transient_retry_counter <- st.transient_retry_counter - 1;
+    if st.transient_retry_counter > 0 then begin
+      (* randomized exponential backoff between retries: without it,
+         symmetric retries (e.g. two threads refilling the free list) abort
+         each other forever under requester-wins conflict resolution *)
+      let attempt = transient_retry_max - st.transient_retry_counter in
+      th.clock <- th.clock + Prng.int t.prng (256 lsl attempt);
+      ignore (transaction_begin t th ~key)
+    end
+    else fallback_to_gil ()
+  end
+
+and reset_retries t (th : V.t) =
+  let st = t.tle.(th.tid) in
+  st.transient_retry_counter <- transient_retry_max;
+  st.gil_retry_counter <- gil_retry_max;
+  st.first_retry <- true
+
+let gil_release_and_wake t (th : V.t) =
+  let waiters = Gil.release t.gil th in
+  List.iter (fun w -> wake_gil_waiter t w ~at:th.clock) waiters
+
+(* transaction_end (Figure 2 lines 1-4). *)
+let transaction_end t (th : V.t) =
+  let vm = t.vm in
+  if Gil.held_by t.gil th then gil_release_and_wake t th
+  else if Htm.in_txn vm.Rvm.Vm.htm th.ctx then begin
+    let in_txn_cycles = max 0 (th.clock - th.txn_start_clock) in
+    Htm.tend vm.Rvm.Vm.htm ~ctx:th.ctx;
+    charge_txn_overhead t th (costs t).cyc_tend;
+    th.cyc_committed <- th.cyc_committed + in_txn_cycles;
+    t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles
+  end;
+  reset_retries t th
+
+(* transaction_yield (Figure 2 lines 8-16), called at yield points. *)
+let transaction_yield t (th : V.t) ~key =
+  let vm = t.vm in
+  th.clock <- th.clock + (costs t).cyc_yield_check;
+  if not t.cfg.machine.tls_fast then th.clock <- th.clock + (costs t).cyc_tls;
+  (* Figure 2 line 9: no yield operation when there is no other live thread *)
+  if Rvm.Vm.live_count vm > 1 then begin
+    let c = read_yield_counter t th - 1 in
+    set_yield_counter t th c;
+    if c <= 0 then begin
+      transaction_end t th;
+      ignore (transaction_begin t th ~key);
+      if th.status = V.Runnable then t.skip_yield.(th.tid) <- false
+    end
+  end
+
+(* ---- the GIL-only scheme ------------------------------------------------ *)
+
+let gil_enter t (th : V.t) =
+  if Gil.held_by t.gil th then true
+  else if t.gil.owner = -1 then begin
+    Gil.take t.gil th;
+    t.outside.(th.tid) <- false;
+    true
+  end
+  else begin
+    Gil.enqueue_waiter t.gil th;
+    park t th (V.On_mutex (-1));
+    t.outside.(th.tid) <- true;
+    false
+  end
+
+(* At a yield point under the pure GIL: release + sched_yield + reacquire
+   when the timer tick has passed and someone is waiting (Section 3.2). *)
+let gil_yield_point t (th : V.t) =
+  th.clock <- th.clock + (costs t).cyc_yield_check;
+  if Gil.should_yield t.gil th then begin
+    Gil.bump_timer t.gil th;
+    th.clock <- th.clock + (costs t).cyc_sched_yield;
+    gil_release_and_wake t th;
+    (* go to the back of the pack: the woken waiters have earlier clocks *)
+    ignore (gil_enter t th)
+  end
+
+(* ---- blocking ----------------------------------------------------------- *)
+
+(* A builtin raised [Block]: release the GIL around the blocking operation
+   (CRuby semantics), park the thread, and re-execute the instruction on
+   wake-up. *)
+let on_block t (th : V.t) reason =
+  assert (not (Htm.in_txn t.vm.Rvm.Vm.htm th.ctx));
+  th.clock <- th.clock + (costs t).cyc_blocking_op;
+  if Gil.held_by t.gil th then gil_release_and_wake t th;
+  t.outside.(th.tid) <- true;
+  (match t.cfg.scheme with
+  | Scheme.Htm_fixed _ | Scheme.Htm_dynamic -> t.resume_gil.(th.tid) <- true
+  | Scheme.Gil_only | Scheme.Fine_grained | Scheme.Free_parallel -> ());
+  (match reason with
+  | V.On_mutex slot -> Queue.add th (queue_for t.mutex_waiters slot)
+  | V.On_cond (cv, mx) -> Queue.add (th, mx) (queue_for t.cond_waiters cv)
+  | V.On_join tid ->
+      Hashtbl.replace t.join_waiters tid
+        (th :: Option.value (Hashtbl.find_opt t.join_waiters tid) ~default:[])
+  | V.On_sleep at | V.On_io at -> t.sleepers <- (at, th) :: t.sleepers
+  | V.On_accept _ -> t.accept_waiters <- t.accept_waiters @ [ th ]);
+  park t th reason
+
+(* Wakes requested by unlock/signal/broadcast builtins. *)
+let drain_wakes t (th : V.t) =
+  let vm = t.vm in
+  (* the current thread may have just finished and released its context;
+     these writes are scheduler-side bookkeeping, any context works *)
+  let wctx = if th.ctx >= 0 then th.ctx else 0 in
+  let wakes = vm.Rvm.Vm.pending_wakes in
+  vm.Rvm.Vm.pending_wakes <- [];
+  List.iter
+    (fun w ->
+      match w with
+      | Rvm.Vm.Wake_mutex slot -> (
+          match Hashtbl.find_opt t.mutex_waiters slot with
+          | Some q when not (Queue.is_empty q) ->
+              let w = Queue.pop q in
+              (* leaving the wait queue: drop the waiter count *)
+              let waiters =
+                match Htm.read vm.Rvm.Vm.htm ~ctx:wctx (slot + Rvm.Layout.m_waiters) with
+                | Rvm.Value.VInt n -> n
+                | _ -> 0
+              in
+              Htm.write vm.Rvm.Vm.htm ~ctx:wctx (slot + Rvm.Layout.m_waiters)
+                (Rvm.Value.VInt (max 0 (waiters - 1)));
+              wake t w ~at:th.clock
+          | _ -> ())
+      | Rvm.Vm.Wake_cond_one slot -> (
+          match Hashtbl.find_opt t.cond_waiters slot with
+          | Some q when not (Queue.is_empty q) ->
+              let w, _mx = Queue.pop q in
+              w.cond_signaled <- true;
+              wake t w ~at:th.clock
+          | _ -> ())
+      | Rvm.Vm.Wake_cond_all slot -> (
+          match Hashtbl.find_opt t.cond_waiters slot with
+          | Some q ->
+              while not (Queue.is_empty q) do
+                let w, _mx = Queue.pop q in
+                w.cond_signaled <- true;
+                wake t w ~at:th.clock
+              done
+          | None -> ()))
+    wakes
+
+(* ---- thread lifecycle --------------------------------------------------- *)
+
+let assign_ctx t (th : V.t) =
+  ensure_tid t th.tid;
+  t.outside.(th.tid) <- true;
+  t.resume_gil.(th.tid) <- false;
+  t.skip_yield.(th.tid) <- false;
+  t.tle.(th.tid) <- fresh_tle ();
+  if grant_ctx t th then begin
+    th.status <- V.Runnable;
+    true
+  end
+  else false
+
+let drain_spawned t =
+  let vm = t.vm in
+  let spawned = List.rev vm.Rvm.Vm.spawned in
+  vm.Rvm.Vm.spawned <- [];
+  List.iter
+    (fun th ->
+      t.active <- th :: t.active;
+      ignore (assign_ctx t th))
+    spawned
+
+let on_thread_done t (th : V.t) =
+  t.active <- List.filter (fun (x : V.t) -> x.tid <> th.tid) t.active;
+  (* close the window *)
+  if Htm.in_txn t.vm.Rvm.Vm.htm th.ctx || Gil.held_by t.gil th then
+    transaction_end t th;
+  let vm = t.vm in
+  let live =
+    match Htm.read vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_live with
+    | Rvm.Value.VInt n -> n
+    | _ -> 1
+  in
+  Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_live (Rvm.Value.VInt (live - 1));
+  (* wake joiners *)
+  (match Hashtbl.find_opt t.join_waiters th.tid with
+  | Some ws ->
+      Hashtbl.remove t.join_waiters th.tid;
+      List.iter (fun w -> wake t w ~at:th.clock) ws
+  | None -> ());
+  (* free the hardware context *)
+  release_ctx t th
+
+(* ---- time advance when everyone is blocked ------------------------------ *)
+
+let advance_time t =
+  let vm = t.vm in
+  (* earliest sleeper / io wake *)
+  let sleeper = List.fold_left (fun acc (at, _) -> min acc at) max_int t.sleepers in
+  let arrival =
+    match t.io with
+    | Some io when t.accept_waiters <> [] -> (
+        match Netsim.next_arrival io with Some a -> a | None -> max_int)
+    | _ -> max_int
+  in
+  let target = min sleeper arrival in
+  if target = max_int then
+    raise
+      (Stuck
+         (Printf.sprintf "deadlock: no runnable threads (live=%d)"
+            (Rvm.Vm.live_count vm)));
+  (* wake sleepers due *)
+  let due, rest = List.partition (fun (at, _) -> at <= target) t.sleepers in
+  t.sleepers <- rest;
+  List.iter (fun (at, th) -> wake t th ~at) due;
+  (* deliver connections *)
+  (match t.io with
+  | Some io when arrival <= target ->
+      ignore (Netsim.advance io ~now:target);
+      let ws = t.accept_waiters in
+      t.accept_waiters <- [];
+      List.iter (fun w -> wake t w ~at:target) ws
+  | _ -> ())
+
+(* ---- the main loop ------------------------------------------------------ *)
+
+let pick_runnable t =
+  let best = ref None in
+  List.iter
+    (fun (th : V.t) ->
+      if th.status = V.Runnable && th.ctx >= 0 then
+        match !best with
+        | None -> best := Some th
+        | Some b -> if th.clock < b.V.clock then best := Some th)
+    t.active;
+  !best
+
+let key_of (th : V.t) = (th.code, th.pc)
+
+(* Execute one scheduling step for [th]. *)
+let step_thread t (th : V.t) =
+  let vm = t.vm in
+  let scheme = t.cfg.scheme in
+  (* 1. outstanding abort to handle? *)
+  if Scheme.uses_htm scheme && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then
+    handle_abort t th;
+  if th.status <> V.Runnable then ()
+  else begin
+    (* 2. enter a window if outside one *)
+    (if t.outside.(th.tid) then
+       match scheme with
+       | Scheme.Gil_only -> ignore (gil_enter t th)
+       | Scheme.Htm_fixed _ | Scheme.Htm_dynamic ->
+           if t.resume_gil.(th.tid) then begin
+             (* back from a blocking region: reacquire the GIL and finish
+                the current window on the fallback path *)
+             if gil_enter t th then begin
+               t.resume_gil.(th.tid) <- false;
+               t.skip_yield.(th.tid) <- true
+             end
+           end
+           else ignore (transaction_begin t th ~key:(key_of th))
+       | Scheme.Fine_grained | Scheme.Free_parallel -> t.outside.(th.tid) <- false);
+    if th.status <> V.Runnable then ()
+    else begin
+      let insn = th.code.insns.(th.pc) in
+      (* 3. yield point *)
+      (match scheme with
+      | Scheme.Gil_only ->
+          if Yield_points.original_point insn then gil_yield_point t th
+      | Scheme.Htm_fixed _ | Scheme.Htm_dynamic ->
+          if t.skip_yield.(th.tid) then t.skip_yield.(th.tid) <- false
+          else if Yield_points.is_yield_point t.cfg.yield_points insn then
+            transaction_yield t th ~key:(th.code, th.pc)
+      | Scheme.Fine_grained | Scheme.Free_parallel -> ());
+      if th.status <> V.Runnable then ()
+      else begin
+        (* 4. execute one instruction *)
+        if t.cfg.trace then
+          Printf.eprintf "[%d] tid=%d %s@%d %s txn=%b gil=%d clk=%d\n%!"
+            t.total_insns th.tid th.code.Rvm.Value.code_name th.pc
+            (Rvm.Bytecode.insn_name th.code.insns.(th.pc))
+            (Htm.in_txn vm.Rvm.Vm.htm th.ctx)
+            t.gil.Gil.owner th.clock;
+        let pre_fp = th.fp and pre_sp = th.sp and pre_pc = th.pc and pre_code = th.code in
+        let in_txn_before = Htm.in_txn vm.Rvm.Vm.htm th.ctx in
+        (try
+           let r = Rvm.Interp.step vm th in
+           let extra, accesses = Htm.drain_step_cost vm.Rvm.Vm.htm in
+           let cost =
+             Rvm.Bytecode.base_cost (costs t) insn
+             + (accesses * (costs t).cyc_mem)
+             + extra
+           in
+           th.clock <- th.clock + cost;
+           th.work <- th.work + 1;
+           if Gil.held_by t.gil th then begin
+             th.cyc_gil_held <- th.cyc_gil_held + cost;
+             t.breakdown.bd_gil_held <- t.breakdown.bd_gil_held + cost
+           end
+           else if not in_txn_before then
+             t.breakdown.bd_other <- t.breakdown.bd_other + cost;
+           t.total_insns <- t.total_insns + 1;
+           match r with
+           | Rvm.Interp.Continue -> ()
+           | Rvm.Interp.Done _ -> on_thread_done t th
+         with
+        | Htm.Abort_now _ ->
+            (* engine rolled back and the rollback hook restored registers;
+               retry policy runs on the next scheduling step *)
+            let _ = Htm.drain_step_cost vm.Rvm.Vm.htm in
+            ()
+        | V.Block reason ->
+            let _ = Htm.drain_step_cost vm.Rvm.Vm.htm in
+            th.fp <- pre_fp;
+            th.sp <- pre_sp;
+            th.pc <- pre_pc;
+            th.code <- pre_code;
+            on_block t th reason);
+        drain_wakes t th;
+        drain_spawned t
+      end
+    end
+  end
+
+let run ?(stop = fun () -> false) t =
+  t.stop <- stop;
+  drain_spawned t;
+  let vm = t.vm in
+  let main = t.session.Rvm.Session.main in
+  let steps = ref 0 in
+  (try
+     while
+       main.V.status <> V.Finished
+       && (not (stop ()))
+       && t.total_insns < t.cfg.max_insns
+     do
+       incr steps;
+       (match pick_runnable t with
+       | Some th ->
+           (* deliver connections that are due so blocked acceptors wake
+              even while other threads keep the cores busy *)
+           (match t.io with
+           | Some io when t.accept_waiters <> [] -> (
+               match Netsim.next_arrival io with
+               | Some at when at <= th.V.clock ->
+                   ignore (Netsim.advance io ~now:th.V.clock);
+                   let ws = t.accept_waiters in
+                   t.accept_waiters <- [];
+                   List.iter (fun w -> wake t w ~at:th.V.clock) ws
+               | _ -> ())
+           | _ -> ());
+           step_thread t th
+       | None -> advance_time t)
+     done
+   with Rvm.Value.Guest_error msg ->
+     raise (Guest_failure (msg ^ "\n--- guest output ---\n" ^ Rvm.Vm.output vm)));
+  if t.total_insns >= t.cfg.max_insns then
+    raise (Stuck (Printf.sprintf "instruction budget exhausted (%d)" t.total_insns));
+  let wall =
+    List.fold_left (fun acc (th : V.t) -> max acc th.clock) 0 vm.Rvm.Vm.threads
+  in
+  let at_one, mean_len = Txlen.stats t.txlen in
+  {
+    wall_cycles = wall;
+    total_insns = t.total_insns;
+    output = Rvm.Vm.output vm;
+    main_value = main.V.result;
+    htm_stats = Htm.stats vm.Rvm.Vm.htm;
+    breakdown = t.breakdown;
+    gil_acquisitions = t.gil.acquisitions;
+    gc_runs = vm.Rvm.Vm.heap.Rvm.Heap.gc_runs;
+    allocs = vm.Rvm.Vm.heap.Rvm.Heap.allocs;
+    txlen_at_one = at_one;
+    txlen_mean = mean_len;
+    requests_completed = (match t.io with Some io -> Netsim.completed io | None -> 0);
+    request_throughput = (match t.io with Some io -> Netsim.throughput io | None -> 0.0);
+  }
+
+(* Convenience one-shot entry point. *)
+let run_source ?io ?stop ?setup cfg ~source =
+  let t = create ?io cfg ~source in
+  (match setup with Some f -> f t.vm | None -> ());
+  run ?stop t

@@ -1,0 +1,111 @@
+(** The discrete-event multicore runner: it schedules guest threads over
+    hardware contexts (smallest virtual clock first, one bytecode at a
+    time), drives the yield-point protocol of the chosen scheme (the GIL's
+    timer yields, or Figures 1-3 transactional lock elision), and accounts
+    the cycle breakdowns of Figure 8.
+
+    Contexts belong to threads only while they can run: parking releases
+    the context, waking re-acquires one, so the simulated machine behaves
+    like an OS scheduler when there are more guest threads than cores. *)
+
+type config = {
+  machine : Htm_sim.Machine.t;
+  scheme : Scheme.kind;
+  yield_points : Yield_points.set;
+  opts : Rvm.Options.t;
+  txlen_params : Txlen.params option;
+  max_insns : int;
+  trace : bool;
+}
+
+val config :
+  ?scheme:Scheme.kind ->
+  ?yield_points:Yield_points.set ->
+  ?opts:Rvm.Options.t ->
+  ?txlen_params:Txlen.params ->
+  ?max_insns:int ->
+  ?trace:bool ->
+  Htm_sim.Machine.t ->
+  config
+
+type breakdown = {
+  mutable bd_txn_overhead : int;  (** TBEGIN/TEND instructions *)
+  mutable bd_committed : int;  (** cycles in committed transactions *)
+  mutable bd_aborted : int;  (** cycles wasted in aborted transactions *)
+  mutable bd_gil_held : int;
+  mutable bd_gil_wait : int;
+  mutable bd_other : int;
+}
+
+type result = {
+  wall_cycles : int;  (** max virtual clock over all threads *)
+  total_insns : int;
+  output : string;
+  main_value : Rvm.Value.t;
+  htm_stats : Htm_sim.Stats.t;
+  breakdown : breakdown;
+  gil_acquisitions : int;
+  gc_runs : int;
+  allocs : int;
+  txlen_at_one : float;
+  txlen_mean : float;
+  requests_completed : int;
+  request_throughput : float;
+}
+
+exception Stuck of string
+(** Deadlock or instruction-budget exhaustion. *)
+
+exception Guest_failure of string
+(** A guest-level error, with the guest's output appended. *)
+
+type t = {
+  cfg : config;
+  vm : Rvm.Vm.t;
+  gil : Gil.t;
+  txlen : Txlen.t;
+  session : Rvm.Session.t;
+  io : Netsim.t option;
+  mutable free_ctx : int list;
+  mutable ctx_waiters : Rvm.Vmthread.t list;
+  mutable active : Rvm.Vmthread.t list;
+  mutable outside : bool array;
+  mutable resume_gil : bool array;
+  mutable skip_yield : bool array;
+  mutable tle : tle_state array;
+  mutable park_clock : int array;
+  mutex_waiters : (int, Rvm.Vmthread.t Queue.t) Hashtbl.t;
+  cond_waiters : (int, (Rvm.Vmthread.t * int) Queue.t) Hashtbl.t;
+  join_waiters : (int, Rvm.Vmthread.t list) Hashtbl.t;
+  mutable sleepers : (int * Rvm.Vmthread.t) list;
+  mutable accept_waiters : Rvm.Vmthread.t list;
+  mutable total_insns : int;
+  prng : Htm_sim.Prng.t;
+  breakdown : breakdown;
+  mutable stop : unit -> bool;
+}
+
+and tle_state = {
+  mutable transient_retry_counter : int;  (** TRANSIENT_RETRY_MAX = 3 *)
+  mutable gil_retry_counter : int;  (** GIL_RETRY_MAX = 16 *)
+  mutable first_retry : bool;
+  mutable window_key : (Rvm.Value.code * int) option;
+  mutable acq_at_begin : int;
+}
+
+val create : ?io:Netsim.t -> config -> source:string -> t
+(** Compile the program and boot the VM; call [setup]-style extension
+    installers on [vm] before {!run} if the workload needs them. *)
+
+val run : ?stop:(unit -> bool) -> t -> result
+(** Run until the guest main thread finishes, [stop ()] turns true, or the
+    instruction budget trips. @raise Stuck, @raise Guest_failure. *)
+
+val run_source :
+  ?io:Netsim.t ->
+  ?stop:(unit -> bool) ->
+  ?setup:(Rvm.Vm.t -> unit) ->
+  config ->
+  source:string ->
+  result
+(** One-shot convenience wrapper. *)

@@ -1,0 +1,51 @@
+(* Synchronisation schemes under evaluation (the legend of Figures 5-9). *)
+
+open Htm_sim
+
+type kind =
+  | Gil_only  (** original CRuby: the Giant VM Lock *)
+  | Htm_fixed of int  (** HTM-1 / HTM-16 / HTM-256: fixed transaction length *)
+  | Htm_dynamic  (** the paper's dynamic transaction-length adjustment *)
+  | Fine_grained  (** JRuby-style fine-grained locking (Figure 9 baseline) *)
+  | Free_parallel  (** Java-style free parallelism (Figure 9 baseline) *)
+
+let to_string = function
+  | Gil_only -> "GIL"
+  | Htm_fixed n -> Printf.sprintf "HTM-%d" n
+  | Htm_dynamic -> "HTM-dynamic"
+  | Fine_grained -> "fine-grained"
+  | Free_parallel -> "free-parallel"
+
+let of_string = function
+  | "gil" | "GIL" -> Gil_only
+  | "htm-dynamic" | "dynamic" -> Htm_dynamic
+  | "fine" | "jruby" | "fine-grained" -> Fine_grained
+  | "free" | "java" | "free-parallel" -> Free_parallel
+  | s -> (
+      match String.index_opt s '-' with
+      | Some i when String.sub s 0 i = "htm" ->
+          Htm_fixed (int_of_string (String.sub s (i + 1) (String.length s - i - 1)))
+      | _ -> invalid_arg ("Scheme.of_string: " ^ s))
+
+let uses_htm = function
+  | Htm_fixed _ | Htm_dynamic -> true
+  | Gil_only | Fine_grained | Free_parallel -> false
+
+let uses_gil = function
+  | Gil_only | Htm_fixed _ | Htm_dynamic -> true
+  | Fine_grained | Free_parallel -> false
+
+let htm_mode = function
+  | Htm_fixed _ | Htm_dynamic -> Htm.Htm_mode
+  | Gil_only -> Htm.Plain
+  | Fine_grained | Free_parallel -> Htm.Coherent
+
+(* Adjust VM options to match the execution model: the Figure 9 baselines
+   use TLAB-style allocation and never GC; JRuby additionally bumps a shared
+   allocation counter, its residual internal bottleneck. *)
+let adjust_options kind (opts : Rvm.Options.t) : Rvm.Options.t =
+  match kind with
+  | Fine_grained ->
+      { opts with ephemeral_alloc = true; alloc_coherence_counter = true }
+  | Free_parallel -> { opts with ephemeral_alloc = true }
+  | Gil_only | Htm_fixed _ | Htm_dynamic -> opts

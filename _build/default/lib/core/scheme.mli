@@ -1,0 +1,23 @@
+(** The synchronisation schemes under evaluation (the legend of the paper's
+    Figures 5-9). *)
+
+type kind =
+  | Gil_only  (** original CRuby: the Giant VM Lock *)
+  | Htm_fixed of int  (** fixed transaction length (HTM-1/-16/-256) *)
+  | Htm_dynamic  (** the paper's dynamic transaction-length adjustment *)
+  | Fine_grained  (** JRuby-style locking (Figure 9 baseline) *)
+  | Free_parallel  (** Java-style free parallelism (Figure 9 baseline) *)
+
+val to_string : kind -> string
+
+val of_string : string -> kind
+(** Accepts "gil", "htm-N", "htm-dynamic", "fine-grained"/"jruby",
+    "free-parallel"/"java". @raise Invalid_argument otherwise. *)
+
+val uses_htm : kind -> bool
+val uses_gil : kind -> bool
+val htm_mode : kind -> Htm_sim.Htm.mode
+
+val adjust_options : kind -> Rvm.Options.t -> Rvm.Options.t
+(** Align VM options with the execution model (TLAB allocation and no GC for
+    the Figure 9 baselines; JRuby's residual allocation accounting). *)

@@ -1,0 +1,40 @@
+(** Dynamic transaction-length adjustment (Figure 3 of the paper): each
+    yield point carries its own transaction length, initialised long and
+    attenuated whenever the abort ratio of transactions starting there
+    exceeds the target during a profiling period. *)
+
+type mode =
+  | Constant of int  (** HTM-1 / HTM-16 / HTM-256 *)
+  | Dynamic  (** the paper's proposal *)
+
+type params = {
+  initial_length : int;  (** INITIAL_TRANSACTION_LENGTH (paper: 255) *)
+  profiling_period : int;  (** PROFILING_PERIOD (paper: 300) *)
+  adjustment_threshold : int;
+      (** ADJUSTMENT_THRESHOLD: 3 on zEC12 (1% target abort ratio), 18 on
+          the Xeon (6%) — Section 5.1 *)
+  attenuation_rate : float;  (** ATTENUATION_RATE (paper: 0.75) *)
+}
+
+val default_params : params
+(** The paper's constants verbatim. *)
+
+val params_for : Htm_sim.Machine.t -> params
+(** Per-machine parameters; the initial length is scaled to the simulator's
+    ~50x shorter runs (see the comment in the implementation). *)
+
+type t
+
+val create : ?params:params -> mode -> t
+
+val set_transaction_length : t -> code:Rvm.Value.code -> pc:int -> int
+(** Figure 3, [set_transaction_length]: the length for a transaction about
+    to start at this yield point; counts the start for the abort ratio. *)
+
+val adjust_transaction_length : t -> code:Rvm.Value.code -> pc:int -> unit
+(** Figure 3, [adjust_transaction_length]: called on the first retry after
+    an abort of a transaction that started at this yield point. *)
+
+val stats : t -> float * float
+(** [(fraction of exercised yield points at length 1, mean length)] —
+    Section 5.5 reports 40% at length 1 for 12-thread NPB on zEC12. *)

@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Core Htm_sim List Machine Netsim Rvm Stats String Workloads

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Core Exp Format Hashtbl Htm Htm_sim List Machine Option Printf Report Rvm Store Workloads

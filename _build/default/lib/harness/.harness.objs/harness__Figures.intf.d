@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Core Exp Format Hashtbl Htm_sim Workloads

@@ -1,0 +1,77 @@
+(* Running one experiment point: a (workload, machine, scheme, threads,
+   size) tuple, returning normalised metrics. *)
+
+open Htm_sim
+
+type point = {
+  workload : Workloads.Workload.t;
+  machine : Machine.t;
+  scheme : Core.Scheme.kind;
+  threads : int;  (** worker threads, or concurrent clients for servers *)
+  size : Workloads.Size.t;
+  yield_points : Core.Yield_points.set;
+  opts : Rvm.Options.t;
+}
+
+let point ?(yield_points = Core.Yield_points.Extended)
+    ?(opts = Rvm.Options.default) ~workload ~machine ~scheme ~threads ~size () =
+  { workload; machine; scheme; threads; size; yield_points; opts }
+
+type outcome = {
+  p : point;
+  wall_cycles : int;
+  throughput : float;  (** work per second: 1e9/wall or requests/sec *)
+  abort_ratio : float;
+  result : Core.Runner.result;
+  output : string;
+}
+
+let run (p : point) : outcome =
+  let cfg =
+    Core.Runner.config ~scheme:p.scheme ~yield_points:p.yield_points
+      ~opts:p.opts p.machine
+  in
+  let source = p.workload.source ~threads:p.threads ~size:p.size in
+  match p.workload.kind with
+  | Workloads.Workload.Compute ->
+      let t = Core.Runner.create cfg ~source in
+      p.workload.setup None t.Core.Runner.vm;
+      let r = Core.Runner.run t in
+      let work =
+        if p.workload.parallel_work then float_of_int p.threads else 1.0
+      in
+      {
+        p;
+        wall_cycles = r.wall_cycles;
+        throughput = work *. 1e9 /. float_of_int (max 1 r.wall_cycles);
+        abort_ratio = Stats.abort_ratio r.htm_stats;
+        result = r;
+        output = r.output;
+      }
+  | Workloads.Workload.Server ->
+      let requests = p.workload.server_requests p.size in
+      let io =
+        match p.workload.make_io with
+        | Some f -> f ~clients:p.threads ~requests
+        | None -> invalid_arg "server workload without io"
+      in
+      let t = Core.Runner.create ~io cfg ~source in
+      p.workload.setup (Some io) t.Core.Runner.vm;
+      let r = Core.Runner.run ~stop:(fun () -> Netsim.done_all io) t in
+      {
+        p;
+        wall_cycles = r.wall_cycles;
+        throughput = Netsim.throughput io;
+        abort_ratio = Stats.abort_ratio r.htm_stats;
+        result = r;
+        output = r.output;
+      }
+
+(* The verification line a compute workload printed ("XX verify NNN"). *)
+let verify_line outcome =
+  String.split_on_char '\n' outcome.output
+  |> List.find_opt (fun l ->
+         match String.index_opt l 'v' with
+         | Some i ->
+             i + 6 <= String.length l && String.sub l i 6 = "verify"
+         | None -> false)

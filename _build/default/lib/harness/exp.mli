@@ -1,0 +1,35 @@
+(** Running one experiment point: a (workload, machine, scheme, threads,
+    size) tuple, returning normalised metrics. *)
+
+type point = {
+  workload : Workloads.Workload.t;
+  machine : Htm_sim.Machine.t;
+  scheme : Core.Scheme.kind;
+  threads : int;
+  size : Workloads.Size.t;
+  yield_points : Core.Yield_points.set;
+  opts : Rvm.Options.t;
+}
+
+val point :
+  ?yield_points:Core.Yield_points.set ->
+  ?opts:Rvm.Options.t ->
+  workload:Workloads.Workload.t ->
+  machine:Htm_sim.Machine.t ->
+  scheme:Core.Scheme.kind ->
+  threads:int ->
+  size:Workloads.Size.t ->
+  unit ->
+  point
+
+type outcome = {
+  p : point;
+  wall_cycles : int;
+  throughput : float;  (** work units per virtual second *)
+  abort_ratio : float;
+  result : Core.Runner.result;
+  output : string;
+}
+
+val run : point -> outcome
+val verify_line : outcome -> string option

@@ -1,0 +1,494 @@
+(* One driver per figure in the paper's evaluation section. Each driver runs
+   the sweep, prints the same rows/series the paper plots, and returns the
+   raw data so tests and EXPERIMENTS.md generation can check shapes. *)
+
+open Htm_sim
+
+let schemes_fig5 =
+  [
+    Core.Scheme.Gil_only;
+    Core.Scheme.Htm_fixed 1;
+    Core.Scheme.Htm_fixed 16;
+    Core.Scheme.Htm_fixed 256;
+    Core.Scheme.Htm_dynamic;
+  ]
+
+let thread_counts (machine : Machine.t) =
+  if machine.name = "zEC12" then [ 1; 2; 4; 6; 8; 12 ] else [ 1; 2; 4; 6; 8 ]
+
+let wl name =
+  match Workloads.Workload.find name with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload " ^ name)
+
+(* Normalised throughput relative to 1-thread GIL on the same machine and
+   workload: the y-axis of Figures 4, 5, 6(b) and 7. *)
+type panel = {
+  workload : string;
+  machine : string;
+  baseline_wall : int;  (** 1-thread GIL *)
+  cells : (string * int, float) Hashtbl.t;  (** (scheme, threads) -> y *)
+  aborts : (string * int, float) Hashtbl.t;
+  outcomes : (string * int, Exp.outcome) Hashtbl.t;
+}
+
+let run_panel ?(schemes = schemes_fig5) ?(size = Workloads.Size.S) ~machine
+    ~threads_list workload_name =
+  let workload = wl workload_name in
+  let base =
+    Exp.run
+      (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads:1
+         ~size ())
+  in
+  let base_thr =
+    match workload.kind with
+    | Workloads.Workload.Compute -> 1e9 /. float_of_int (max 1 base.wall_cycles)
+    | Workloads.Workload.Server -> base.throughput
+  in
+  let panel =
+    {
+      workload = workload_name;
+      machine = machine.Machine.name;
+      baseline_wall = base.wall_cycles;
+      cells = Hashtbl.create 64;
+      aborts = Hashtbl.create 64;
+      outcomes = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun threads ->
+          let o =
+            if scheme = Core.Scheme.Gil_only && threads = 1 then base
+            else
+              Exp.run (Exp.point ~workload ~machine ~scheme ~threads ~size ())
+          in
+          let key = (Core.Scheme.to_string scheme, threads) in
+          Hashtbl.replace panel.cells key (o.throughput /. base_thr);
+          Hashtbl.replace panel.aborts key o.abort_ratio;
+          Hashtbl.replace panel.outcomes key o)
+        threads_list)
+    schemes;
+  panel
+
+let print_panel fmt panel ~schemes ~threads_list =
+  Report.series_table fmt
+    ~title:
+      (Printf.sprintf "%s on %s (throughput, 1 = 1-thread GIL)" panel.workload
+         panel.machine)
+    ~xlabel:"scheme \\ threads"
+    ~rows:(List.map Core.Scheme.to_string schemes)
+    ~xs:(List.map string_of_int threads_list)
+    ~cell:(fun row i ->
+      Hashtbl.find_opt panel.cells (row, List.nth threads_list i))
+
+(* ---- Figure 4: microbenchmarks ------------------------------------------ *)
+
+let fig4 ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Figure 4: While/Iterator microbenchmarks, zEC12, 12 threads";
+  let machine = Machine.zec12 in
+  let threads_list = thread_counts machine in
+  let panels =
+    List.map
+      (fun name -> run_panel ~machine ~threads_list ~size name)
+      [ "while"; "iterator" ]
+  in
+  List.iter (fun p -> print_panel fmt p ~schemes:schemes_fig5 ~threads_list) panels;
+  (* the headline numbers: best HTM speedup over GIL at 12 threads *)
+  List.iter
+    (fun p ->
+      let gil = Hashtbl.find p.cells ("GIL", 12) in
+      let best =
+        List.fold_left
+          (fun acc s ->
+            match Hashtbl.find_opt p.cells (Core.Scheme.to_string s, 12) with
+            | Some v -> max acc v
+            | None -> acc)
+          0.0
+          [ Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_fixed 16; Core.Scheme.Htm_dynamic ]
+      in
+      Format.fprintf fmt "%s: best HTM %.1fx over GIL at 12 threads@." p.workload
+        (best /. gil))
+    panels;
+  panels
+
+(* ---- Figure 5: NPB throughput ------------------------------------------- *)
+
+let fig5 ?(size = Workloads.Size.S) ?(machines = [ Machine.zec12; Machine.xeon_e3 ])
+    ?(benchmarks = Workloads.Workload.npb_names) fmt =
+  List.concat_map
+    (fun machine ->
+      let threads_list = thread_counts machine in
+      List.map
+        (fun name ->
+          let p = run_panel ~machine ~threads_list ~size name in
+          print_panel fmt p ~schemes:schemes_fig5 ~threads_list;
+          p)
+        benchmarks)
+    machines
+
+(* ---- Figure 6(a): Haswell learning-predictor ramp ------------------------ *)
+
+type fig6a_point = { iteration : int; written_kb : int; success_pct : float }
+
+(* The paper's test program: one process transactionally writes a given
+   amount of data per iteration; the written size shrinks every 10,000
+   iterations (24 KB -> 20 KB -> 16 KB -> 12 KB); success ratio is measured
+   per 100 iterations. Runs directly against the HTM engine. *)
+let fig6a ?(iters_per_phase = 10_000) fmt =
+  let machine = Machine.xeon_e3 in
+  let store = Store.create ~dummy:0 ~line_cells:machine.line_cells (1 lsl 16) in
+  let htm = Htm.create machine store in
+  Htm.set_occupied htm 0 true;
+  let region = Store.reserve_aligned store (32 * 1024 / 8) in
+  let phases = [ 24; 20; 16; 12 ] in
+  let out = ref [] in
+  let window_success = ref 0 in
+  let iteration = ref 0 in
+  List.iter
+    (fun kb ->
+      for _ = 1 to iters_per_phase do
+        incr iteration;
+        let cells = kb * 1024 / 8 in
+        Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+        (try
+           let i = ref 0 in
+           while !i < cells do
+             Htm.write htm ~ctx:0 (region + !i) !i;
+             i := !i + 1
+           done;
+           Htm.tend htm ~ctx:0;
+           incr window_success
+         with Htm.Abort_now _ -> Htm.clear_pending_abort htm 0);
+        if !iteration mod 100 = 0 then begin
+          out :=
+            {
+              iteration = !iteration;
+              written_kb = kb;
+              success_pct = float_of_int !window_success;
+            }
+            :: !out;
+          window_success := 0
+        end
+      done)
+    phases;
+  let points = List.rev !out in
+  Report.header fmt "Figure 6(a): write-set shrink test on Xeon E3-1275 v3";
+  Format.fprintf fmt "%10s %10s %12s@." "iteration" "size(KB)" "success(%)";
+  List.iter
+    (fun p ->
+      if p.iteration mod 1000 = 0 then
+        Format.fprintf fmt "%10d %10d %12.1f@." p.iteration p.written_kb
+          p.success_pct)
+    points;
+  points
+
+(* ---- Figure 6(b): BT with a bigger class on Xeon -------------------------- *)
+
+let fig6b fmt =
+  Report.header fmt "Figure 6(b): BT class W on Xeon (longer run)";
+  let machine = Machine.xeon_e3 in
+  let threads_list = thread_counts machine in
+  let p = run_panel ~machine ~threads_list ~size:Workloads.Size.W "bt" in
+  print_panel fmt p ~schemes:schemes_fig5 ~threads_list;
+  p
+
+(* ---- Figure 7: WEBrick and Rails ------------------------------------------ *)
+
+let fig7 ?(size = Workloads.Size.S) fmt =
+  let clients = [ 1; 2; 3; 4; 6 ] in
+  let combos =
+    [
+      ("webrick", Machine.zec12);
+      ("webrick", Machine.xeon_e3);
+      ("rails", Machine.xeon_e3);
+    ]
+  in
+  List.map
+    (fun (name, machine) ->
+      let p = run_panel ~machine ~threads_list:clients ~size name in
+      print_panel fmt p ~schemes:schemes_fig5 ~threads_list:clients;
+      Report.series_table fmt
+        ~title:
+          (Printf.sprintf "%s on %s: HTM-dynamic abort ratio (%%)" name
+             machine.Machine.name)
+        ~xlabel:"clients" ~rows:[ "abort%" ]
+        ~xs:(List.map string_of_int clients)
+        ~cell:(fun _ i ->
+          Option.map
+            (fun a -> 100.0 *. a)
+            (Hashtbl.find_opt p.aborts ("HTM-dynamic", List.nth clients i)));
+      p)
+    combos
+
+(* ---- Figure 8: abort ratios and cycle breakdowns --------------------------- *)
+
+let fig8 ?(size = Workloads.Size.S) fmt =
+  let results =
+    List.concat_map
+      (fun machine ->
+        let threads_list = thread_counts machine in
+        List.map
+          (fun name ->
+            let outs =
+              List.map
+                (fun threads ->
+                  let o =
+                    Exp.run
+                      (Exp.point ~workload:(wl name) ~machine
+                         ~scheme:Core.Scheme.Htm_dynamic ~threads ~size ())
+                  in
+                  (threads, o))
+                threads_list
+            in
+            ((machine.Machine.name, name), outs))
+          Workloads.Workload.npb_names)
+      [ Machine.zec12; Machine.xeon_e3 ]
+  in
+  List.iter
+    (fun machine_name ->
+      Report.header fmt
+        (Printf.sprintf "Figure 8: HTM-dynamic abort ratios (%%), %s" machine_name);
+      let threads_list =
+        if machine_name = "zEC12" then [ 1; 2; 4; 6; 8; 12 ] else [ 1; 2; 4; 6; 8 ]
+      in
+      Format.fprintf fmt "%-16s" "bench \\ threads";
+      List.iter (fun t -> Format.fprintf fmt "%10d" t) threads_list;
+      Format.fprintf fmt "@.";
+      List.iter
+        (fun name ->
+          match List.assoc_opt (machine_name, name) results with
+          | None -> ()
+          | Some outs ->
+              Format.fprintf fmt "%-16s" name;
+              List.iter
+                (fun t ->
+                  match List.assoc_opt t outs with
+                  | Some o -> Format.fprintf fmt "%10.2f" (100.0 *. o.Exp.abort_ratio)
+                  | None -> Format.fprintf fmt "%10s" "-")
+                threads_list;
+              Format.fprintf fmt "@.")
+        Workloads.Workload.npb_names)
+    [ "zEC12"; "XeonE3-1275v3" ];
+  (* cycle breakdowns at 12 threads on zEC12 *)
+  Report.header fmt "Figure 8: cycle breakdowns, HTM-dynamic, 12 threads, zEC12";
+  Format.fprintf fmt "%-8s %10s %10s %10s %10s %10s %10s@." "bench" "beg/end%"
+    "success%" "aborted%" "gil-held%" "gil-wait%" "other%";
+  List.iter
+    (fun name ->
+      match List.assoc_opt ("zEC12", name) results with
+      | None -> ()
+      | Some outs -> (
+          match List.assoc_opt 12 outs with
+          | None -> ()
+          | Some o ->
+              let b = o.Exp.result.Core.Runner.breakdown in
+              let total =
+                float_of_int
+                  (max 1
+                     (b.bd_txn_overhead + b.bd_committed + b.bd_aborted
+                    + b.bd_gil_held + b.bd_gil_wait + b.bd_other))
+              in
+              let pct x = 100.0 *. float_of_int x /. total in
+              Format.fprintf fmt "%-8s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f@."
+                name (pct b.bd_txn_overhead) (pct b.bd_committed)
+                (pct b.bd_aborted) (pct b.bd_gil_held) (pct b.bd_gil_wait)
+                (pct b.bd_other)))
+    Workloads.Workload.npb_names;
+  results
+
+(* ---- Figure 9: scalability comparison -------------------------------------- *)
+
+let fig9 ?(size = Workloads.Size.S) fmt =
+  let threads_list = [ 1; 2; 4; 6; 8; 12 ] in
+  let modes =
+    [
+      ("HTM-dynamic/zEC12", Core.Scheme.Htm_dynamic, Machine.zec12);
+      ("JRuby/X5670", Core.Scheme.Fine_grained, Machine.xeon_x5670);
+      ("Java/X5670", Core.Scheme.Free_parallel, Machine.xeon_x5670);
+    ]
+  in
+  let all =
+    List.map
+      (fun (label, scheme, machine) ->
+        let rows =
+          List.map
+            (fun name ->
+              let base =
+                Exp.run
+                  (Exp.point ~workload:(wl name) ~machine ~scheme ~threads:1
+                     ~size ())
+              in
+              let series =
+                List.map
+                  (fun threads ->
+                    let o =
+                      if threads = 1 then base
+                      else
+                        Exp.run
+                          (Exp.point ~workload:(wl name) ~machine ~scheme
+                             ~threads ~size ())
+                    in
+                    ( threads,
+                      float_of_int base.Exp.wall_cycles
+                      /. float_of_int (max 1 o.Exp.wall_cycles) ))
+                  threads_list
+              in
+              (name, series))
+            Workloads.Workload.npb_names
+        in
+        Report.series_table fmt
+          ~title:(Printf.sprintf "Figure 9: scalability of %s (1 = 1 thread)" label)
+          ~xlabel:"bench \\ threads"
+          ~rows:Workloads.Workload.npb_names
+          ~xs:(List.map string_of_int threads_list)
+          ~cell:(fun row i ->
+            Option.bind (List.assoc_opt row rows) (fun series ->
+                List.assoc_opt (List.nth threads_list i) series));
+        (label, rows))
+      modes
+  in
+  (* average 12-thread scalability, as quoted in Section 5.7 *)
+  List.iter
+    (fun (label, rows) ->
+      let vals = List.filter_map (fun (_, s) -> List.assoc_opt 12 s) rows in
+      let avg = List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals) in
+      Format.fprintf fmt "%s: average 12-thread scalability %.1fx@." label avg)
+    all;
+  all
+
+(* ---- Section 5.4 ablations -------------------------------------------------- *)
+
+let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =
+  Report.header fmt
+    (Printf.sprintf
+       "Section 5.4 ablations: HTM-dynamic on zEC12, %d threads (1 = 1-thread GIL)"
+       threads);
+  let machine = Machine.zec12 in
+  Format.fprintf fmt "%-8s %14s %14s %14s %14s@." "bench" "GIL" "HTM-dyn"
+    "orig-yields" "no-removal";
+  List.map
+    (fun name ->
+      let workload = wl name in
+      let base =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads:1
+             ~size ())
+      in
+      let rel o = float_of_int base.Exp.wall_cycles /. float_of_int o.Exp.wall_cycles in
+      let gil =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads
+             ~size ())
+      in
+      let dyn =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
+             ~size ())
+      in
+      let orig_yields =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
+             ~size ~yield_points:Core.Yield_points.Original ())
+      in
+      let no_removal =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
+             ~size ~opts:Rvm.Options.cruby_baseline ())
+      in
+      Format.fprintf fmt "%-8s %14.2f %14.2f %14.2f %14.2f@." name (rel gil)
+        (rel dyn) (rel orig_yields) (rel no_removal);
+      (name, rel gil, rel dyn, rel orig_yields, rel no_removal))
+    Workloads.Workload.npb_names
+
+(* ---- Section 5.6 future work: thread-local lazy sweeping --------------------- *)
+
+(* The paper's conclusion calls for eliminating the global free list by
+   sweeping on a thread-local basis. [lib/rvm/heap.ml] implements it behind
+   [Options.lazy_sweep]; this ablation measures what it buys. *)
+let future_work ?(size = Workloads.Size.S) ?(threads = 12) fmt =
+  Report.header fmt
+    (Printf.sprintf
+       "Section 5.6 future work: thread-local lazy sweep, HTM-dynamic, zEC12, %d threads"
+       threads);
+  Format.fprintf fmt "%-8s %14s %14s %12s %12s@." "bench" "eager sweep"
+    "lazy sweep" "abort%(eager)" "abort%(lazy)";
+  List.map
+    (fun name ->
+      let workload = wl name in
+      let machine = Machine.zec12 in
+      let run opts =
+        Exp.run
+          (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+             ~threads ~size ())
+      in
+      let eager = run Rvm.Options.default in
+      let lzy = run { Rvm.Options.default with lazy_sweep = true } in
+      Format.fprintf fmt "%-8s %14d %14d %12.2f %12.2f@." name
+        eager.Exp.wall_cycles lzy.Exp.wall_cycles
+        (100.0 *. eager.Exp.abort_ratio)
+        (100.0 *. lzy.Exp.abort_ratio);
+      (name, eager, lzy))
+    Workloads.Workload.npb_names
+
+(* ---- Section 7: would this work for Python? ----------------------------------- *)
+
+(* The paper argues the techniques carry over to Python except that
+   CPython's reference-counting GC "will cause many conflicts" (why RETCON
+   exists). With refcount writes on every dispatch, every shared object's
+   header becomes write-hot. *)
+let refcount ?(size = Workloads.Size.S) ?(threads = 8) fmt =
+  Report.header fmt
+    (Printf.sprintf
+       "Section 7: CPython-style reference counting, HTM-dynamic, zEC12, %d threads"
+       threads);
+  Format.fprintf fmt "%-8s %12s %12s %14s %14s@." "bench" "ruby-style"
+    "refcounted" "abort%(ruby)" "abort%(rc)";
+  List.map
+    (fun name ->
+      let workload = wl name in
+      let machine = Machine.zec12 in
+      let run opts =
+        Exp.run
+          (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+             ~threads ~size ())
+      in
+      let plain = run Rvm.Options.default in
+      let rc = run { Rvm.Options.default with refcount_writes = true } in
+      Format.fprintf fmt "%-8s %12d %12d %14.2f %14.2f@." name
+        plain.Exp.wall_cycles rc.Exp.wall_cycles
+        (100.0 *. plain.Exp.abort_ratio)
+        (100.0 *. rc.Exp.abort_ratio);
+      (name, plain, rc))
+    Workloads.Workload.npb_names
+
+(* ---- Section 5.6: single-thread overhead ------------------------------------- *)
+
+let overhead ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Section 5.6: single-thread overhead of HTM-dynamic vs GIL (zEC12)";
+  Format.fprintf fmt "%-8s %12s@." "bench" "overhead(%)";
+  List.map
+    (fun name ->
+      let workload = wl name in
+      let machine = Machine.zec12 in
+      let gil =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads:1
+             ~size ())
+      in
+      let dyn =
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+             ~threads:1 ~size ())
+      in
+      let ov =
+        100.0
+        *. (float_of_int dyn.Exp.wall_cycles /. float_of_int gil.Exp.wall_cycles
+           -. 1.0)
+      in
+      Format.fprintf fmt "%-8s %12.1f@." name ov;
+      (name, ov))
+    Workloads.Workload.npb_names

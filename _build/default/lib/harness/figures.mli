@@ -1,0 +1,94 @@
+(** One driver per figure of the paper's evaluation section. Each runs the
+    sweep, prints the series the paper plots, and returns the raw data so
+    tests and EXPERIMENTS.md can check the shapes. *)
+
+val schemes_fig5 : Core.Scheme.kind list
+val thread_counts : Htm_sim.Machine.t -> int list
+val wl : string -> Workloads.Workload.t
+
+type panel = {
+  workload : string;
+  machine : string;
+  baseline_wall : int;  (** 1-thread GIL *)
+  cells : (string * int, float) Hashtbl.t;
+      (** (scheme, threads) -> throughput normalised to 1-thread GIL *)
+  aborts : (string * int, float) Hashtbl.t;
+  outcomes : (string * int, Exp.outcome) Hashtbl.t;
+}
+
+val run_panel :
+  ?schemes:Core.Scheme.kind list ->
+  ?size:Workloads.Size.t ->
+  machine:Htm_sim.Machine.t ->
+  threads_list:int list ->
+  string ->
+  panel
+
+val print_panel :
+  Format.formatter ->
+  panel ->
+  schemes:Core.Scheme.kind list ->
+  threads_list:int list ->
+  unit
+
+val fig4 : ?size:Workloads.Size.t -> Format.formatter -> panel list
+(** While/Iterator microbenchmarks (zEC12, all schemes). *)
+
+val fig5 :
+  ?size:Workloads.Size.t ->
+  ?machines:Htm_sim.Machine.t list ->
+  ?benchmarks:string list ->
+  Format.formatter ->
+  panel list
+(** NPB throughput on both machines under all five schemes. *)
+
+type fig6a_point = { iteration : int; written_kb : int; success_pct : float }
+
+val fig6a : ?iters_per_phase:int -> Format.formatter -> fig6a_point list
+(** The Haswell write-set shrink test (24/20/16/12 KB phases). *)
+
+val fig6b : Format.formatter -> panel
+(** BT at class W on the Xeon: the adjustment converges on longer runs. *)
+
+val fig7 : ?size:Workloads.Size.t -> Format.formatter -> panel list
+(** WEBrick (both machines) and Rails (Xeon) vs concurrent clients. *)
+
+val fig8 :
+  ?size:Workloads.Size.t ->
+  Format.formatter ->
+  ((string * string) * (int * Exp.outcome) list) list
+(** HTM-dynamic abort ratios per thread count, plus the 12-thread zEC12
+    cycle breakdowns. *)
+
+val fig9 :
+  ?size:Workloads.Size.t ->
+  Format.formatter ->
+  (string * (string * (int * float) list) list) list
+(** Scalability of HTM-dynamic vs the JRuby / Java NPB baselines. *)
+
+val ablation :
+  ?size:Workloads.Size.t ->
+  ?threads:int ->
+  Format.formatter ->
+  (string * float * float * float * float) list
+(** Section 5.4: (bench, GIL, HTM-dynamic, original-yield-points,
+    no-conflict-removal), all relative to 1-thread GIL. *)
+
+val overhead :
+  ?size:Workloads.Size.t -> Format.formatter -> (string * float) list
+(** Section 5.6: single-thread overhead of HTM-dynamic vs the GIL, %. *)
+
+val refcount :
+  ?size:Workloads.Size.t ->
+  ?threads:int ->
+  Format.formatter ->
+  (string * Exp.outcome * Exp.outcome) list
+(** Section 7: CPython-style reference counting vs Ruby-style GC under
+    HTM-dynamic — reference counting defeats the elision. *)
+
+val future_work :
+  ?size:Workloads.Size.t ->
+  ?threads:int ->
+  Format.formatter ->
+  (string * Exp.outcome * Exp.outcome) list
+(** Section 5.6 future work: eager vs thread-local lazy sweeping. *)

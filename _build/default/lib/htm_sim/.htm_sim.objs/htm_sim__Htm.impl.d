@@ -1,0 +1,1 @@
+lib/htm_sim/htm.ml: Array Hashtbl List Machine Option Prng Stats Store Txn

@@ -1,0 +1,1 @@
+lib/htm_sim/htm.mli: Machine Stats Store Txn

@@ -1,0 +1,1 @@
+lib/htm_sim/prng.mli:

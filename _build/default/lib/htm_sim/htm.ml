@@ -1,0 +1,326 @@
+(* The HTM engine: all guest memory accesses flow through [read]/[write].
+   Conflict detection is eager and requester-wins, at cache-line
+   granularity, mirroring how both zEC12 and Haswell piggyback on the cache
+   coherence protocol (Section 2.2 of the paper).
+
+   The victim of a conflict is always suspended at a bytecode boundary
+   (the simulation interleaves whole bytecodes), so its transaction can be
+   rolled back immediately: undo log replayed, its registers restored via the
+   rollback closure, and a pending-abort flag left for its scheme to handle
+   at its next step. *)
+
+exception Abort_now of Txn.abort_reason
+(** Raised when the *current* context's transaction dies mid-instruction
+    (capacity, explicit abort, predictor kill). The interpreter unwinds to
+    the instruction boundary; guest state has already been rolled back. *)
+
+type line = {
+  mutable readers : int;  (** bitset of ctx ids with the line in a read set *)
+  mutable writer : int;  (** ctx id with the line in a write set, or -1 *)
+  mutable last_writer : int;  (** for the coherence cost model, or -1 *)
+}
+
+type mode =
+  | Htm_mode  (** transactions enabled *)
+  | Plain  (** no transactions, no coherence charges (GIL runs) *)
+  | Coherent  (** no transactions; contended lines cost transfer cycles
+                  (fine-grained / free-parallel runs for Figure 9) *)
+
+type 'a t = {
+  machine : Machine.t;
+  store : 'a Store.t;
+  mode : mode;
+  lines : (int, line) Hashtbl.t;
+  txns : 'a Txn.t array;
+  mutable active : int;  (** number of live transactions *)
+  occupied : bool array;  (** ctx hosts a live software thread *)
+  suspicion : float array;  (** Haswell learning predictor, per core *)
+  prng : Prng.t;
+  stats : Stats.t;
+  mutable step_extra_cycles : int;
+      (** extra cycles accrued during the current instruction (coherence
+          transfers); drained by the runner *)
+  mutable step_accesses : int;  (** accesses during the current instruction *)
+  conflict_lines : (int, int) Hashtbl.t;
+      (** line id -> number of conflict aborts it caused (for the abort-cause
+          investigations of Section 5.6) *)
+}
+
+let create ?(mode = Htm_mode) ?(seed = 42) machine store =
+  let n = max 1 (Machine.n_ctx machine) in
+  {
+    machine;
+    store;
+    mode;
+    lines = Hashtbl.create 4096;
+    txns = Array.init n Txn.create;
+    active = 0;
+    occupied = Array.make n false;
+    suspicion = Array.make n 0.0;
+    prng = Prng.create seed;
+    stats = Stats.create ();
+    step_extra_cycles = 0;
+    step_accesses = 0;
+    conflict_lines = Hashtbl.create 256;
+  }
+
+let stats t = t.stats
+let store t = t.store
+let machine t = t.machine
+let set_occupied t ctx v = t.occupied.(ctx) <- v
+let in_txn t ctx = t.txns.(ctx).active
+let active_count t = t.active
+
+let drain_step_cost t =
+  let c = t.step_extra_cycles and a = t.step_accesses in
+  t.step_extra_cycles <- 0;
+  t.step_accesses <- 0;
+  (c, a)
+
+let line_for t id =
+  match Hashtbl.find_opt t.lines id with
+  | Some l -> l
+  | None ->
+      let l = { readers = 0; writer = -1; last_writer = -1 } in
+      Hashtbl.add t.lines id l;
+      l
+
+(* Remove every mark this transaction left in the line table. *)
+let clear_marks t (txn : 'a Txn.t) =
+  let mask = lnot (1 lsl txn.ctx) in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.lines id with
+      | None -> ()
+      | Some l ->
+          l.readers <- l.readers land mask;
+          if l.writer = txn.ctx then l.writer <- -1)
+    txn.lines;
+  txn.lines <- []
+
+let finish_txn t (txn : 'a Txn.t) =
+  txn.active <- false;
+  txn.undo <- [];
+  t.active <- t.active - 1
+
+(* Abort [txn]: restore memory, clear footprint marks, restore the owning
+   thread's registers, leave the reason for its scheme. *)
+let abort_txn t (txn : 'a Txn.t) reason =
+  List.iter (fun (addr, v) -> Store.set_unsafe t.store addr v) txn.undo;
+  clear_marks t txn;
+  finish_txn t txn;
+  Stats.record_abort t.stats reason;
+  if t.machine.learning && Txn.is_persistent reason then
+    t.suspicion.(txn.ctx) <- 1.0;
+  txn.pending_abort <- Some reason;
+  txn.rollback reason
+
+let pending_abort t ctx = t.txns.(ctx).pending_abort
+let clear_pending_abort t ctx = t.txns.(ctx).pending_abort <- None
+
+(* Effective capacity for a context: SMT siblings share the L1/store buffers,
+   halving the footprint budget when both are occupied (Section 5.4). *)
+let effective_limits t ctx =
+  let m = t.machine in
+  match Machine.sibling_ctx m ctx with
+  | Some s when t.occupied.(s) -> (m.rs_lines / 2, m.ws_lines / 2)
+  | _ -> (m.rs_lines, m.ws_lines)
+
+let suspicion_decay_per_attempt = 0.99925
+
+let tbegin t ~ctx ~rollback =
+  if t.mode <> Htm_mode then invalid_arg "Htm.tbegin: transactions disabled";
+  let txn = t.txns.(ctx) in
+  if txn.active then invalid_arg "Htm.tbegin: nested transaction";
+  let rs_limit, ws_limit = effective_limits t ctx in
+  txn.active <- true;
+  txn.undo <- [];
+  txn.lines <- [];
+  txn.rs <- 0;
+  txn.ws <- 0;
+  txn.rs_limit <- rs_limit;
+  txn.ws_limit <- ws_limit;
+  txn.rollback <- rollback;
+  txn.pending_abort <- None;
+  t.active <- t.active + 1;
+  t.stats.begins <- t.stats.begins + 1;
+  if t.machine.learning then
+    t.suspicion.(ctx) <- t.suspicion.(ctx) *. suspicion_decay_per_attempt
+
+let tend t ~ctx =
+  let txn = t.txns.(ctx) in
+  if not txn.active then invalid_arg "Htm.tend: no transaction";
+  let s = t.stats in
+  s.commits <- s.commits + 1;
+  s.rs_total <- s.rs_total + txn.rs;
+  s.ws_total <- s.ws_total + txn.ws;
+  if txn.rs > s.rs_max then s.rs_max <- txn.rs;
+  if txn.ws > s.ws_max then s.ws_max <- txn.ws;
+  clear_marks t txn;
+  finish_txn t txn
+
+let tabort t ~ctx reason =
+  let txn = t.txns.(ctx) in
+  if not txn.active then invalid_arg "Htm.tabort: no transaction";
+  abort_txn t txn reason;
+  raise (Abort_now reason)
+
+let note_conflict t id =
+  Hashtbl.replace t.conflict_lines id
+    (1 + Option.value (Hashtbl.find_opt t.conflict_lines id) ~default:0)
+
+(* Abort every transaction other than [ctx]'s that has a mark on [l]. *)
+let abort_conflicting t l ~ctx ~id =
+  if l.writer >= 0 && l.writer <> ctx then begin
+    note_conflict t id;
+    abort_txn t t.txns.(l.writer) Conflict
+  end;
+  if l.readers land lnot (1 lsl ctx) <> 0 then
+    for i = 0 to Array.length t.txns - 1 do
+      if i <> ctx && l.readers land (1 lsl i) <> 0 then begin
+        note_conflict t id;
+        abort_txn t t.txns.(i) Conflict
+      end
+    done
+
+let charge_coherence t l ~ctx ~is_write =
+  if l.last_writer >= 0 && l.last_writer <> ctx then begin
+    t.step_extra_cycles <- t.step_extra_cycles + t.machine.costs.cyc_line_transfer;
+    t.stats.coherence_transfers <- t.stats.coherence_transfers + 1
+  end;
+  if is_write then l.last_writer <- ctx
+
+let read t ~ctx addr =
+  t.step_accesses <- t.step_accesses + 1;
+  let txn = t.txns.(ctx) in
+  if txn.active then begin
+    t.stats.txn_accesses <- t.stats.txn_accesses + 1;
+    let id = Store.line_of t.store addr in
+    let l = line_for t id in
+    (* A line we already wrote is in our store buffer; reading it is free of
+       coherence interaction. *)
+    if l.writer <> ctx then begin
+      if l.writer >= 0 then begin
+        note_conflict t id;
+        abort_txn t t.txns.(l.writer) Conflict
+      end;
+      let bit = 1 lsl ctx in
+      if l.readers land bit = 0 then begin
+        if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
+        l.readers <- l.readers lor bit;
+        txn.rs <- txn.rs + 1;
+        txn.lines <- id :: txn.lines
+      end
+    end;
+    Store.get_unsafe t.store addr
+  end
+  else begin
+    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+    if t.active > 0 then begin
+      let id = Store.line_of t.store addr in
+      let l = line_for t id in
+      if l.writer >= 0 && l.writer <> ctx then begin
+        note_conflict t id;
+        abort_txn t t.txns.(l.writer) Conflict
+      end
+    end;
+    if t.mode = Coherent then
+      charge_coherence t (line_for t (Store.line_of t.store addr)) ~ctx
+        ~is_write:false;
+    Store.get_unsafe t.store addr
+  end
+
+let write t ~ctx addr v =
+  t.step_accesses <- t.step_accesses + 1;
+  let txn = t.txns.(ctx) in
+  if txn.active then begin
+    t.stats.txn_accesses <- t.stats.txn_accesses + 1;
+    let id = Store.line_of t.store addr in
+    let l = line_for t id in
+    if l.writer <> ctx then begin
+      abort_conflicting t l ~ctx ~id;
+      if txn.ws >= txn.ws_limit then tabort t ~ctx Overflow_write;
+      (* Haswell learning predictor: while suspicious after recent capacity
+         aborts, transactions that grow past half the budget are killed
+         eagerly with probability equal to the current suspicion level
+         (empirical behaviour from Figure 6a). *)
+      if
+        t.machine.learning
+        && t.suspicion.(ctx) > 0.001
+        && txn.ws >= txn.ws_limit / 2
+        && Prng.float t.prng < t.suspicion.(ctx)
+      then tabort t ~ctx Eager;
+      l.writer <- ctx;
+      txn.ws <- txn.ws + 1;
+      txn.lines <- id :: txn.lines
+    end;
+    txn.undo <- (addr, Store.get_unsafe t.store addr) :: txn.undo;
+    Store.set_unsafe t.store addr v
+  end
+  else begin
+    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+    if t.active > 0 then begin
+      let id = Store.line_of t.store addr in
+      let l = line_for t id in
+      abort_conflicting t l ~ctx ~id
+    end;
+    if t.mode = Coherent then
+      charge_coherence t (line_for t (Store.line_of t.store addr)) ~ctx
+        ~is_write:true;
+    Store.set_unsafe t.store addr v
+  end
+
+(* Footprint-only touches: used by "C extension" code (regex, database) to
+   model scanning large buffers without materialising a value per cell. *)
+let touch_read_range t ~ctx base len =
+  if len > 0 then begin
+    let first = Store.line_of t.store base
+    and last = Store.line_of t.store (base + len - 1) in
+    for id = first to last do
+      let txn = t.txns.(ctx) in
+      if txn.active then begin
+        let l = line_for t id in
+        if l.writer <> ctx then begin
+          if l.writer >= 0 then abort_txn t t.txns.(l.writer) Conflict;
+          let bit = 1 lsl ctx in
+          if l.readers land bit = 0 then begin
+            if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
+            l.readers <- l.readers lor bit;
+            txn.rs <- txn.rs + 1;
+            txn.lines <- id :: txn.lines
+          end
+        end
+      end
+      else if t.active > 0 then begin
+        let l = line_for t id in
+        if l.writer >= 0 && l.writer <> ctx then
+          abort_txn t t.txns.(l.writer) Conflict
+      end
+    done;
+    t.step_accesses <- t.step_accesses + (1 + last - first)
+  end
+
+(* Write-footprint touch: one cell per line across the range. Used by
+   extension code that fills large buffers. *)
+let touch_write_range t ~ctx base len =
+  if len > 0 then begin
+    let first = Store.line_of t.store base
+    and last = Store.line_of t.store (base + len - 1) in
+    let line_cells = t.machine.line_cells in
+    for id = first to last do
+      let addr = max base (id * line_cells) in
+      write t ~ctx addr (Store.get_unsafe t.store addr)
+    done
+  end
+
+let suspicion_level t ctx = t.suspicion.(ctx)
+
+(* The [n] lines responsible for the most conflict aborts. *)
+let top_conflict_lines t n =
+  let all = Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.conflict_lines [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take n sorted

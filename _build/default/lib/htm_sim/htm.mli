@@ -1,0 +1,66 @@
+(** The HTM engine. All guest memory accesses flow through {!read} and
+    {!write}; conflict detection is eager and requester-wins at cache-line
+    granularity, like the zEC12 and Haswell implementations the paper used.
+
+    A transaction belongs to a hardware context. Aborting restores every
+    written cell from the undo log, clears the footprint marks, invokes the
+    rollback closure installed at {!tbegin} (the runner uses it to restore
+    the owning thread's VM registers and account wasted cycles), and leaves
+    a pending-abort flag for the owning scheme. *)
+
+exception Abort_now of Txn.abort_reason
+(** Raised when the current context's transaction dies mid-instruction
+    (capacity overflow, explicit abort, predictor kill). Guest state has
+    already been rolled back when it is raised. *)
+
+type mode =
+  | Htm_mode  (** transactions enabled *)
+  | Plain  (** no transactions, no coherence charges (pure-GIL runs) *)
+  | Coherent
+      (** no transactions; contended lines cost transfer cycles (the
+          fine-grained / free-parallel baselines of Figure 9) *)
+
+type 'a t
+
+val create : ?mode:mode -> ?seed:int -> Machine.t -> 'a Store.t -> 'a t
+
+val stats : 'a t -> Stats.t
+val store : 'a t -> 'a Store.t
+val machine : 'a t -> Machine.t
+
+val set_occupied : 'a t -> int -> bool -> unit
+(** Mark a hardware context as hosting a live software thread (SMT siblings
+    halve each other's transactional capacity while occupied). *)
+
+val in_txn : 'a t -> int -> bool
+val active_count : 'a t -> int
+
+val drain_step_cost : 'a t -> int * int
+(** [(extra_cycles, accesses)] accrued since the last drain; the runner
+    charges them to the current instruction. *)
+
+val tbegin : 'a t -> ctx:int -> rollback:(Txn.abort_reason -> unit) -> unit
+val tend : 'a t -> ctx:int -> unit
+
+val tabort : 'a t -> ctx:int -> Txn.abort_reason -> 'b
+(** Software abort (TABORT/XABORT). Always raises {!Abort_now}. *)
+
+val pending_abort : 'a t -> int -> Txn.abort_reason option
+val clear_pending_abort : 'a t -> int -> unit
+
+val read : 'a t -> ctx:int -> int -> 'a
+val write : 'a t -> ctx:int -> int -> 'a -> unit
+
+val touch_read_range : 'a t -> ctx:int -> int -> int -> unit
+(** Read-footprint touch of [len] cells from a base address, one access per
+    line: models extension code scanning large buffers. *)
+
+val touch_write_range : 'a t -> ctx:int -> int -> int -> unit
+(** Write-footprint touch (one rewritten cell per line across the range). *)
+
+val suspicion_level : 'a t -> int -> float
+(** Current level of the Haswell learning predictor for a context. *)
+
+val top_conflict_lines : 'a t -> int -> (int * int) list
+(** The [(line, aborts)] pairs responsible for the most conflict aborts —
+    the Section 5.6 abort-cause investigation. *)

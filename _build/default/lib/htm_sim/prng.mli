@@ -1,0 +1,13 @@
+(** Deterministic splitmix64 PRNG. Every stochastic choice in the simulator
+    draws from an explicitly seeded instance, keeping runs reproducible. *)
+
+type t = { mutable state : int64 }
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument if bound <= 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)

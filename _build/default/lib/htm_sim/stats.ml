@@ -1,0 +1,60 @@
+(* Aggregate HTM statistics for one run. *)
+
+type t = {
+  mutable begins : int;
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_overflow_read : int;
+  mutable aborts_overflow_write : int;
+  mutable aborts_explicit : int;
+  mutable aborts_eager : int;
+  mutable rs_total : int;  (** sum of committed read-set sizes (lines) *)
+  mutable ws_total : int;
+  mutable rs_max : int;
+  mutable ws_max : int;
+  mutable txn_accesses : int;
+  mutable non_txn_accesses : int;
+  mutable coherence_transfers : int;
+}
+
+let create () =
+  {
+    begins = 0;
+    commits = 0;
+    aborts_conflict = 0;
+    aborts_overflow_read = 0;
+    aborts_overflow_write = 0;
+    aborts_explicit = 0;
+    aborts_eager = 0;
+    rs_total = 0;
+    ws_total = 0;
+    rs_max = 0;
+    ws_max = 0;
+    txn_accesses = 0;
+    non_txn_accesses = 0;
+    coherence_transfers = 0;
+  }
+
+let record_abort t (reason : Txn.abort_reason) =
+  match reason with
+  | Conflict -> t.aborts_conflict <- t.aborts_conflict + 1
+  | Overflow_read -> t.aborts_overflow_read <- t.aborts_overflow_read + 1
+  | Overflow_write -> t.aborts_overflow_write <- t.aborts_overflow_write + 1
+  | Explicit -> t.aborts_explicit <- t.aborts_explicit + 1
+  | Eager -> t.aborts_eager <- t.aborts_eager + 1
+
+let aborts t =
+  t.aborts_conflict + t.aborts_overflow_read + t.aborts_overflow_write
+  + t.aborts_explicit + t.aborts_eager
+
+(* Abort ratio as the paper reports it: aborted transactions over started
+   transactions. *)
+let abort_ratio t = if t.begins = 0 then 0.0 else float_of_int (aborts t) /. float_of_int t.begins
+
+let pp fmt t =
+  Format.fprintf fmt
+    "begins=%d commits=%d aborts=%d (conflict=%d ovf-r=%d ovf-w=%d explicit=%d eager=%d) \
+     abort-ratio=%.2f%% rs-max=%d ws-max=%d"
+    t.begins t.commits (aborts t) t.aborts_conflict t.aborts_overflow_read
+    t.aborts_overflow_write t.aborts_explicit t.aborts_eager
+    (100.0 *. abort_ratio t) t.rs_max t.ws_max

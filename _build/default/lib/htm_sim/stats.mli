@@ -1,0 +1,27 @@
+(** Aggregate HTM statistics for one run. *)
+
+type t = {
+  mutable begins : int;
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_overflow_read : int;
+  mutable aborts_overflow_write : int;
+  mutable aborts_explicit : int;
+  mutable aborts_eager : int;
+  mutable rs_total : int;  (** sum of committed read-set sizes, in lines *)
+  mutable ws_total : int;
+  mutable rs_max : int;
+  mutable ws_max : int;
+  mutable txn_accesses : int;
+  mutable non_txn_accesses : int;
+  mutable coherence_transfers : int;
+}
+
+val create : unit -> t
+val record_abort : t -> Txn.abort_reason -> unit
+val aborts : t -> int
+
+val abort_ratio : t -> float
+(** Aborted over started transactions, as the paper reports it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(* The simulated memory: a flat, growable array of cells addressed by
+   integers. One cell models 8 bytes. All guest-visible mutable state of the
+   VM lives here so that transactional footprint tracking, conflict
+   detection, rollback and false sharing are uniform.
+
+   [reserve] hands out address ranges like sbrk; callers build their own
+   allocators (slot arena, malloc pools, frame stacks) on top. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable cells : 'a array;
+  mutable brk : int;  (** first unreserved address *)
+  line_cells : int;
+}
+
+let create ~dummy ~line_cells initial =
+  let initial = max line_cells initial in
+  { dummy; cells = Array.make initial dummy; brk = 0; line_cells }
+
+let capacity t = Array.length t.cells
+let brk t = t.brk
+let line_of t addr = addr / t.line_cells
+
+let ensure t n =
+  if n > Array.length t.cells then begin
+    let cap = ref (Array.length t.cells) in
+    while n > !cap do
+      cap := !cap * 2
+    done;
+    let cells = Array.make !cap t.dummy in
+    Array.blit t.cells 0 cells 0 (Array.length t.cells);
+    t.cells <- cells
+  end
+
+(* Reserve [n] cells and return the base address. *)
+let reserve t n =
+  if n < 0 then invalid_arg "Store.reserve";
+  let base = t.brk in
+  t.brk <- t.brk + n;
+  ensure t t.brk;
+  base
+
+(* Reserve [n] cells starting on a cache-line boundary. Used for padded
+   (false-sharing-free) structures, per Section 4.4 of the paper. *)
+let reserve_aligned t n =
+  let rem = t.brk mod t.line_cells in
+  if rem <> 0 then ignore (reserve t (t.line_cells - rem));
+  reserve t n
+
+let get t addr =
+  if addr < 0 || addr >= t.brk then
+    invalid_arg (Printf.sprintf "Store.get: address %d out of bounds" addr);
+  Array.unsafe_get t.cells addr
+
+let set t addr v =
+  if addr < 0 || addr >= t.brk then
+    invalid_arg (Printf.sprintf "Store.set: address %d out of bounds" addr);
+  Array.unsafe_set t.cells addr v
+
+(* Unchecked accessors for the interpreter's hot path. *)
+let get_unsafe t addr = Array.unsafe_get t.cells addr
+let set_unsafe t addr v = Array.unsafe_set t.cells addr v

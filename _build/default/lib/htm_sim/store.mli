@@ -1,0 +1,38 @@
+(** The simulated memory: a flat, growable array of cells addressed by
+    integers. One cell models 8 bytes; a cache line of [line_cells] cells.
+    [reserve] hands out address ranges like sbrk; callers build their own
+    allocators on top. *)
+
+type 'a t
+
+val create : dummy:'a -> line_cells:int -> int -> 'a t
+(** [create ~dummy ~line_cells initial] makes a store whose unreserved cells
+    read as [dummy]. *)
+
+val capacity : 'a t -> int
+(** Currently allocated backing capacity, in cells. *)
+
+val brk : 'a t -> int
+(** First unreserved address. *)
+
+val line_of : 'a t -> int -> int
+(** Cache-line id of an address. *)
+
+val reserve : 'a t -> int -> int
+(** Reserve [n] cells; returns the base address. *)
+
+val reserve_aligned : 'a t -> int -> int
+(** Like {!reserve} but the base starts a cache line (for padded,
+    false-sharing-free structures). *)
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked read. @raise Invalid_argument outside reserved space. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Bounds-checked write. @raise Invalid_argument outside reserved space. *)
+
+val get_unsafe : 'a t -> int -> 'a
+(** Unchecked read for the interpreter's hot path. *)
+
+val set_unsafe : 'a t -> int -> 'a -> unit
+(** Unchecked write for the interpreter's hot path. *)

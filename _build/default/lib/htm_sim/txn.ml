@@ -1,0 +1,54 @@
+(* Per-hardware-context transaction state. *)
+
+type abort_reason =
+  | Conflict  (** another CPU touched a line in this footprint *)
+  | Overflow_read  (** read set exceeded capacity — persistent *)
+  | Overflow_write  (** write set exceeded capacity — persistent *)
+  | Explicit  (** TABORT/XABORT issued by software *)
+  | Eager  (** Haswell abort-predictor kill; reason unreported by the CPU *)
+
+(* Transient aborts are worth retrying; persistent ones are not (Section 2.1:
+   the condition code / EAX reports which). The predictor's eager kills are
+   reported as transient-looking, matching the unexplained aborts the paper
+   observed on the Xeon. *)
+let is_persistent = function
+  | Overflow_read | Overflow_write -> true
+  | Conflict | Explicit | Eager -> false
+
+let reason_to_string = function
+  | Conflict -> "conflict"
+  | Overflow_read -> "overflow-read"
+  | Overflow_write -> "overflow-write"
+  | Explicit -> "explicit"
+  | Eager -> "eager-predictor"
+
+type 'a t = {
+  ctx : int;
+  mutable active : bool;
+  mutable undo : (int * 'a) list;  (** (addr, old value), newest first *)
+  mutable lines : int list;  (** line ids holding marks of ours *)
+  mutable rs : int;  (** distinct lines read *)
+  mutable ws : int;  (** distinct lines written *)
+  mutable rs_limit : int;
+  mutable ws_limit : int;
+  mutable rollback : abort_reason -> unit;
+      (** restores the owning thread's VM registers and does cycle
+          accounting; installed by the runner at tbegin *)
+  mutable pending_abort : abort_reason option;
+      (** set when the transaction was aborted; the owning thread observes it
+          at its next step and runs the retry / fallback logic *)
+}
+
+let create ctx =
+  {
+    ctx;
+    active = false;
+    undo = [];
+    lines = [];
+    rs = 0;
+    ws = 0;
+    rs_limit = 0;
+    ws_limit = 0;
+    rollback = (fun _ -> ());
+    pending_abort = None;
+  }

@@ -1,0 +1,29 @@
+(** Per-hardware-context transaction state and abort reasons. *)
+
+type abort_reason =
+  | Conflict  (** another CPU touched a line in this footprint *)
+  | Overflow_read  (** read set exceeded capacity — persistent *)
+  | Overflow_write  (** write set exceeded capacity — persistent *)
+  | Explicit  (** TABORT/XABORT issued by software *)
+  | Eager  (** Haswell abort-predictor kill; reason unreported by the CPU *)
+
+val is_persistent : abort_reason -> bool
+(** Persistent aborts are not worth retrying (Section 2.1: the condition
+    code / EAX reports which kind occurred). *)
+
+val reason_to_string : abort_reason -> string
+
+type 'a t = {
+  ctx : int;
+  mutable active : bool;
+  mutable undo : (int * 'a) list;  (** (addr, old value), newest first *)
+  mutable lines : int list;  (** line-table entries holding marks of ours *)
+  mutable rs : int;  (** distinct lines read *)
+  mutable ws : int;  (** distinct lines written *)
+  mutable rs_limit : int;
+  mutable ws_limit : int;
+  mutable rollback : abort_reason -> unit;
+  mutable pending_abort : abort_reason option;
+}
+
+val create : int -> 'a t

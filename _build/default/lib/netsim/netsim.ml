@@ -1,0 +1,130 @@
+(* Virtual sockets and a closed-loop HTTP client population.
+
+   The paper measures WEBrick / Rails throughput with k concurrent clients,
+   each sending a request, waiting for the response, then immediately
+   sending the next (Section 5.3: peak throughput of 30,000 requests for a
+   46-byte page). We model exactly that closed loop in virtual time: each
+   client re-issues [think_cycles] after its previous response. *)
+
+type conn = {
+  conn_id : int;
+  client : int;
+  request : string;
+  mutable response : string list;  (** chunks, newest first *)
+  arrived : int;  (** cycle the request hit the accept queue *)
+  mutable closed : bool;
+  mutable completed_at : int;
+}
+
+type t = {
+  n_clients : int;
+  think_cycles : int;
+  make_request : int -> string;  (** client id -> request payload *)
+  request_limit : int;
+  mutable next_conn_id : int;
+  mutable client_free_at : int array;  (** next send time per client *)
+  mutable client_busy : bool array;  (** request in flight *)
+  mutable issued : int;
+  pending : conn Queue.t;  (** accepted queue of the single listener *)
+  conns : (int, conn) Hashtbl.t;
+  mutable completed : int;
+  mutable completions : (int * int) list;  (** (finish cycle, latency) *)
+}
+
+let create ?(think_cycles = 2_000) ?(request_limit = max_int) ~n_clients make_request =
+  {
+    n_clients;
+    think_cycles;
+    make_request;
+    request_limit;
+    next_conn_id = 1;
+    client_free_at = Array.make n_clients 0;
+    client_busy = Array.make n_clients false;
+    issued = 0;
+    pending = Queue.create ();
+    conns = Hashtbl.create 64;
+    completed = 0;
+    completions = [];
+  }
+
+(* Earliest future time a new request can arrive, if any client is idle. *)
+let next_arrival t =
+  let best = ref None in
+  for c = 0 to t.n_clients - 1 do
+    if (not t.client_busy.(c)) && t.issued < t.request_limit then
+      match !best with
+      | None -> best := Some t.client_free_at.(c)
+      | Some b -> if t.client_free_at.(c) < b then best := Some t.client_free_at.(c)
+  done;
+  !best
+
+(* Materialise every request due at or before [now] into the accept queue.
+   Returns true if new connections arrived. *)
+let advance t ~now =
+  let arrived = ref false in
+  for c = 0 to t.n_clients - 1 do
+    if (not t.client_busy.(c)) && t.client_free_at.(c) <= now && t.issued < t.request_limit
+    then begin
+      t.client_busy.(c) <- true;
+      t.issued <- t.issued + 1;
+      let conn =
+        {
+          conn_id = t.next_conn_id;
+          client = c;
+          request = t.make_request c;
+          response = [];
+          arrived = max now t.client_free_at.(c);
+          closed = false;
+          completed_at = 0;
+        }
+      in
+      t.next_conn_id <- t.next_conn_id + 1;
+      Hashtbl.add t.conns conn.conn_id conn;
+      Queue.add conn t.pending;
+      arrived := true
+    end
+  done;
+  !arrived
+
+let accept t = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending)
+let conn t id = Hashtbl.find_opt t.conns id
+let write t id chunk = match conn t id with Some c -> c.response <- chunk :: c.response | None -> ()
+
+(* Closing the connection completes the request: the client reads the
+   response and schedules its next send. *)
+let close t id ~now =
+  match conn t id with
+  | Some c when not c.closed ->
+      c.closed <- true;
+      c.completed_at <- now;
+      t.completed <- t.completed + 1;
+      t.completions <- (now, now - c.arrived) :: t.completions;
+      t.client_busy.(c.client) <- false;
+      t.client_free_at.(c.client) <- now + t.think_cycles;
+      Hashtbl.remove t.conns id
+  | _ -> ()
+
+let completed t = t.completed
+let done_all t = t.completed >= t.request_limit
+
+(* Requests per second at a 1 GHz virtual clock, measured over the middle of
+   the run to avoid warmup/drain artefacts. *)
+let throughput t =
+  match t.completions with
+  | [] -> 0.0
+  | comps ->
+      let arr = Array.of_list (List.rev_map fst comps) in
+      let n = Array.length arr in
+      if n < 4 then float_of_int n /. (float_of_int (max 1 arr.(n - 1)) /. 1e9)
+      else begin
+        let lo = n / 4 and hi = 3 * n / 4 in
+        let dt = float_of_int (arr.(hi) - arr.(lo)) /. 1e9 in
+        if dt <= 0.0 then 0.0 else float_of_int (hi - lo) /. dt
+      end
+
+let mean_latency t =
+  match t.completions with
+  | [] -> 0.0
+  | comps ->
+      let n = List.length comps in
+      float_of_int (List.fold_left (fun acc (_, l) -> acc + l) 0 comps) /. float_of_int n

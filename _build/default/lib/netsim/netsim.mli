@@ -1,0 +1,48 @@
+(** Virtual sockets plus a closed-loop HTTP client population: each of the
+    [n_clients] clients sends a request, waits for the response and re-issues
+    [think_cycles] later — the measurement loop of the paper's Section 5.3
+    WEBrick/Rails experiments, in virtual time. *)
+
+type conn = {
+  conn_id : int;
+  client : int;
+  request : string;
+  mutable response : string list;  (** chunks, newest first *)
+  arrived : int;
+  mutable closed : bool;
+  mutable completed_at : int;
+}
+
+type t
+
+val create :
+  ?think_cycles:int ->
+  ?request_limit:int ->
+  n_clients:int ->
+  (int -> string) ->
+  t
+(** [create ~n_clients make_request]: [make_request client] builds each
+    request payload. *)
+
+val next_arrival : t -> int option
+(** Earliest future cycle a new request can arrive, if any client is idle. *)
+
+val advance : t -> now:int -> bool
+(** Materialise every request due by [now] into the accept queue; true if
+    anything arrived. *)
+
+val accept : t -> conn option
+val conn : t -> int -> conn option
+val write : t -> int -> string -> unit
+
+val close : t -> int -> now:int -> unit
+(** Completes the request: the client schedules its next send. *)
+
+val completed : t -> int
+val done_all : t -> bool
+
+val throughput : t -> float
+(** Requests per second at the 1 GHz virtual clock, measured over the middle
+    half of the run (the paper reports peak throughput). *)
+
+val mean_latency : t -> float

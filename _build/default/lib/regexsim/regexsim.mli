@@ -1,0 +1,27 @@
+(** A small backtracking regular-expression engine standing in for Ruby's
+    Oniguruma. As a "C extension" it has no yield points when run inside the
+    VM, and it reports its backtracking work via step counts so callers can
+    charge transactional footprint — the paper's Section 5.6 identifies the
+    regex library as the dominant footprint-overflow source in WEBrick and
+    Rails.
+
+    Syntax: literals, [.], character classes [[a-z0-9]] (with [^] negation),
+    [*], [+], [?], groups [(...)], alternation [|], anchors [^] [$], and the
+    escapes [\d \w \s \n \t \r] plus escaped metacharacters. *)
+
+type t
+
+exception Parse_error of string
+
+val compile : string -> t
+(** @raise Parse_error on invalid syntax. *)
+
+val match_at : t -> string -> int -> int option * (int * int) list * int
+(** [match_at re s start] = (match end position if any, captured group
+    spans, backtracking steps). *)
+
+val search : t -> string -> (int * int * (int * int) list) option * int
+(** First match anywhere: ((start, stop, groups) option, total steps
+    including failed attempts). *)
+
+val matches : t -> string -> bool

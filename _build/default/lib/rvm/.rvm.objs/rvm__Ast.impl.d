@@ -1,0 +1,1 @@
+lib/rvm/ast.ml:

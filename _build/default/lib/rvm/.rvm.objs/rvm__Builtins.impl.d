@@ -1,0 +1,1 @@
+lib/rvm/builtins.ml: Array Buffer Char Float Hashtbl Heap Htm Htm_sim Int64 Klass Layout List Objects Prng Store String Sym Txn Value Vm Vmthread

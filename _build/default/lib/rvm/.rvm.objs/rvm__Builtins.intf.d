@@ -1,0 +1,1 @@
+lib/rvm/builtins.mli: Vm Vmthread

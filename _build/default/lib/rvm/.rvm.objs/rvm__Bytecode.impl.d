@@ -1,0 +1,1 @@
+lib/rvm/bytecode.ml: Array Format Htm_sim List Sym Value

@@ -1,0 +1,1 @@
+lib/rvm/bytecode.mli: Format Htm_sim Value

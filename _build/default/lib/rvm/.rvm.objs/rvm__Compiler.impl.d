@@ -1,0 +1,1 @@
+lib/rvm/compiler.ml: Array Ast Format Hashtbl List Option Parser Printf Sym Value

@@ -1,0 +1,1 @@
+lib/rvm/heap.ml: Array Htm Htm_sim Klass Layout List Options Store Txn Value Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/heap.mli: Htm_sim Klass Options Value Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/interp.ml: Array Float Heap Htm Htm_sim Klass Layout List Objects Options String Sym Txn Value Vm Vmthread

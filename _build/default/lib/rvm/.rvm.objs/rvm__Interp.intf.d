@@ -1,0 +1,1 @@
+lib/rvm/interp.mli: Value Vm Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/klass.ml: Array Hashtbl Obj Value

@@ -1,0 +1,1 @@
+lib/rvm/klass.mli: Hashtbl Value

@@ -1,0 +1,1 @@
+lib/rvm/layout.ml: Value

@@ -1,0 +1,1 @@
+lib/rvm/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rvm/objects.ml: Float Hashtbl Heap Htm Htm_sim Klass Layout List Printf String Sym Value Vm Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/objects.mli: Klass Value Vm Vmthread

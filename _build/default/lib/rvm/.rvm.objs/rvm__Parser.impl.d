@@ -1,0 +1,1 @@
+lib/rvm/parser.ml: Array Ast Lexer List Printf

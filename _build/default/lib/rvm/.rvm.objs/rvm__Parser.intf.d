@@ -1,0 +1,1 @@
+lib/rvm/parser.mli: Ast Lexer

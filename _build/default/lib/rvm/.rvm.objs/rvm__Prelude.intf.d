@@ -1,0 +1,1 @@
+lib/rvm/prelude.mli:

@@ -1,0 +1,1 @@
+lib/rvm/session.ml: Builtins Compiler Htm Htm_sim Layout Options Prelude Store Value Vm Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/session.mli: Htm_sim Options Value Vm Vmthread

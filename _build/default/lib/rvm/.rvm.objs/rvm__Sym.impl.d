@@ -1,0 +1,1 @@
+lib/rvm/sym.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/rvm/value.ml: Format Sym

@@ -1,0 +1,1 @@
+lib/rvm/vm.ml: Array Buffer Hashtbl Heap Htm Htm_sim Klass Layout List Machine Option Options Prng Store Sym Value Vmthread

@@ -1,0 +1,1 @@
+lib/rvm/vm.mli: Buffer Hashtbl Heap Htm_sim Klass Options Value Vmthread

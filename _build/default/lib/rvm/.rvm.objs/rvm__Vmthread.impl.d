@@ -1,0 +1,1 @@
+lib/rvm/vmthread.ml: Value

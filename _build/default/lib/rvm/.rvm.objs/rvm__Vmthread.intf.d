@@ -1,0 +1,1 @@
+lib/rvm/vmthread.mli: Value

@@ -1,0 +1,79 @@
+(* Abstract syntax of MiniRuby, the Ruby subset the workloads are written
+   in. The parser produces [Name] for bare identifiers; the compiler decides
+   whether each is a local variable or a self-call, tracking assignments in
+   scope order the way Ruby does. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Pow
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl  (** [<<]: integer shift or array/string append, decided at runtime *)
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Str_interp of interp_part list  (** "a#{e}b" *)
+  | Sym_lit of string
+  | Nil
+  | True
+  | False
+  | Self
+  | Array_lit of expr list
+  | Hash_lit of (expr * expr) list
+  | Range_lit of expr * expr * bool  (** lo, hi, exclusive? *)
+  | Name of string  (** bare identifier: local or self-call *)
+  | Ivar of string
+  | Cvar of string
+  | Gvar of string
+  | Const of string
+  | Asgn of lhs * expr
+  | Op_asgn of lhs * binop * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Call of expr option * string * expr list * block option
+  | Yield of expr list
+  | If_expr of expr * stmt list * stmt list
+  | Ternary of expr * expr * expr
+
+and interp_part = Lit_part of string | Expr_part of expr
+
+and lhs =
+  | L_name of string
+  | L_ivar of string
+  | L_cvar of string
+  | L_gvar of string
+  | L_const of string
+  | L_index of expr * expr list  (** a[i] = v *)
+  | L_attr of expr * string  (** r.x = v *)
+
+and block = { blk_params : string list; blk_body : stmt list }
+
+and stmt =
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Until of expr * stmt list
+  | Case of expr * (expr list * stmt list) list * stmt list
+      (** case subject; when v1, v2 then body; ...; else body; end *)
+  | Def of string * string list * stmt list
+  | Class_def of string * string option * stmt list
+  | Attr_accessor of string list
+  | Return of expr option
+  | Break of expr option
+  | Next of expr option
+
+type t = stmt list

@@ -1,0 +1,625 @@
+(* Primitive (C-level) methods of the core classes. Primitives are leaf
+   functions: anything that needs to yield to a guest block is written in
+   MiniRuby in the prelude instead.
+
+   Blocking primitives follow CRuby's discipline: a blocking operation is
+   illegal inside a transaction (it would not be undoable), so it aborts to
+   the GIL fallback first; under the GIL it releases the lock around the
+   wait (the runner handles that part). *)
+
+open Htm_sim
+open Value
+
+let rd vm (th : Vmthread.t) addr = Htm.read vm.Vm.htm ~ctx:th.ctx addr
+let wr vm (th : Vmthread.t) addr v = Htm.write vm.Vm.htm ~ctx:th.ctx addr v
+
+let blocking : 'a. Vm.t -> Vmthread.t -> Vmthread.block_reason -> 'a =
+ fun vm th reason ->
+  if Htm.in_txn vm.Vm.htm th.ctx then
+    Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else raise (Vmthread.Block reason)
+
+(* IO and other syscall-like operations may not run transactionally. *)
+let no_txn vm (th : Vmthread.t) =
+  if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+
+let as_int name = function
+  | VInt i -> i
+  | v -> guest_error "%s: expected Integer, got %s" name (type_name v)
+
+let as_float name = function
+  | VInt i -> float_of_int i
+  | VFloat f -> f
+  | v -> guest_error "%s: expected numeric, got %s" name (type_name v)
+
+let as_string vm th name = function
+  | VRef a when (Vm.class_of vm (VRef a)).kind = Klass.K_string ->
+      Objects.string_content vm th a
+  | v -> guest_error "%s: expected String, got %s" name (type_name v)
+
+let as_slot name = function
+  | VRef a -> a
+  | v -> guest_error "%s: expected object, got %s" name (type_name v)
+
+let vstr vm th s = VRef (Objects.new_string vm th s)
+let vbool b = if b then VTrue else VFalse
+let arg args i = if i < Array.length args then args.(i) else VNil
+
+let box vm th f =
+  Heap.alloc_box vm.Vm.heap th ~float_class_id:vm.Vm.c_float.id (VFloat f);
+  VFloat f
+
+(* ---- installation ------------------------------------------------------- *)
+
+(* Non-transactional mutex acquisitions serialise in virtual time; elided
+   (transactional) ones are serialised by HTM conflict detection instead. *)
+let sync_mutex_take vm (th : Vmthread.t) slot =
+  if not (Htm.in_txn vm.Vm.htm th.ctx) then
+    match Hashtbl.find_opt vm.Vm.mutex_release_clock slot with
+    | Some at -> th.clock <- max th.clock at
+    | None -> ()
+
+let note_mutex_release vm (th : Vmthread.t) slot =
+  if not (Htm.in_txn vm.Vm.htm th.ctx) then
+    Hashtbl.replace vm.Vm.mutex_release_clock slot th.clock
+
+let install vm =
+  let defp = Vm.defp vm and defsp = Vm.defsp vm in
+
+  (* Object ------------------------------------------------------------- *)
+  let o = vm.Vm.c_object in
+  defp o "puts" (fun vm th _ args ->
+      no_txn vm th;
+      if Array.length args = 0 then Buffer.add_char vm.Vm.out '\n'
+      else
+        Array.iter
+          (fun v ->
+            (match v with
+            | VRef a when (Vm.class_of vm v).kind = Klass.K_array ->
+                let n = Objects.array_len vm th a in
+                for i = 0 to n - 1 do
+                  Buffer.add_string vm.Vm.out
+                    (Objects.display vm th (Objects.array_get vm th a i));
+                  Buffer.add_char vm.Vm.out '\n'
+                done
+            | _ ->
+                Buffer.add_string vm.Vm.out (Objects.display vm th v);
+                Buffer.add_char vm.Vm.out '\n'))
+          args;
+      VNil);
+  defp o "print" (fun vm th _ args ->
+      no_txn vm th;
+      Array.iter (fun v -> Buffer.add_string vm.Vm.out (Objects.display vm th v)) args;
+      VNil);
+  defp o "p" (fun vm th _ args ->
+      no_txn vm th;
+      Array.iter
+        (fun v ->
+          Buffer.add_string vm.Vm.out (Objects.inspect vm th v);
+          Buffer.add_char vm.Vm.out '\n')
+        args;
+      if Array.length args = 1 then args.(0) else VNil);
+  defp o "raise" (fun vm th _ args ->
+      let msg =
+        match arg args 0 with
+        | VRef a when (Vm.class_of vm (VRef a)).kind = Klass.K_string ->
+            Objects.string_content vm th a
+        | VNil -> "RuntimeError"
+        | v -> Objects.display vm th v
+      in
+      guest_error "%s" msg);
+  defp o "require" (fun _ _ _ _ -> VTrue);
+  defp o "rand" (fun vm _ _ args ->
+      match arg args 0 with
+      | VNil -> VFloat (Prng.float vm.Vm.prng)
+      | VInt n when n > 0 -> VInt (Prng.int vm.Vm.prng n)
+      | v -> guest_error "rand: bad bound %s" (to_string v));
+  defp o "srand" (fun vm _ _ args ->
+      let s = match arg args 0 with VInt i -> i | _ -> 0 in
+      vm.Vm.prng.Prng.state <- Int64.of_int s;
+      VInt s);
+  defp o "sleep" (fun vm th _ args ->
+      let secs = as_float "sleep" (arg args 0) in
+      let wake = th.clock + int_of_float (secs *. 1e9) in
+      if th.io_done then begin
+        th.io_done <- false;
+        VNil
+      end
+      else begin
+        th.io_done <- true;
+        blocking vm th (Vmthread.On_sleep wake)
+      end);
+  defp o "==" (fun _ _ recv args -> vbool (recv = arg args 0));
+  defp o "equal?" (fun _ _ recv args -> vbool (recv = arg args 0));
+  defp o "nil?" (fun _ _ recv _ -> vbool (recv = VNil));
+  defp o "class" (fun vm th recv _ ->
+      ignore th;
+      VRef (Vm.class_object vm (Vm.class_of vm recv)));
+  defp o "to_s" (fun vm th recv _ -> vstr vm th (Objects.display vm th recv));
+  defp o "inspect" (fun vm th recv _ -> vstr vm th (Objects.inspect vm th recv));
+  defp o "object_id" (fun _ _ recv _ ->
+      match recv with VRef a -> VInt a | VInt i -> VInt ((2 * i) + 1) | _ -> VInt 0);
+  defp o "is_a?" (fun vm th recv args ->
+      ignore th;
+      match arg args 0 with
+      | VRef a when (Vm.class_of vm (VRef a)).kind = Klass.K_class_obj ->
+          let target = Layout.class_id_of_header (Store.get vm.Vm.store a) in
+          ignore target;
+          let tid =
+            match Store.get vm.Vm.store (a + Layout.k_class_id) with
+            | VInt i -> i
+            | _ -> -1
+          in
+          let rec up (k : Klass.t) =
+            if k.id = tid then true
+            else match k.super with Some s -> up s | None -> false
+          in
+          vbool (up (Vm.class_of vm recv))
+      | _ -> VFalse);
+
+  (* Integer / Float ------------------------------------------------------ *)
+  let i = vm.Vm.c_integer in
+  defp i "to_f" (fun vm th recv _ -> box vm th (float_of_int (as_int "to_f" recv)));
+  defp i "to_i" (fun _ _ recv _ -> recv);
+  defp i "to_s" (fun vm th recv _ -> vstr vm th (string_of_int (as_int "to_s" recv)));
+  defp i "abs" (fun _ _ recv _ -> VInt (abs (as_int "abs" recv)));
+  defp i "even?" (fun _ _ recv _ -> vbool (as_int "even?" recv land 1 = 0));
+  defp i "odd?" (fun _ _ recv _ -> vbool (as_int "odd?" recv land 1 = 1));
+  defp i "zero?" (fun _ _ recv _ -> vbool (as_int "zero?" recv = 0));
+  defp i "chr" (fun vm th recv _ ->
+      vstr vm th (String.make 1 (Char.chr (as_int "chr" recv land 255))));
+  defp i "min" (fun _ _ recv args -> VInt (min (as_int "min" recv) (as_int "min" (arg args 0))));
+  defp i "max" (fun _ _ recv args -> VInt (max (as_int "max" recv) (as_int "max" (arg args 0))));
+
+  let f = vm.Vm.c_float in
+  defp f "to_i" (fun _ _ recv _ -> VInt (int_of_float (as_float "to_i" recv)));
+  defp f "to_f" (fun _ _ recv _ -> recv);
+  defp f "to_s" (fun vm th recv _ -> vstr vm th (Objects.display vm th recv));
+  defp f "abs" (fun vm th recv _ -> box vm th (Float.abs (as_float "abs" recv)));
+  defp f "floor" (fun _ _ recv _ -> VInt (int_of_float (Float.floor (as_float "floor" recv))));
+  defp f "ceil" (fun _ _ recv _ -> VInt (int_of_float (Float.ceil (as_float "ceil" recv))));
+  defp f "round" (fun _ _ recv _ -> VInt (int_of_float (Float.round (as_float "round" recv))));
+
+  (* NilClass --------------------------------------------------------------*)
+  defp vm.Vm.c_nil "to_s" (fun vm th _ _ -> vstr vm th "");
+  defp vm.Vm.c_nil "to_i" (fun _ _ _ _ -> VInt 0);
+
+  (* String ----------------------------------------------------------------*)
+  let s = vm.Vm.c_string in
+  let content vm th recv = as_string vm th "String" recv in
+  defp s "length" (fun vm th recv _ -> VInt (String.length (content vm th recv)));
+  defp s "size" (fun vm th recv _ -> VInt (String.length (content vm th recv)));
+  defp s "empty?" (fun vm th recv _ -> vbool (content vm th recv = ""));
+  defp s "+" (fun vm th recv args ->
+      vstr vm th (content vm th recv ^ as_string vm th "String#+" (arg args 0)));
+  defp s "*" (fun vm th recv args ->
+      let n = as_int "String#*" (arg args 0) in
+      let base = content vm th recv in
+      let b = Buffer.create (String.length base * n) in
+      for _ = 1 to n do
+        Buffer.add_string b base
+      done;
+      vstr vm th (Buffer.contents b));
+  defp s "==" (fun vm th recv args ->
+      match arg args 0 with
+      | VRef a when (Vm.class_of vm (VRef a)).kind = Klass.K_string ->
+          vbool (String.equal (content vm th recv) (Objects.string_content vm th a))
+      | _ -> VFalse);
+  defp s "to_s" (fun _ _ recv _ -> recv);
+  defp s "to_i" (fun vm th recv _ ->
+      let str = content vm th recv in
+      let n = String.length str in
+      let b = Buffer.create 8 in
+      let i = ref 0 in
+      while !i < n && (str.[!i] = ' ' || str.[!i] = '\t') do
+        incr i
+      done;
+      if !i < n && (str.[!i] = '-' || str.[!i] = '+') then begin
+        Buffer.add_char b str.[!i];
+        incr i
+      end;
+      while !i < n && str.[!i] >= '0' && str.[!i] <= '9' do
+        Buffer.add_char b str.[!i];
+        incr i
+      done;
+      let t = Buffer.contents b in
+      VInt (if t = "" || t = "-" || t = "+" then 0 else int_of_string t));
+  defp s "to_f" (fun vm th recv _ ->
+      let str = String.trim (content vm th recv) in
+      box vm th (try float_of_string str with _ -> 0.0));
+  defp s "downcase" (fun vm th recv _ -> vstr vm th (String.lowercase_ascii (content vm th recv)));
+  defp s "upcase" (fun vm th recv _ -> vstr vm th (String.uppercase_ascii (content vm th recv)));
+  defp s "strip" (fun vm th recv _ -> vstr vm th (String.trim (content vm th recv)));
+  defp s "chomp" (fun vm th recv _ ->
+      let str = content vm th recv in
+      let n = String.length str in
+      let n = if n > 0 && str.[n - 1] = '\n' then n - 1 else n in
+      let n = if n > 0 && str.[n - 1] = '\r' then n - 1 else n in
+      vstr vm th (String.sub str 0 n));
+  defp s "include?" (fun vm th recv args ->
+      let hay = content vm th recv and needle = as_string vm th "include?" (arg args 0) in
+      let hn = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+      vbool (nn = 0 || go 0));
+  defp s "start_with?" (fun vm th recv args ->
+      let hay = content vm th recv and p = as_string vm th "start_with?" (arg args 0) in
+      vbool (String.length hay >= String.length p && String.sub hay 0 (String.length p) = p));
+  defp s "end_with?" (fun vm th recv args ->
+      let hay = content vm th recv and p = as_string vm th "end_with?" (arg args 0) in
+      let hn = String.length hay and pn = String.length p in
+      vbool (hn >= pn && String.sub hay (hn - pn) pn = p));
+  defp s "index" (fun vm th recv args ->
+      let hay = content vm th recv and needle = as_string vm th "index" (arg args 0) in
+      let start = match arg args 1 with VInt i -> i | _ -> 0 in
+      let hn = String.length hay and nn = String.length needle in
+      let rec go i =
+        if i + nn > hn then VNil
+        else if String.sub hay i nn = needle then VInt i
+        else go (i + 1)
+      in
+      go (max 0 start));
+  defp s "[]" (fun vm th recv args ->
+      let str = content vm th recv in
+      let n = String.length str in
+      match (arg args 0, arg args 1) with
+      | VInt i, VNil ->
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i >= n then VNil else vstr vm th (String.make 1 str.[i])
+      | VInt i, VInt len ->
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i > n then VNil
+          else vstr vm th (String.sub str i (min len (n - i)))
+      | _ -> guest_error "String#[]: bad arguments");
+  defp s "slice" (fun vm th recv args ->
+      let str = content vm th recv in
+      let n = String.length str in
+      match (arg args 0, arg args 1) with
+      | VInt i, VInt len ->
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i > n then VNil
+          else vstr vm th (String.sub str i (min len (n - i)))
+      | _ -> guest_error "String#slice: bad arguments");
+  defp s "split" (fun vm th recv args ->
+      let str = content vm th recv in
+      let sep = match arg args 0 with VNil -> " " | v -> as_string vm th "split" v in
+      let parts =
+        if String.length sep = 1 then String.split_on_char sep.[0] str
+        else begin
+          (* multi-char separator *)
+          let out = ref [] and buf = Buffer.create 16 in
+          let sn = String.length sep and n = String.length str in
+          let i = ref 0 in
+          while !i < n do
+            if !i + sn <= n && String.sub str !i sn = sep then begin
+              out := Buffer.contents buf :: !out;
+              Buffer.clear buf;
+              i := !i + sn
+            end
+            else begin
+              Buffer.add_char buf str.[!i];
+              incr i
+            end
+          done;
+          out := Buffer.contents buf :: !out;
+          List.rev !out
+        end
+      in
+      let parts = List.filter (fun p -> p <> "") parts in
+      let a = Objects.new_array vm th ~len:0 ~fill:VNil in
+      List.iter (fun p -> Objects.array_push vm th a (vstr vm th p)) parts;
+      VRef a);
+  defp s "sub" (fun vm th recv args ->
+      let str = content vm th recv in
+      let pat = as_string vm th "sub" (arg args 0)
+      and repl = as_string vm th "sub" (arg args 1) in
+      let hn = String.length str and pn = String.length pat in
+      let rec go i =
+        if i + pn > hn then str
+        else if String.sub str i pn = pat then
+          String.sub str 0 i ^ repl ^ String.sub str (i + pn) (hn - i - pn)
+        else go (i + 1)
+      in
+      vstr vm th (go 0));
+  defp s "gsub" (fun vm th recv args ->
+      let str = content vm th recv in
+      let pat = as_string vm th "gsub" (arg args 0)
+      and repl = as_string vm th "gsub" (arg args 1) in
+      let pn = String.length pat and hn = String.length str in
+      if pn = 0 then vstr vm th str
+      else begin
+        let b = Buffer.create hn in
+        let i = ref 0 in
+        while !i < hn do
+          if !i + pn <= hn && String.sub str !i pn = pat then begin
+            Buffer.add_string b repl;
+            i := !i + pn
+          end
+          else begin
+            Buffer.add_char b str.[!i];
+            incr i
+          end
+        done;
+        vstr vm th (Buffer.contents b)
+      end);
+  defp s "dup" (fun vm th recv _ -> vstr vm th (content vm th recv));
+
+  (* Array ------------------------------------------------------------------*)
+  let a = vm.Vm.c_array in
+  let aslot name recv = as_slot name recv in
+  defp a "length" (fun vm th recv _ -> VInt (Objects.array_len vm th (aslot "length" recv)));
+  defp a "size" (fun vm th recv _ -> VInt (Objects.array_len vm th (aslot "size" recv)));
+  defp a "empty?" (fun vm th recv _ -> vbool (Objects.array_len vm th (aslot "empty?" recv) = 0));
+  defp a "push" (fun vm th recv args ->
+      Array.iter (fun v -> Objects.array_push vm th (aslot "push" recv) v) args;
+      recv);
+  defp a "pop" (fun vm th recv _ -> Objects.array_pop vm th (aslot "pop" recv));
+  defp a "shift" (fun vm th recv _ -> Objects.array_shift vm th (aslot "shift" recv));
+  defp a "first" (fun vm th recv _ -> Objects.array_get vm th (aslot "first" recv) 0);
+  defp a "last" (fun vm th recv _ -> Objects.array_get vm th (aslot "last" recv) (-1));
+  defp a "clear" (fun vm th recv _ ->
+      wr vm th (aslot "clear" recv + Layout.a_len) (VInt 0);
+      recv);
+  defp a "dup" (fun vm th recv _ ->
+      let src = aslot "dup" recv in
+      let n = Objects.array_len vm th src in
+      let dst = Objects.new_array vm th ~len:n ~fill:VNil in
+      for i = 0 to n - 1 do
+        Objects.array_set vm th dst i (Objects.array_get vm th src i)
+      done;
+      VRef dst);
+  defp a "concat" (fun vm th recv args ->
+      let dst = aslot "concat" recv in
+      let src = aslot "concat" (arg args 0) in
+      let n = Objects.array_len vm th src in
+      for i = 0 to n - 1 do
+        Objects.array_push vm th dst (Objects.array_get vm th src i)
+      done;
+      recv);
+  defp a "join" (fun vm th recv args ->
+      let src = aslot "join" recv in
+      let sep = match arg args 0 with VNil -> "" | v -> as_string vm th "join" v in
+      let n = Objects.array_len vm th src in
+      let parts = List.init n (fun i -> Objects.display vm th (Objects.array_get vm th src i)) in
+      vstr vm th (String.concat sep parts));
+  defp a "fill" (fun vm th recv args ->
+      let dst = aslot "fill" recv in
+      let n = Objects.array_len vm th dst in
+      for i = 0 to n - 1 do
+        Objects.array_set vm th dst i (arg args 0)
+      done;
+      recv);
+  defp a "[]" (fun vm th recv args ->
+      match (arg args 0, arg args 1) with
+      | VInt i, VNil -> Objects.array_get vm th (aslot "Array#[]" recv) i
+      | VInt i, VInt len ->
+          let src = aslot "Array#[]" recv in
+          let n = Objects.array_len vm th src in
+          let i = if i < 0 then n + i else i in
+          let len = min len (max 0 (n - i)) in
+          let dst = Objects.new_array vm th ~len:0 ~fill:VNil in
+          for j = i to i + len - 1 do
+            Objects.array_push vm th dst (Objects.array_get vm th src j)
+          done;
+          VRef dst
+      | _ -> guest_error "Array#[]: bad index");
+  defp a "[]=" (fun vm th recv args ->
+      match arg args 0 with
+      | VInt i ->
+          Objects.array_set vm th (aslot "Array#[]=" recv) i (arg args 1);
+          arg args 1
+      | _ -> guest_error "Array#[]=: bad index");
+  defp a "sort" (fun vm th recv _ ->
+      let src = aslot "sort" recv in
+      let n = Objects.array_len vm th src in
+      let items = Array.init n (fun i -> Objects.array_get vm th src i) in
+      let cmp x y =
+        match (x, y) with
+        | VInt p, VInt q -> compare p q
+        | (VFloat _ | VInt _), (VFloat _ | VInt _) ->
+            compare (as_float "sort" x) (as_float "sort" y)
+        | VRef p, VRef q ->
+            String.compare (Objects.string_content vm th p) (Objects.string_content vm th q)
+        | _ -> compare x y
+      in
+      Array.sort cmp items;
+      let dst = Objects.new_array vm th ~len:n ~fill:VNil in
+      Array.iteri (fun i v -> Objects.array_set vm th dst i v) items;
+      VRef dst);
+
+  (* Hash --------------------------------------------------------------------*)
+  let h = vm.Vm.c_hash in
+  defp h "size" (fun vm th recv _ -> VInt (Objects.hash_count vm th (as_slot "size" recv)));
+  defp h "length" (fun vm th recv _ -> VInt (Objects.hash_count vm th (as_slot "length" recv)));
+  defp h "empty?" (fun vm th recv _ -> vbool (Objects.hash_count vm th (as_slot "empty?" recv) = 0));
+  defp h "key?" (fun vm th recv args -> vbool (Objects.hash_mem vm th (as_slot "key?" recv) (arg args 0)));
+  defp h "has_key?" (fun vm th recv args ->
+      vbool (Objects.hash_mem vm th (as_slot "has_key?" recv) (arg args 0)));
+  defp h "include?" (fun vm th recv args ->
+      vbool (Objects.hash_mem vm th (as_slot "include?" recv) (arg args 0)));
+  defp h "keys" (fun vm th recv _ -> VRef (Objects.hash_keys vm th (as_slot "keys" recv)));
+  defp h "[]" (fun vm th recv args -> Objects.hash_get vm th (as_slot "Hash#[]" recv) (arg args 0));
+  defp h "[]=" (fun vm th recv args ->
+      Objects.hash_set vm th (as_slot "Hash#[]=" recv) (arg args 0) (arg args 1);
+      arg args 1);
+  defp h "delete" (fun vm th recv args ->
+      let slot = as_slot "Hash#delete" recv in
+      let key = arg args 0 in
+      let old = Objects.hash_get vm th slot key in
+      if Objects.hash_mem vm th slot key then begin
+        (* simple deletion: rebuild without the key *)
+        let cap = Objects.int_field vm th (slot + Layout.h_cap) in
+        let data = Objects.int_field vm th (slot + Layout.h_data) in
+        let pairs = ref [] in
+        for i = 0 to cap - 1 do
+          match rd vm th (data + (2 * i)) with
+          | VNil -> ()
+          | k ->
+              if not (Objects.keys_equal vm th k key) then
+                pairs := (k, rd vm th (data + (2 * i) + 1)) :: !pairs
+        done;
+        for i = 0 to (2 * cap) - 1 do
+          wr vm th (data + i) VNil
+        done;
+        wr vm th (slot + Layout.h_count) (VInt 0);
+        List.iter (fun (k, v) -> Objects.hash_set vm th slot k v) !pairs
+      end;
+      old);
+
+  (* Range --------------------------------------------------------------------*)
+  let r = vm.Vm.c_range in
+  defp r "first" (fun vm th recv _ -> rd vm th (as_slot "first" recv + Layout.r_lo));
+  defp r "last" (fun vm th recv _ -> rd vm th (as_slot "last" recv + Layout.r_hi));
+  defp r "exclude_end?" (fun vm th recv _ -> rd vm th (as_slot "exclude_end?" recv + Layout.r_excl));
+
+  (* Mutex ---------------------------------------------------------------------*)
+  let m = vm.Vm.c_mutex in
+  defp m "lock" (fun vm th recv _ ->
+      let slot = as_slot "lock" recv in
+      match rd vm th (slot + Layout.m_locked) with
+      | VInt 0 ->
+          sync_mutex_take vm th slot;
+          wr vm th (slot + Layout.m_locked) (VInt 1);
+          wr vm th (slot + Layout.m_owner) (VInt th.tid);
+          recv
+      | _ ->
+          no_txn vm th;
+          let w =
+            match rd vm th (slot + Layout.m_waiters) with VInt w -> w | _ -> 0
+          in
+          wr vm th (slot + Layout.m_waiters) (VInt (w + 1));
+          blocking vm th (Vmthread.On_mutex slot));
+  defp m "try_lock" (fun vm th recv _ ->
+      let slot = as_slot "try_lock" recv in
+      match rd vm th (slot + Layout.m_locked) with
+      | VInt 0 ->
+          sync_mutex_take vm th slot;
+          wr vm th (slot + Layout.m_locked) (VInt 1);
+          wr vm th (slot + Layout.m_owner) (VInt th.tid);
+          VTrue
+      | _ -> VFalse);
+  defp m "locked?" (fun vm th recv _ ->
+      let slot = as_slot "locked?" recv in
+      vbool (rd vm th (slot + Layout.m_locked) <> VInt 0));
+  defp m "unlock" (fun vm th recv _ ->
+      let slot = as_slot "unlock" recv in
+      let waiters =
+        match rd vm th (slot + Layout.m_waiters) with VInt w -> w | _ -> 0
+      in
+      if waiters > 0 then begin
+        (* waking a parked thread is a futex syscall *)
+        no_txn vm th;
+        wr vm th (slot + Layout.m_locked) (VInt 0);
+        wr vm th (slot + Layout.m_owner) (VInt (-1));
+        note_mutex_release vm th slot;
+        vm.Vm.pending_wakes <- Vm.Wake_mutex slot :: vm.Vm.pending_wakes
+      end
+      else begin
+        wr vm th (slot + Layout.m_locked) (VInt 0);
+        wr vm th (slot + Layout.m_owner) (VInt (-1));
+        note_mutex_release vm th slot
+      end;
+      recv);
+
+  (* ConditionVariable ----------------------------------------------------------*)
+  let c = vm.Vm.c_condvar in
+  defp c "wait" (fun vm th recv args ->
+      let cv = as_slot "wait" recv in
+      let mx = as_slot "ConditionVariable#wait" (arg args 0) in
+      if th.cond_signaled then begin
+        (* woken: re-acquire the mutex, then finish the wait *)
+        match rd vm th (mx + Layout.m_locked) with
+        | VInt 0 ->
+            sync_mutex_take vm th mx;
+            wr vm th (mx + Layout.m_locked) (VInt 1);
+            wr vm th (mx + Layout.m_owner) (VInt th.tid);
+            th.cond_signaled <- false;
+            recv
+        | _ ->
+            let w = match rd vm th (mx + Layout.m_waiters) with VInt w -> w | _ -> 0 in
+            wr vm th (mx + Layout.m_waiters) (VInt (w + 1));
+            blocking vm th (Vmthread.On_mutex mx)
+      end
+      else begin
+        no_txn vm th;
+        (* release the mutex and park *)
+        wr vm th (mx + Layout.m_locked) (VInt 0);
+        wr vm th (mx + Layout.m_owner) (VInt (-1));
+        note_mutex_release vm th mx;
+        let waiters =
+          match rd vm th (mx + Layout.m_waiters) with VInt w -> w | _ -> 0
+        in
+        if waiters > 0 then
+          vm.Vm.pending_wakes <- Vm.Wake_mutex mx :: vm.Vm.pending_wakes;
+        blocking vm th (Vmthread.On_cond (cv, mx))
+      end);
+  defp c "signal" (fun vm th recv _ ->
+      no_txn vm th;
+      vm.Vm.pending_wakes <- Vm.Wake_cond_one (as_slot "signal" recv) :: vm.Vm.pending_wakes;
+      recv);
+  defp c "broadcast" (fun vm th recv _ ->
+      no_txn vm th;
+      vm.Vm.pending_wakes <- Vm.Wake_cond_all (as_slot "broadcast" recv) :: vm.Vm.pending_wakes;
+      recv);
+
+  (* Thread -----------------------------------------------------------------------*)
+  let t = vm.Vm.c_thread in
+  let target_thread vm th recv =
+    let slot = as_slot "Thread" recv in
+    let tid =
+      match rd vm th (slot + Layout.t_tid) with
+      | VInt i -> i
+      | _ -> guest_error "corrupt Thread object"
+    in
+    Vm.thread_by_id vm tid
+  in
+  defp t "join" (fun vm th recv _ ->
+      let target = target_thread vm th recv in
+      if target.Vmthread.status = Vmthread.Finished then recv
+      else blocking vm th (Vmthread.On_join target.Vmthread.tid));
+  defp t "value" (fun vm th recv _ ->
+      let target = target_thread vm th recv in
+      if target.Vmthread.status = Vmthread.Finished then target.Vmthread.result
+      else blocking vm th (Vmthread.On_join target.Vmthread.tid));
+  defp t "alive?" (fun vm th recv _ ->
+      let target = target_thread vm th recv in
+      vbool (target.Vmthread.status <> Vmthread.Finished));
+  defsp t "current" (fun _ th _ _ ->
+      if th.Vmthread.obj >= 0 then VRef th.Vmthread.obj else VNil);
+
+  (* Math / Time modules -------------------------------------------------------------*)
+  let math = Vm.define_class vm ~kind:Klass.K_class_obj "MathModule" in
+  let msm name fn =
+    Vm.defsp vm math name (fun vm th _ args -> box vm th (fn (as_float name (arg args 0))))
+  in
+  msm "sqrt" Float.sqrt;
+  msm "sin" Float.sin;
+  msm "cos" Float.cos;
+  msm "exp" Float.exp;
+  msm "log" Float.log;
+  Vm.defsp vm math "pow" (fun vm th _ args ->
+      box vm th (as_float "pow" (arg args 0) ** as_float "pow" (arg args 1)));
+  let math_obj = Vm.class_object vm math in
+  Store.set vm.Vm.store (Vm.const_cell vm (Sym.intern "Math")) (VRef math_obj);
+  Store.set vm.Vm.store
+    (Vm.const_cell vm (Sym.intern "PI"))
+    (VFloat (4.0 *. Float.atan 1.0));
+
+  let time = Vm.define_class vm ~kind:Klass.K_class_obj "TimeModule" in
+  Vm.defsp vm time "now" (fun vm th _ _ -> box vm th (float_of_int th.Vmthread.clock /. 1e9));
+  Store.set vm.Vm.store (Vm.const_cell vm (Sym.intern "Time")) (VRef (Vm.class_object vm time));
+
+  (* bind core class constants so Foo.new works *)
+  List.iter
+    (fun k -> Vm.bind_class_const vm k)
+    [
+      vm.Vm.c_object;
+      vm.Vm.c_integer;
+      vm.Vm.c_float;
+      vm.Vm.c_string;
+      vm.Vm.c_array;
+      vm.Vm.c_hash;
+      vm.Vm.c_range;
+      vm.Vm.c_thread;
+      vm.Vm.c_mutex;
+      vm.Vm.c_condvar;
+    ]

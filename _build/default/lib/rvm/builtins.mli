@@ -1,0 +1,18 @@
+(** Primitive ("C-level") methods of the core classes. Primitives are leaf
+    functions: anything that must yield to a guest block lives in the
+    MiniRuby prelude instead. Blocking primitives follow CRuby's discipline:
+    a blocking operation is illegal inside a transaction, so it aborts to
+    the GIL fallback first; under the GIL the runner releases the lock
+    around the wait. *)
+
+val blocking : Vm.t -> Vmthread.t -> Vmthread.block_reason -> 'a
+(** [blocking vm th reason]: abort the enclosing transaction if any,
+    otherwise raise {!Vmthread.Block}. Never returns. *)
+
+val no_txn : Vm.t -> Vmthread.t -> unit
+(** Syscall guard: abort the enclosing transaction if any. *)
+
+val install : Vm.t -> unit
+(** Define the primitive methods of Object, Integer, Float, NilClass,
+    String, Array, Hash, Range, Mutex, ConditionVariable and Thread, plus
+    the Math and Time modules, and bind the core class constants. *)

@@ -1,0 +1,11 @@
+(** AST to bytecode compiler. One lexical scope per method/block; blocks
+    resolve the enclosing scopes' locals through (index, depth) pairs like
+    YARV; bare names compile to locals when one is in scope at that program
+    point and to self-sends otherwise, following Ruby's rule that an
+    assignment introduces the local from that point on. *)
+
+exception Error of string
+
+val compile_program : Ast.t -> Value.program
+val compile_string : string -> Value.program
+(** Parse then compile. @raise Error, {!Parser.Error} or {!Lexer.Error}. *)

@@ -1,0 +1,120 @@
+(* Classes and method tables. Method lookup also touches a small store
+   region per class so transactional footprint and conflicts behave like
+   CRuby's hash-table lookup. *)
+
+type kind =
+  | K_object
+  | K_class_obj  (** reified class/module objects (Math, user classes) *)
+  | K_array
+  | K_string
+  | K_hash
+  | K_range
+  | K_proc
+  | K_thread
+  | K_mutex
+  | K_condvar
+  | K_extension of string  (** "C extension" classes: sockets, regexp, db *)
+
+type meth = Bytecode of Value.code | Prim of int
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable super : t option;
+  methods : (int, meth) Hashtbl.t;
+  smethods : (int, meth) Hashtbl.t;  (** singleton (class-level) methods *)
+  ivars : (int, int) Hashtbl.t;  (** ivar symbol -> slot field index (1..7) *)
+  mutable n_ivars : int;
+  mutable ivar_tbl_id : int;
+      (** identity of the ivar table, for the table-equality cache guard of
+          Section 4.4: stays equal to the superclass's until this class adds
+          an ivar of its own *)
+  mutable mtbl_base : int;  (** store region standing in for the method table *)
+  mutable class_obj : int;  (** slot address of the reified class object, -1 *)
+}
+
+type table = {
+  mutable classes : t array;
+  mutable count : int;
+  by_name : (string, t) Hashtbl.t;
+}
+
+let mtbl_cells = 4
+
+let create_table () =
+  { classes = Array.make 64 (Obj.magic 0 : t); count = 0; by_name = Hashtbl.create 64 }
+
+let get tbl id = tbl.classes.(id)
+let find tbl name = Hashtbl.find_opt tbl.by_name name
+
+let add_class tbl ~name ~kind ~super ~mtbl_base =
+  let id = tbl.count in
+  tbl.count <- id + 1;
+  if id >= Array.length tbl.classes then begin
+    let bigger = Array.make (2 * id) tbl.classes.(0) in
+    Array.blit tbl.classes 0 bigger 0 id;
+    tbl.classes <- bigger
+  end;
+  let k =
+    {
+      id;
+      name;
+      kind;
+      super;
+      methods = Hashtbl.create 16;
+      smethods = Hashtbl.create 4;
+      ivars =
+        (match super with
+        | Some s -> Hashtbl.copy s.ivars
+        | None -> Hashtbl.create 8);
+      n_ivars = (match super with Some s -> s.n_ivars | None -> 0);
+      ivar_tbl_id = (match super with Some s -> s.ivar_tbl_id | None -> id);
+      mtbl_base;
+      class_obj = -1;
+    }
+  in
+  tbl.classes.(id) <- k;
+  Hashtbl.replace tbl.by_name name k;
+  k
+
+let define_method k sym m = Hashtbl.replace k.methods sym m
+let define_smethod k sym m = Hashtbl.replace k.smethods sym m
+
+(* Find or assign the field index for an instance variable of class [k].
+   Slots have seven payload cells; richer objects must use arrays/hashes. *)
+let ivar_index ?(create = false) k sym =
+  match Hashtbl.find_opt k.ivars sym with
+  | Some i -> Some i
+  | None ->
+      if not create then None
+      else begin
+        if k.n_ivars >= 7 then
+          Value.guest_error "class %s has too many instance variables (max 7)"
+            k.name;
+        let idx = k.n_ivars + 1 in
+        k.n_ivars <- idx;
+        Hashtbl.replace k.ivars sym idx;
+        (* the layout is now this class's own *)
+        k.ivar_tbl_id <- k.id;
+        Some idx
+      end
+
+(* Method lookup along the superclass chain. Returns the method and the
+   number of classes visited (the interpreter charges lookup traffic by
+   touching each visited class's method-table region). *)
+let lookup k sym =
+  let rec go k depth =
+    match Hashtbl.find_opt k.methods sym with
+    | Some m -> Some (m, depth)
+    | None -> ( match k.super with Some s -> go s (depth + 1) | None -> None)
+  in
+  go k 1
+
+let lookup_static k sym =
+  let rec go k depth =
+    match Hashtbl.find_opt k.smethods sym with
+    | Some m -> Some (m, depth)
+    | None -> ( match k.super with Some s -> go s (depth + 1) | None -> None)
+  in
+  go k 1

@@ -1,0 +1,56 @@
+(** Classes and method tables. Method lookup also touches a small store
+    region per class so transactional footprint and conflicts behave like
+    CRuby's hash-table lookup. *)
+
+type kind =
+  | K_object
+  | K_class_obj  (** reified class/module objects *)
+  | K_array
+  | K_string
+  | K_hash
+  | K_range
+  | K_proc
+  | K_thread
+  | K_mutex
+  | K_condvar
+  | K_extension of string  (** "C extension" classes (sockets, regexp, db) *)
+
+type meth = Bytecode of Value.code | Prim of int
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable super : t option;
+  methods : (int, meth) Hashtbl.t;
+  smethods : (int, meth) Hashtbl.t;
+  ivars : (int, int) Hashtbl.t;
+  mutable n_ivars : int;
+  mutable ivar_tbl_id : int;
+      (** identity of the ivar layout, for the table-equality inline-cache
+          guard of the paper's Section 4.4 *)
+  mutable mtbl_base : int;
+  mutable class_obj : int;
+}
+
+type table
+
+val mtbl_cells : int
+val create_table : unit -> table
+val get : table -> int -> t
+val find : table -> string -> t option
+
+val add_class :
+  table -> name:string -> kind:kind -> super:t option -> mtbl_base:int -> t
+
+val define_method : t -> int -> meth -> unit
+val define_smethod : t -> int -> meth -> unit
+
+val ivar_index : ?create:bool -> t -> int -> int option
+(** Field index (1..7) for an instance variable; with [create] the index is
+    assigned on first use, CRuby-style. *)
+
+val lookup : t -> int -> (meth * int) option
+(** [(method, classes visited)] along the superclass chain. *)
+
+val lookup_static : t -> int -> (meth * int) option

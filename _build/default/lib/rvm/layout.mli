@@ -1,0 +1,60 @@
+(** Slot and object layouts. Every heap object is one 8-cell slot: cell 0 is
+    the header ([VInt (class_id * 2 + mark)] when live, [VInt (-1)] when
+    free), cells 1..7 the payload. *)
+
+val slot_cells : int
+val n_fields : int
+
+(** Array: *)
+
+val a_len : int
+val a_cap : int
+val a_data : int
+
+(** String (payload text in [s_str] as an internal [VStrData]; a malloc
+    region of [s_cap] cells backs its transactional footprint): *)
+
+val s_len : int
+val s_str : int
+val s_data : int
+val s_cap : int
+
+(** Hash (open-addressed table of 2*cap cells): *)
+
+val h_count : int
+val h_cap : int
+val h_data : int
+
+(** Range: *)
+
+val r_lo : int
+val r_hi : int
+val r_excl : int
+
+(** Proc: *)
+
+val p_code : int
+val p_fp : int
+val p_self : int
+
+(** Thread / Mutex / ConditionVariable / reified class: *)
+
+val t_tid : int
+val m_locked : int
+val m_owner : int
+val m_waiters : int
+val c_waiters : int
+val k_class_id : int
+
+val header_of_class : int -> Value.t
+val free_header : Value.t
+
+val header_meta_bit : int
+(** Bits 24+ of a live header are scratch (refcount-traffic modelling). *)
+
+val class_id_of_header : Value.t -> int
+val is_free_header : Value.t -> bool
+val is_marked : Value.t -> bool
+val with_mark : Value.t -> Value.t
+val without_mark : Value.t -> Value.t
+val string_region_cells : int -> int

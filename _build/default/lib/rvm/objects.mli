@@ -1,0 +1,49 @@
+(** Construction and manipulation of builtin objects. All guest-visible
+    state goes through the HTM engine with the acting thread's context, so
+    footprint and conflicts are tracked; string/array payloads live in
+    malloc regions whose lines are touched on access. *)
+
+val rd : Vm.t -> Vmthread.t -> int -> Value.t
+val wr : Vm.t -> Vmthread.t -> int -> Value.t -> unit
+val int_field : Vm.t -> Vmthread.t -> int -> int
+
+(** Arrays: *)
+
+val new_array : Vm.t -> Vmthread.t -> len:int -> fill:Value.t -> int
+val array_len : Vm.t -> Vmthread.t -> int -> int
+val array_data : Vm.t -> Vmthread.t -> int -> int
+val array_get : Vm.t -> Vmthread.t -> int -> int -> Value.t
+val array_set : Vm.t -> Vmthread.t -> int -> int -> Value.t -> unit
+val array_push : Vm.t -> Vmthread.t -> int -> Value.t -> unit
+val array_pop : Vm.t -> Vmthread.t -> int -> Value.t
+val array_shift : Vm.t -> Vmthread.t -> int -> Value.t
+val array_grow : Vm.t -> Vmthread.t -> int -> int -> unit
+
+(** Strings: *)
+
+val new_string : Vm.t -> Vmthread.t -> string -> int
+val string_content : Vm.t -> Vmthread.t -> int -> string
+val string_set_content : Vm.t -> Vmthread.t -> int -> string -> unit
+
+(** Hashes (open addressing, linear probing; [VNil] is not a legal key): *)
+
+val new_hash : Vm.t -> Vmthread.t -> cap:int -> int
+val hash_set : Vm.t -> Vmthread.t -> int -> Value.t -> Value.t -> unit
+val hash_get : Vm.t -> Vmthread.t -> int -> Value.t -> Value.t
+val hash_mem : Vm.t -> Vmthread.t -> int -> Value.t -> bool
+val hash_count : Vm.t -> Vmthread.t -> int -> int
+val hash_keys : Vm.t -> Vmthread.t -> int -> int
+val keys_equal : Vm.t -> Vmthread.t -> Value.t -> Value.t -> bool
+
+(** Ranges and plain objects: *)
+
+val new_range : Vm.t -> Vmthread.t -> lo:Value.t -> hi:Value.t -> excl:bool -> int
+val new_plain : Vm.t -> Vmthread.t -> Klass.t -> int
+
+(** Rendering: *)
+
+val display : Vm.t -> Vmthread.t -> Value.t -> string
+(** [to_s]-style rendering (what [puts] prints). *)
+
+val inspect : Vm.t -> Vmthread.t -> Value.t -> string
+(** [inspect]-style rendering (what [p] prints). *)

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniRuby. *)
+
+exception Error of string * int
+(** message, line number *)
+
+val tok_to_string : Lexer.token -> string
+
+val parse : string -> Ast.t
+(** Parse a whole program. @raise Error or {!Lexer.Error} on bad input. *)

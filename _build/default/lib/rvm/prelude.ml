@@ -1,0 +1,206 @@
+(* The MiniRuby prelude: iterator methods that must yield to guest blocks are
+   written in guest code (primitives are leaf functions). The prelude is
+   prepended to every program, exactly like CRuby's bootstrap. *)
+
+let source =
+  {prelude|
+class Integer
+  def times
+    i = 0
+    while i < self
+      yield i
+      i += 1
+    end
+    self
+  end
+  def upto(limit)
+    i = self
+    while i <= limit
+      yield i
+      i += 1
+    end
+    self
+  end
+  def downto(limit)
+    i = self
+    while i >= limit
+      yield i
+      i -= 1
+    end
+    self
+  end
+  def step(limit, stride)
+    i = self
+    while i <= limit
+      yield i
+      i += stride
+    end
+    self
+  end
+end
+
+class Range
+  def each
+    i = first
+    if exclude_end?
+      while i < last
+        yield i
+        i += 1
+      end
+    else
+      while i <= last
+        yield i
+        i += 1
+      end
+    end
+    self
+  end
+  def size
+    if exclude_end?
+      last - first
+    else
+      last - first + 1
+    end
+  end
+  def to_a
+    out = []
+    each do |x|
+      out << x
+    end
+    out
+  end
+end
+
+class Array
+  def each
+    i = 0
+    n = length
+    while i < n
+      yield self[i]
+      i += 1
+    end
+    self
+  end
+  def each_index
+    i = 0
+    n = length
+    while i < n
+      yield i
+      i += 1
+    end
+    self
+  end
+  def each_with_index
+    i = 0
+    n = length
+    while i < n
+      yield self[i], i
+      i += 1
+    end
+    self
+  end
+  def map
+    out = []
+    i = 0
+    n = length
+    while i < n
+      out << yield(self[i])
+      i += 1
+    end
+    out
+  end
+  def select
+    out = []
+    i = 0
+    n = length
+    while i < n
+      v = self[i]
+      if yield(v)
+        out << v
+      end
+      i += 1
+    end
+    out
+  end
+  def sum
+    s = 0
+    i = 0
+    n = length
+    while i < n
+      s += self[i]
+      i += 1
+    end
+    s
+  end
+  def min
+    i = 1
+    n = length
+    m = self[0]
+    while i < n
+      m = self[i] if self[i] < m
+      i += 1
+    end
+    m
+  end
+  def max
+    i = 1
+    n = length
+    m = self[0]
+    while i < n
+      m = self[i] if self[i] > m
+      i += 1
+    end
+    m
+  end
+  def include?(v)
+    i = 0
+    n = length
+    while i < n
+      return true if self[i] == v
+      i += 1
+    end
+    false
+  end
+end
+
+class Hash
+  def each
+    ks = keys
+    i = 0
+    n = ks.length
+    while i < n
+      k = ks[i]
+      yield k, self[k]
+      i += 1
+    end
+    self
+  end
+  def each_key
+    ks = keys
+    i = 0
+    n = ks.length
+    while i < n
+      yield ks[i]
+      i += 1
+    end
+    self
+  end
+end
+
+class Mutex
+  def synchronize
+    lock
+    r = yield
+    unlock
+    r
+  end
+end
+
+class Object
+  def loop
+    while true
+      yield
+    end
+  end
+end
+|prelude}

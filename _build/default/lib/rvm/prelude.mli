@@ -1,0 +1,6 @@
+(** The MiniRuby prelude, prepended to every program: iterator methods that
+    must yield to guest blocks (Integer#times, Array#each/map/sum, Range#each,
+    Hash#each, Mutex#synchronize, ...) are written in guest code because
+    primitives are leaf functions. *)
+
+val source : string

@@ -1,0 +1,43 @@
+(* Boot a VM for one program run: prelude + user source are compiled as one
+   compilation unit (sharing the inline-cache space), builtins installed,
+   and the main thread set up with its toplevel frame. *)
+
+open Htm_sim
+
+type t = { vm : Vm.t; program : Value.program; main : Vmthread.t }
+
+let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine ~source =
+  let vm = Vm.create ~opts ~htm_mode machine in
+  Builtins.install vm;
+  Vm.install_gc_hooks vm;
+  let program = Compiler.compile_string (Prelude.source ^ "\n" ^ source) in
+  Vm.load_program vm program;
+  (* the toplevel self ("main"), allocated outside the guest heap *)
+  let main_obj = Store.reserve_aligned vm.Vm.store Layout.slot_cells in
+  Store.set vm.Vm.store main_obj (Layout.header_of_class vm.Vm.c_object.id);
+  for f = 1 to Layout.n_fields do
+    Store.set vm.Vm.store (main_obj + f) Value.VNil
+  done;
+  vm.Vm.main_obj <- main_obj;
+  let main = Vm.new_thread vm ~code:program.main ~obj:(-1) in
+  (* build the toplevel frame with boot-time writes *)
+  let base = main.stack_base in
+  let set off v = Store.set vm.Vm.store (base + off) v in
+  set Vmthread.f_code (Value.VCode program.main);
+  set Vmthread.f_self (Value.VRef main_obj);
+  set Vmthread.f_block_code Value.VNil;
+  set Vmthread.f_block_fp (Value.VInt (-1));
+  set Vmthread.f_block_self Value.VNil;
+  set Vmthread.f_caller_fp (Value.VInt (-1));
+  set Vmthread.f_caller_pc (Value.VInt 0);
+  set Vmthread.f_caller_sp (Value.VInt base);
+  set Vmthread.f_defining_fp (Value.VInt (-1));
+  set Vmthread.f_flags (Value.VInt 0);
+  for i = 0 to program.main.nlocals - 1 do
+    Store.set vm.Vm.store (base + Vmthread.frame_hdr + i) Value.VNil
+  done;
+  main.fp <- base;
+  main.sp <- base + Vmthread.frame_hdr + program.main.nlocals;
+  main.pc <- 0;
+  Store.set vm.Vm.store vm.Vm.g_live (Value.VInt 1);
+  { vm; program; main }

@@ -1,0 +1,12 @@
+(** Boot a VM for one program run: prelude and user source compile as one
+    unit (sharing the inline-cache space), builtins are installed, and the
+    main thread is created with its toplevel frame. *)
+
+type t = { vm : Vm.t; program : Value.program; main : Vmthread.t }
+
+val create :
+  ?opts:Options.t ->
+  ?htm_mode:Htm_sim.Htm.mode ->
+  Htm_sim.Machine.t ->
+  source:string ->
+  t

@@ -1,0 +1,49 @@
+(* Interned symbols. The table is global and append-only; symbol ids are
+   deterministic for a fixed program because interning happens in parse
+   order. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string ref array ref = ref (Array.init 64 (fun _ -> ref ""))
+let count = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some id -> id
+  | None ->
+      let id = !count in
+      incr count;
+      if id >= Array.length !names then begin
+        let bigger = Array.init (2 * Array.length !names) (fun _ -> ref "") in
+        Array.blit !names 0 bigger 0 (Array.length !names);
+        names := bigger
+      end;
+      !names.(id) := name;
+      Hashtbl.add table name id;
+      id
+
+let name id =
+  if id < 0 || id >= !count then Printf.sprintf "<sym:%d>" id
+  else !(!names.(id))
+
+(* Pre-interned symbols used throughout the VM. *)
+let s_initialize = intern "initialize"
+let s_plus = intern "+"
+let s_minus = intern "-"
+let s_mult = intern "*"
+let s_div = intern "/"
+let s_mod = intern "%"
+let s_pow = intern "**"
+let s_eq = intern "=="
+let s_neq = intern "!="
+let s_lt = intern "<"
+let s_le = intern "<="
+let s_gt = intern ">"
+let s_ge = intern ">="
+let s_aref = intern "[]"
+let s_aset = intern "[]="
+let s_ltlt = intern "<<"
+let s_each = intern "each"
+let s_times = intern "times"
+let s_new = intern "new"
+let s_call = intern "call"
+let s_to_s = intern "to_s"

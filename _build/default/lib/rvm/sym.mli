@@ -1,0 +1,30 @@
+(** Interned symbols (method and variable names). The table is global and
+    append-only; ids are deterministic for a fixed program because interning
+    happens in parse order. *)
+
+val intern : string -> int
+val name : int -> string
+
+(** Pre-interned symbols used throughout the VM: *)
+
+val s_initialize : int
+val s_plus : int
+val s_minus : int
+val s_mult : int
+val s_div : int
+val s_mod : int
+val s_pow : int
+val s_eq : int
+val s_neq : int
+val s_lt : int
+val s_le : int
+val s_gt : int
+val s_ge : int
+val s_aref : int
+val s_aset : int
+val s_ltlt : int
+val s_each : int
+val s_times : int
+val s_new : int
+val s_call : int
+val s_to_s : int

@@ -1,0 +1,137 @@
+(* Guest values and compiled code.
+
+   [VRef addr] points at a heap slot header in the simulated store; every
+   mutable guest datum lives behind such a reference so the HTM engine sees
+   all shared state. [VCode] and [VStrData] only ever appear in internal
+   cells (method caches, frame headers, string payloads), never as values a
+   guest program can observe directly. *)
+
+type t =
+  | VNil
+  | VTrue
+  | VFalse
+  | VInt of int
+  | VFloat of float
+  | VSym of int
+  | VRef of int  (** heap object: store address of the slot header *)
+  | VCode of code  (** internal: compiled method or block *)
+  | VStrData of string  (** internal: string payload cell *)
+
+and code = {
+  code_name : string;
+  uid : int;  (** unique id, keys the per-yield-point adjustment tables *)
+  kind : code_kind;
+  arity : int;
+  nlocals : int;  (** parameters first, then other locals *)
+  insns : insn array;
+}
+
+and code_kind = Method | Block | Toplevel
+
+and send_site = {
+  ss_sym : int;
+  ss_argc : int;
+  ss_block : code option;
+  ss_cache : int;  (** inline-cache slot index within the program *)
+}
+
+and insn =
+  | Push of t
+  | Pushself
+  | Pop
+  | Dup
+  | Dup2  (** duplicate the two top stack cells (for [a\[i\] op= v]) *)
+  | Getlocal of int * int  (** index, scope depth (0 = current) *)
+  | Setlocal of int * int
+  | Getivar of int * int  (** symbol, cache slot *)
+  | Setivar of int * int
+  | Getcvar of int
+  | Setcvar of int
+  | Getglobal of int
+  | Setglobal of int
+  | Getconst of int
+  | Setconst of int
+  | Newarray of int  (** literal: pop n elements *)
+  | Newarray_sized  (** Array.new(n, fill): pop fill, n *)
+  | Newhash of int  (** literal: pop 2n cells *)
+  | Newrange of bool  (** exclusive?: pop hi, lo *)
+  | Newstring of string
+  | Newinstance of send_site  (** Const.new(...) *)
+  | Newthread of send_site  (** Thread.new(...) { ... } *)
+  | Send of send_site
+  | Invokeblock of int  (** yield with argc arguments *)
+  | Opt_plus
+  | Opt_minus
+  | Opt_mult
+  | Opt_div
+  | Opt_mod
+  | Opt_pow
+  | Opt_eq
+  | Opt_neq
+  | Opt_lt
+  | Opt_le
+  | Opt_gt
+  | Opt_ge
+  | Opt_aref
+  | Opt_aset
+  | Opt_ltlt
+  | Opt_not
+  | Opt_neg
+  | Jump of int
+  | Branchif of int
+  | Branchunless of int
+  | Leave  (** return from the current frame with the stack top *)
+  | Return_insn  (** explicit [return]: unwinds blocks to the method *)
+  | Break_insn
+  | Defmethod of int * code
+  | Defclass of class_def
+  | Nop
+
+and class_def = {
+  cd_name : int;
+  cd_super : int option;
+  cd_methods : (int * code) list;
+  cd_attrs : (int * int * int) list;
+      (** attr_accessor: (symbol, getter cache slot, setter cache slot) *)
+}
+
+type program = {
+  main : code;
+  n_caches : int;  (** inline-cache slots to reserve at load time *)
+}
+
+let code_uid_counter = ref 0
+
+let fresh_code_uid () =
+  incr code_uid_counter;
+  !code_uid_counter
+
+let truthy = function VNil | VFalse -> false | _ -> true
+
+let type_name = function
+  | VNil -> "NilClass"
+  | VTrue -> "TrueClass"
+  | VFalse -> "FalseClass"
+  | VInt _ -> "Integer"
+  | VFloat _ -> "Float"
+  | VSym _ -> "Symbol"
+  | VRef _ -> "Object"
+  | VCode _ -> "<code>"
+  | VStrData _ -> "<strdata>"
+
+let rec pp fmt = function
+  | VNil -> Format.pp_print_string fmt "nil"
+  | VTrue -> Format.pp_print_string fmt "true"
+  | VFalse -> Format.pp_print_string fmt "false"
+  | VInt i -> Format.pp_print_int fmt i
+  | VFloat f -> Format.fprintf fmt "%g" f
+  | VSym s -> Format.fprintf fmt ":%s" (Sym.name s)
+  | VRef a -> Format.fprintf fmt "#<obj@%d>" a
+  | VCode c -> Format.fprintf fmt "#<code:%s>" c.code_name
+  | VStrData s -> Format.fprintf fmt "%S" s
+
+and to_string v = Format.asprintf "%a" pp v
+
+exception Guest_error of string
+
+let guest_error fmt = Format.kasprintf (fun s -> raise (Guest_error s)) fmt

@@ -1,0 +1,1 @@
+lib/workloads/extensions.ml: Array Buffer Builtins Hashtbl Heap Htm Htm_sim Klass List Minidb Netsim Objects Regexsim Rvm Store String Value Vm Vmthread

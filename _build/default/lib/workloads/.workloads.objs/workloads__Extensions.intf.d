@@ -1,0 +1,1 @@
+lib/workloads/extensions.mli: Minidb Netsim Rvm

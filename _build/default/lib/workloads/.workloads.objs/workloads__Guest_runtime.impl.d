@@ -1,0 +1,1 @@
+lib/workloads/guest_runtime.ml: Printf

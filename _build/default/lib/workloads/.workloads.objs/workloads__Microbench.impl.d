@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Guest_runtime Printf Size

@@ -1,0 +1,1 @@
+lib/workloads/npb_bt.ml: Guest_runtime Printf Size

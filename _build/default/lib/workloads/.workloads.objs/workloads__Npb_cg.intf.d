@@ -1,0 +1,1 @@
+lib/workloads/npb_cg.mli: Size

@@ -1,0 +1,1 @@
+lib/workloads/npb_ft.ml: Guest_runtime List Printf Size String

@@ -1,0 +1,1 @@
+lib/workloads/npb_is.ml: Guest_runtime Printf Size

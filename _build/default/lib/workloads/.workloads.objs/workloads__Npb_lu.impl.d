@@ -1,0 +1,1 @@
+lib/workloads/npb_lu.ml: Guest_runtime Printf Size

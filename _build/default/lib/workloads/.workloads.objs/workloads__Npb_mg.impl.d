@@ -1,0 +1,1 @@
+lib/workloads/npb_mg.ml: Guest_runtime Printf Size

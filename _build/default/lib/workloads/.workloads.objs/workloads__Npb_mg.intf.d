@@ -1,0 +1,1 @@
+lib/workloads/npb_mg.mli: Size

@@ -1,0 +1,1 @@
+lib/workloads/npb_sp.ml: Guest_runtime Printf Size

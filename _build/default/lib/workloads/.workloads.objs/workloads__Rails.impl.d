@@ -1,0 +1,1 @@
+lib/workloads/rails.ml: Array Extensions Minidb Netsim Printf

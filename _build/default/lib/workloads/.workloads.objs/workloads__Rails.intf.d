@@ -1,0 +1,1 @@
+lib/workloads/rails.mli: Minidb Netsim Rvm

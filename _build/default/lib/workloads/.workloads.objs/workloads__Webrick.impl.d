@@ -1,0 +1,1 @@
+lib/workloads/webrick.ml: Extensions Netsim Printf

@@ -1,0 +1,1 @@
+lib/workloads/webrick.mli: Netsim Rvm

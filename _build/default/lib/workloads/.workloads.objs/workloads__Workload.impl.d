@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Microbench Netsim Npb_bt Npb_cg Npb_ft Npb_is Npb_lu Npb_mg Npb_sp Rails Rvm Size Webrick

@@ -1,0 +1,249 @@
+(* "C extension" classes exposed to guest code:
+   - TCPServer / Conn over netsim virtual sockets (blocking I/O releases the
+     GIL, and is illegal inside transactions, like real syscalls);
+   - Regexp over regexsim (no yield points inside; backtracking work is
+     charged as read/write footprint, the paper's main source of overflow
+     aborts in WEBrick and Rails);
+   - DB over minidb (SQLite3 stand-in; statements execute under the GIL like
+     any thread-unsafe extension library). *)
+
+open Htm_sim
+open Rvm
+
+let as_int name = function
+  | Value.VInt i -> i
+  | v -> Value.guest_error "%s: expected Integer, got %s" name (Value.type_name v)
+
+let conn_id vm th recv =
+  match recv with
+  | Value.VRef slot -> (
+      match Htm.read vm.Vm.htm ~ctx:th.Vmthread.ctx (slot + 1) with
+      | Value.VInt id -> id
+      | _ -> Value.guest_error "corrupt Conn object")
+  | _ -> Value.guest_error "Conn method on non-object"
+
+let io_write_latency = 2_500
+let io_read_cost = 600
+
+(* ---- sockets ------------------------------------------------------------ *)
+
+let install_net vm (io : Netsim.t) =
+  let server = Vm.define_class vm ~kind:(Klass.K_extension "TCPServer") "TCPServer" in
+  let conn = Vm.define_class vm ~kind:(Klass.K_extension "Conn") "Conn" in
+  Vm.bind_class_const vm server;
+  Vm.bind_class_const vm conn;
+  Vm.defp vm server "initialize" (fun _ _ _ _ -> Value.VNil);
+  Vm.defp vm server "accept" (fun vm th _ _ ->
+      (* syscall: never inside a transaction *)
+      Builtins.no_txn vm th;
+      ignore (Netsim.advance io ~now:th.Vmthread.clock);
+      match Netsim.accept io with
+      | Some c ->
+          let slot = Heap.alloc_slot vm.Vm.heap th ~class_id:conn.Klass.id in
+          Htm.write vm.Vm.htm ~ctx:th.Vmthread.ctx (slot + 1)
+            (Value.VInt c.Netsim.conn_id);
+          Value.VRef slot
+      | None -> Builtins.blocking vm th (Vmthread.On_accept 0));
+  Vm.defp vm conn "read_request" (fun vm th recv _ ->
+      Builtins.no_txn vm th;
+      let id = conn_id vm th recv in
+      th.Vmthread.clock <- th.Vmthread.clock + io_read_cost;
+      match Netsim.conn io id with
+      | Some c -> Value.VRef (Objects.new_string vm th c.Netsim.request)
+      | None -> Value.guest_error "read on closed connection");
+  Vm.defp vm conn "write" (fun vm th recv args ->
+      Builtins.no_txn vm th;
+      let id = conn_id vm th recv in
+      if th.Vmthread.io_done then begin
+        th.Vmthread.io_done <- false;
+        let chunk =
+          match args.(0) with
+          | Value.VRef a -> Objects.string_content vm th a
+          | v -> Objects.display vm th v
+        in
+        Netsim.write io id chunk;
+        Value.VInt (String.length chunk)
+      end
+      else begin
+        th.Vmthread.io_done <- true;
+        Builtins.blocking vm th
+          (Vmthread.On_io (th.Vmthread.clock + io_write_latency))
+      end);
+  Vm.defp vm conn "close" (fun vm th recv _ ->
+      Builtins.no_txn vm th;
+      Netsim.close io (conn_id vm th recv) ~now:th.Vmthread.clock;
+      Value.VNil)
+
+(* ---- regular expressions ------------------------------------------------- *)
+
+(* Work inside the regex engine is charged as footprint over a per-VM
+   scratch region: one cell of read+write traffic per few backtracking
+   steps, approximating Oniguruma's backtrack stack. With long subjects the
+   write set overflows — Section 5.6's dominant abort cause in Rails. *)
+let install_regex vm =
+  let regexp = Vm.define_class vm ~kind:(Klass.K_extension "Regexp") "Regexp" in
+  Vm.bind_class_const vm regexp;
+  let table : (int, Regexsim.t) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let scratch = Store.reserve_aligned vm.Vm.store 8192 in
+  for i = 0 to 8191 do
+    Store.set vm.Vm.store (scratch + i) (Value.VInt 0)
+  done;
+  let charge vm (th : Vmthread.t) steps =
+    let cells = min 8192 (max 1 (steps / 2)) in
+    Htm.touch_read_range vm.Vm.htm ~ctx:th.ctx scratch cells;
+    Htm.touch_write_range vm.Vm.htm ~ctx:th.ctx scratch (min 2048 cells);
+    th.clock <- th.clock + (2 * steps)
+  in
+  let get_re vm th recv =
+    match recv with
+    | Value.VRef slot -> (
+        match Htm.read vm.Vm.htm ~ctx:th.Vmthread.ctx (slot + 1) with
+        | Value.VInt id -> Hashtbl.find table id
+        | _ -> Value.guest_error "corrupt Regexp")
+    | _ -> Value.guest_error "Regexp method on non-object"
+  in
+  Vm.defp vm regexp "initialize" (fun vm th recv args ->
+      let pat =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Value.guest_error "Regexp.new: %s" (Value.type_name v)
+      in
+      let re =
+        try Regexsim.compile pat
+        with Regexsim.Parse_error m -> Value.guest_error "bad regexp: %s" m
+      in
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace table id re;
+      (match recv with
+      | Value.VRef slot ->
+          Htm.write vm.Vm.htm ~ctx:th.Vmthread.ctx (slot + 1) (Value.VInt id)
+      | _ -> ());
+      Value.VNil);
+  (* match(s) -> start index or nil *)
+  Vm.defp vm regexp "match" (fun vm th recv args ->
+      let re = get_re vm th recv in
+      let s =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Objects.display vm th v
+      in
+      let result, steps = Regexsim.search re s in
+      charge vm th steps;
+      match result with
+      | Some (start, _, _) -> Value.VInt start
+      | None -> Value.VNil);
+  Vm.defp vm regexp "matches?" (fun vm th recv args ->
+      let re = get_re vm th recv in
+      let s =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Objects.display vm th v
+      in
+      let result, steps = Regexsim.search re s in
+      charge vm th steps;
+      match result with Some _ -> Value.VTrue | None -> Value.VFalse);
+  (* capture(s, i) -> i-th group of the first match, or nil *)
+  Vm.defp vm regexp "capture" (fun vm th recv args ->
+      let re = get_re vm th recv in
+      let s =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Objects.display vm th v
+      in
+      let i = match args.(1) with Value.VInt i -> i | _ -> 0 in
+      let result, steps = Regexsim.search re s in
+      charge vm th steps;
+      match result with
+      | Some (_, _, groups) when i < List.length groups ->
+          let a, b = List.nth groups i in
+          Value.VRef (Objects.new_string vm th (String.sub s a (b - a)))
+      | _ -> Value.VNil);
+  (* gsub_str(s, repl): replace every match with a literal *)
+  Vm.defp vm regexp "gsub_str" (fun vm th recv args ->
+      let re = get_re vm th recv in
+      let s =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Objects.display vm th v
+      in
+      let repl =
+        match args.(1) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Objects.display vm th v
+      in
+      let buf = Buffer.create (String.length s) in
+      let total_steps = ref 0 in
+      let pos = ref 0 in
+      let n = String.length s in
+      while !pos <= n do
+        if !pos = n then begin
+          pos := n + 1
+        end
+        else begin
+          match Regexsim.match_at re s !pos with
+          | Some stop, _, steps when stop > !pos ->
+              total_steps := !total_steps + steps;
+              Buffer.add_string buf repl;
+              pos := stop
+          | _, _, steps ->
+              total_steps := !total_steps + steps;
+              Buffer.add_char buf s.[!pos];
+              incr pos
+        end
+      done;
+      charge vm th !total_steps;
+      Value.VRef (Objects.new_string vm th (Buffer.contents buf)))
+
+(* ---- database ------------------------------------------------------------ *)
+
+let install_db vm (db : Minidb.t) =
+  let dbc = Vm.define_class vm ~kind:(Klass.K_extension "DB") "DB" in
+  Vm.bind_class_const vm dbc;
+  (* the statement touches this region like SQLite walking its pages *)
+  let pages = Store.reserve_aligned vm.Vm.store 4096 in
+  for i = 0 to 4095 do
+    Store.set vm.Vm.store (pages + i) (Value.VInt 0)
+  done;
+  Vm.defsp vm dbc "query_all" (fun vm th _ args ->
+      (* SQLite3 is a thread-unsafe extension library: it relies on the GIL *)
+      Builtins.no_txn vm th;
+      let name =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | v -> Value.guest_error "DB.query_all: %s" (Value.type_name v)
+      in
+      let limit = match if Array.length args > 1 then args.(1) else Value.VNil with
+        | Value.VInt i -> Some i
+        | _ -> None
+      in
+      let res = Minidb.select db name ?limit () in
+      Htm.touch_read_range vm.Vm.htm ~ctx:th.Vmthread.ctx pages
+        (min 4096 (res.Minidb.pages_touched * 64));
+      th.Vmthread.clock <- th.Vmthread.clock + (res.Minidb.pages_touched * 400);
+      let out = Objects.new_array vm th ~len:0 ~fill:Value.VNil in
+      List.iter
+        (fun row ->
+          let r = Objects.new_array vm th ~len:0 ~fill:Value.VNil in
+          Array.iter
+            (fun v ->
+              let gv =
+                match (v : Minidb.value) with
+                | Minidb.Int i -> Value.VInt i
+                | Minidb.Text s -> Value.VRef (Objects.new_string vm th s)
+              in
+              Objects.array_push vm th r gv)
+            row;
+          Objects.array_push vm th out (Value.VRef r))
+        res.Minidb.rows;
+      Value.VRef out);
+  Vm.defsp vm dbc "count" (fun vm th _ args ->
+      Builtins.no_txn vm th;
+      let name =
+        match args.(0) with
+        | Value.VRef a -> Objects.string_content vm th a
+        | _ -> Value.guest_error "DB.count: bad table"
+      in
+      Value.VInt (Minidb.count db name));
+  ignore as_int

@@ -1,0 +1,18 @@
+(** "C extension" classes exposed to guest code. Like real CRuby extension
+    libraries: no yield points inside, blocking operations abort enclosing
+    transactions (syscalls), and the thread-unsafe database relies on the
+    GIL. *)
+
+val install_net : Rvm.Vm.t -> Netsim.t -> unit
+(** TCPServer (accept) and Conn (read_request/write/close) over the virtual
+    network; socket operations block and release the GIL. *)
+
+val install_regex : Rvm.Vm.t -> unit
+(** Regexp: new(pattern), match(s), matches?(s), capture(s, i),
+    gsub_str(s, replacement). Backtracking work is charged as transactional
+    footprint over a scratch region — the paper's dominant overflow-abort
+    source in WEBrick and Rails. *)
+
+val install_db : Rvm.Vm.t -> Minidb.t -> unit
+(** DB.query_all(table, limit?) and DB.count(table); statements run under
+    the GIL like SQLite3 and touch a page region for footprint. *)

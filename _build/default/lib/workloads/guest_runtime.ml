@@ -1,0 +1,68 @@
+(* Guest-side runtime shared by the NPB ports: a deterministic LCG (so every
+   scheme computes bit-identical results regardless of interleaving) and a
+   condition-variable barrier like the one the Ruby NPB uses. *)
+
+let source =
+  {rt|
+class Lcg
+  def initialize(seed)
+    @s = seed % 2147483648
+  end
+  def next_int(bound)
+    @s = (@s * 1103515245 + 12345) % 2147483648
+    @s % bound
+  end
+  def next_float
+    @s = (@s * 1103515245 + 12345) % 2147483648
+    @s / 2147483648.0
+  end
+end
+
+class Barrier
+  def initialize(n)
+    @n = n
+    @count = 0
+    @gen = 0
+    @m = Mutex.new
+    @cv = ConditionVariable.new
+  end
+  def wait
+    @m.lock
+    g = @gen
+    @count += 1
+    if @count == @n
+      @count = 0
+      @gen += 1
+      @cv.broadcast
+    else
+      while @gen == g
+        @cv.wait(@m)
+      end
+    end
+    @m.unlock
+  end
+end
+|rt}
+
+(* Standard scaffold: [setup] runs on the main thread, [body] on each of the
+   [threads] workers (with tid in scope), [verify] on the main thread after
+   all joins. The body closes over the setup's locals through the enclosing
+   scope, exactly like the Ruby NPB's worker blocks. *)
+let wrap ~threads ~setup ~body ~verify =
+  Printf.sprintf
+    {|%s
+NT = %d
+%s
+bar = Barrier.new(NT)
+threads = []
+t = 0
+while t < NT
+  threads << Thread.new(t) do |tid|
+%s
+  end
+  t += 1
+end
+threads.each { |th| th.join }
+%s
+|}
+    source threads setup body verify

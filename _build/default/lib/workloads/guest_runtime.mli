@@ -1,0 +1,11 @@
+(** Guest-side runtime shared by the NPB ports: a deterministic LCG (so
+    every scheme computes bit-identical results regardless of interleaving)
+    and a condition-variable barrier like the Ruby NPB's. *)
+
+val source : string
+
+val wrap :
+  threads:int -> setup:string -> body:string -> verify:string -> string
+(** Standard scaffold: [setup] runs on the main thread, [body] on each of
+    [threads] workers (with [tid] in scope; it closes over the setup's
+    locals), [verify] on the main thread after all joins. *)

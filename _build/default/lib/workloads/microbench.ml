@@ -1,0 +1,34 @@
+(* The two embarrassingly parallel microbenchmarks of Figure 4: each thread
+   sums integers either in a plain while loop or through Range#each (whose
+   block invocations stress the send/invokeblock yield points). *)
+
+let while_body =
+  {|    x = 0
+    i = 1
+    while i <= ITERS
+      x += i
+      i += 1
+    end
+    results[tid] = x|}
+
+let iterator_body =
+  {|    x = 0
+    (1..ITERS).each do |i|
+      x += i
+    end
+    results[tid] = x|}
+
+let iters size = Size.pick size ~test:2_000 ~s:20_000 ~w:60_000
+
+let source variant ~threads ~size =
+  let body =
+    match variant with `While -> while_body | `Iterator -> iterator_body
+  in
+  Guest_runtime.wrap ~threads
+    ~setup:
+      (Printf.sprintf "ITERS = %d\nresults = Array.new(NT, 0)" (iters size))
+    ~body
+    ~verify:{|puts "microbench verify " + results.sum.to_s|}
+
+let while_bench ~threads ~size = source `While ~threads ~size
+let iterator_bench ~threads ~size = source `Iterator ~threads ~size

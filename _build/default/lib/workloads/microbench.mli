@@ -1,0 +1,6 @@
+(** The two embarrassingly parallel microbenchmarks of Figure 4: each thread
+    sums integers either in a plain while loop or through Range#each. *)
+
+val while_bench : threads:int -> size:Size.t -> string
+val iterator_bench : threads:int -> size:Size.t -> string
+val iters : Size.t -> int

@@ -1,0 +1,64 @@
+(* BT: block tridiagonal solver proxy — the heaviest arithmetic per grid
+   point of the three solvers (5x5 block operations become a small inner
+   loop of multiply-adds per point). *)
+
+let params size =
+  (* (rows, cols, iterations) *)
+  Size.pick size ~test:(16, 16, 2) ~s:(36, 32, 3) ~w:(56, 44, 4)
+
+let source ~threads ~size =
+  let r, c, iters = params size in
+  let setup =
+    Printf.sprintf
+      {|R = %d
+C = %d
+ITER = %d
+rng = Lcg.new(3)
+g = Array.new(R * C, 0.0)
+rhs = Array.new(R * C, 0.0)
+gi = 0
+while gi < R * C
+  g[gi] = rng.next_float
+  rhs[gi] = rng.next_float - 0.5
+  gi += 1
+end|}
+      r c iters
+  in
+  let body =
+    {|    gg = g
+    rr = rhs
+    rlo = R * tid / NT
+    rhi = R * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      i = rlo
+      while i < rhi
+        base = i * C
+        j = 1
+        while j < C - 1
+          v = gg[base + j]
+          acc = rr[base + j]
+          k = 0
+          while k < 5
+            acc += v * 0.17 - acc * 0.031 + v * v * 0.0005
+            k += 1
+          end
+          gg[base + j] = v * 0.7 + acc * 0.05 + gg[base + j - 1] * 0.125 + gg[base + j + 1] * 0.125
+          j += 1
+        end
+        i += 1
+      end
+      bar.wait
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < R * C
+  d += g[gi]
+  gi += 1
+end
+puts "BT verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

@@ -1,0 +1,5 @@
+(** NPB BT: block tridiagonal solver proxy: the heaviest per-point arithmetic of the three solvers. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "BT verify <checksum>"). *)

@@ -1,0 +1,99 @@
+(* CG: sparse matrix-vector products with norm reductions. The access
+   pattern matches NPB CG's character: indirect reads of a shared vector,
+   disjoint writes per thread partition, and a reduction every iteration. *)
+
+let params size = Size.pick size ~test:(120, 5, 2) ~s:(600, 8, 4) ~w:(1200, 10, 6)
+
+let source ~threads ~size =
+  let n, nz, iters = params size in
+  let setup =
+    Printf.sprintf
+      {|N = %d
+NZ = %d
+ITER = %d
+rng = Lcg.new(42)
+acols = Array.new(N, nil)
+avals = Array.new(N, nil)
+gi = 0
+while gi < N
+  cols = Array.new(NZ, 0)
+  vals = Array.new(NZ, 0.0)
+  gk = 0
+  while gk < NZ
+    cols[gk] = rng.next_int(N)
+    vals[gk] = rng.next_float + 0.1
+    gk += 1
+  end
+  acols[gi] = cols
+  avals[gi] = vals
+  gi += 1
+end
+x = Array.new(N, 1.0)
+y = Array.new(N, 0.0)
+partial = Array.new(NT, 0.0)
+alphabox = Array.new(1, 1.0)|}
+      n nz iters
+  in
+  let body =
+    {|    xs = x
+    ys = y
+    cs = acols
+    vs = avals
+    ps = partial
+    ab = alphabox
+    lo = N * tid / NT
+    hi = N * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      i = lo
+      while i < hi
+        rcols = cs[i]
+        rvals = vs[i]
+        s = 0.0
+        k = 0
+        while k < NZ
+          s += rvals[k] * xs[rcols[k]]
+          k += 1
+        end
+        ys[i] = s
+        i += 1
+      end
+      bar.wait
+      s2 = 0.0
+      i = lo
+      while i < hi
+        s2 += ys[i] * ys[i]
+        i += 1
+      end
+      ps[tid] = s2
+      bar.wait
+      if tid == 0
+        d = 0.0
+        j = 0
+        while j < NT
+          d += ps[j]
+          j += 1
+        end
+        ab[0] = Math.sqrt(d) + 0.000001
+      end
+      bar.wait
+      a = ab[0]
+      i = lo
+      while i < hi
+        xs[i] = ys[i] / a
+        i += 1
+      end
+      bar.wait
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < N
+  d += x[gi] * x[gi] * (gi % 7 + 1)
+  gi += 1
+end
+puts "CG verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

@@ -1,0 +1,5 @@
+(** NPB CG: sparse matrix-vector products with norm reductions (indirect reads of a shared vector, disjoint writes, a reduction per iteration). *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "CG verify <checksum>"). *)

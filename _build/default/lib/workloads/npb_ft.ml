@@ -1,0 +1,82 @@
+(* FT: Fourier-transform proxy. Butterfly-style passes over a complex array
+   with widening strides: each transaction touches widely separated lines,
+   the footprint-heavy, float-heavy profile that makes FT the best HTM
+   speedup in the paper (reads cross partitions, writes stay disjoint). *)
+
+let params size =
+  (* (array size, strides per sweep, outer iterations) *)
+  Size.pick size
+    ~test:(256, [ 1; 16 ], 1)
+    ~s:(2048, [ 1; 8; 64; 512 ], 2)
+    ~w:(4096, [ 1; 4; 16; 64; 256; 1024 ], 3)
+
+let source ~threads ~size =
+  let n, strides, iters = params size in
+  let strides_rb =
+    "[" ^ String.concat ", " (List.map string_of_int strides) ^ "]"
+  in
+  let setup =
+    Printf.sprintf
+      {|N = %d
+ITER = %d
+STRIDES = %s
+NPASS = STRIDES.length
+rng = Lcg.new(7)
+re = Array.new(N, 0.0)
+im = Array.new(N, 0.0)
+nre = Array.new(N, 0.0)
+nim = Array.new(N, 0.0)
+gi = 0
+while gi < N
+  re[gi] = rng.next_float
+  im[gi] = rng.next_float - 0.5
+  gi += 1
+end|}
+      n iters strides_rb
+  in
+  let body =
+    {|    res = re
+    ims = im
+    nres = nre
+    nims = nim
+    st = STRIDES
+    lo = N * tid / NT
+    hi = N * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      p = 0
+      while p < NPASS
+        stride = st[p]
+        i = lo
+        while i < hi
+          j = i + stride
+          j -= N if j >= N
+          tr = res[j] * 0.7 - ims[j] * 0.2
+          ti = ims[j] * 0.7 + res[j] * 0.2
+          nres[i] = res[i] * 0.6 + tr
+          nims[i] = ims[i] * 0.6 + ti
+          i += 1
+        end
+        bar.wait
+        i = lo
+        while i < hi
+          res[i] = nres[i] * 0.5
+          ims[i] = nims[i] * 0.5
+          i += 1
+        end
+        bar.wait
+        p += 1
+      end
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < N
+  d += re[gi] * re[gi] + im[gi] * im[gi]
+  gi += 1
+end
+puts "FT verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

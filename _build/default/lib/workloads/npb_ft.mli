@@ -1,0 +1,5 @@
+(** NPB FT: Fourier-transform proxy: butterfly passes with widening strides; footprint- and float-heavy, the best HTM speedup in the paper. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "FT verify <checksum>"). *)

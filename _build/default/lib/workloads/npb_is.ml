@@ -1,0 +1,79 @@
+(* IS: integer bucket sort. Key generation is serial on the main thread —
+   the paper notes that 79% of IS's time is data initialisation outside the
+   parallel region (Section 5.6) — then threads histogram their key
+   partitions privately and merge chunk-by-chunk into a shared count array
+   under mutexes, then a serial ranking pass. Integer-only, so there is no
+   float-boxing allocation traffic; IS shows the smallest HTM speedup. *)
+
+let chunks = 8
+
+let params size =
+  (* (total keys, buckets) *)
+  Size.pick size ~test:(6_000, 64) ~s:(40_000, 256) ~w:(100_000, 512)
+
+let source ~threads ~size =
+  let nkeys, k = params size in
+  let setup =
+    Printf.sprintf
+      {|NKEYS = %d
+K = %d
+CH = %d
+seed = 271828
+keys = Array.new(NKEYS, 0)
+gi = 0
+while gi < NKEYS
+  seed = (seed * 1103515245 + 12345) %% 2147483648
+  keys[gi] = seed %% K
+  gi += 1
+end
+shared = Array.new(K, 0)
+locks = Array.new(CH, nil)
+gi = 0
+while gi < CH
+  locks[gi] = Mutex.new
+  gi += 1
+end|}
+      nkeys k chunks
+  in
+  let body =
+    {|    ks = keys
+    sh = shared
+    lk = locks
+    lo = NKEYS * tid / NT
+    hi = NKEYS * (tid + 1) / NT
+    local = Array.new(K, 0)
+    i = lo
+    while i < hi
+      local[ks[i]] += 1
+      i += 1
+    end
+    bar.wait
+    c = 0
+    while c < CH
+      slot = (tid + c) % CH
+      m = lk[slot]
+      m.lock
+      b = K * slot / CH
+      e = K * (slot + 1) / CH
+      j = b
+      while j < e
+        sh[j] += local[j]
+        j += 1
+      end
+      m.unlock
+      c += 1
+    end
+    bar.wait
+    if tid == 0
+      i = 1
+      while i < K
+        shared[i] += shared[i - 1]
+        i += 1
+      end
+    end
+    bar.wait|}
+  in
+  let verify =
+    {|puts "IS verify " + shared[K - 1].to_s + " " + shared[K / 2].to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

@@ -1,0 +1,5 @@
+(** NPB IS: integer bucket sort: serial key initialisation (the paper notes 79% of IS runs outside the parallel region), private histograms merged under mutexes. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "IS verify <checksum>"). *)

@@ -1,0 +1,73 @@
+(* LU: lower-upper solver proxy — forward and backward substitution sweeps
+   with a row dependency (row i needs row i-1). Threads own column ranges
+   and synchronise once per block of rows, like the pipelined NPB LU's
+   wavefront. The frequent barriers make LU one of the weaker scalers. *)
+
+let params size =
+  (* (rows, cols, iterations, rows per block) *)
+  Size.pick size ~test:(24, 36, 1, 6) ~s:(64, 96, 2, 8) ~w:(96, 144, 3, 8)
+
+let source ~threads ~size =
+  let r, c, iters, blk = params size in
+  let setup =
+    Printf.sprintf
+      {|R = %d
+C = %d
+ITER = %d
+BLK = %d
+rng = Lcg.new(9)
+g = Array.new(R * C, 0.0)
+gi = 0
+while gi < R * C
+  g[gi] = rng.next_float
+  gi += 1
+end|}
+      r c iters blk
+  in
+  let body =
+    {|    gg = g
+    clo = C * tid / NT
+    chi = C * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      i = 1
+      while i < R
+        rend = i + BLK
+        rend = R if rend > R
+        while i < rend
+          j = clo
+          while j < chi
+            gg[i * C + j] = gg[i * C + j] * 0.75 + gg[(i - 1) * C + j] * 0.25
+            j += 1
+          end
+          i += 1
+        end
+        bar.wait
+      end
+      i = R - 2
+      while i >= 0
+        rend = i - BLK
+        rend = -1 if rend < -1
+        while i > rend
+          j = clo
+          while j < chi
+            gg[i * C + j] = gg[i * C + j] * 0.75 + gg[(i + 1) * C + j] * 0.25
+            j += 1
+          end
+          i -= 1
+        end
+        bar.wait
+      end
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < R * C
+  d += g[gi]
+  gi += 1
+end
+puts "LU verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

@@ -1,0 +1,5 @@
+(** NPB LU: lower-upper solver proxy: pipelined forward/backward sweeps with a row dependency; barrier-heavy, among the weaker scalers. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "LU verify <checksum>"). *)

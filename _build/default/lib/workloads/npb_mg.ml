@@ -1,0 +1,95 @@
+(* MG: two-level multigrid V-cycle proxy — smoothing stencils on a fine
+   grid, restriction to a coarse grid, coarse smoothing and prolongation.
+   Neighbour reads cross partition boundaries (true sharing at the edges). *)
+
+let params size =
+  (* (fine grid size, v-cycles); even sizes *)
+  Size.pick size ~test:(144, 1) ~s:(1440, 2) ~w:(2880, 3)
+
+let source ~threads ~size =
+  let n, iters = params size in
+  let setup =
+    Printf.sprintf
+      {|N = %d
+ITER = %d
+NC = N / 2
+rng = Lcg.new(11)
+fine = Array.new(N, 0.0)
+tmp = Array.new(N, 0.0)
+coarse = Array.new(NC, 0.0)
+ctmp = Array.new(NC, 0.0)
+gi = 0
+while gi < N
+  fine[gi] = rng.next_float
+  gi += 1
+end|}
+      n iters
+  in
+  let body =
+    {|    f = fine
+    tm = tmp
+    co = coarse
+    ct = ctmp
+    lo = N * tid / NT
+    hi = N * (tid + 1) / NT
+    clo = NC * tid / NT
+    chi = NC * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      i = lo
+      while i < hi
+        l = i - 1
+        l = N - 1 if l < 0
+        r = i + 1
+        r = 0 if r >= N
+        tm[i] = (f[l] + f[i] + f[r]) * 0.3333
+        i += 1
+      end
+      bar.wait
+      i = lo
+      while i < hi
+        f[i] = tm[i]
+        i += 1
+      end
+      bar.wait
+      i = clo
+      while i < chi
+        co[i] = f[2 * i] + f[2 * i + 1]
+        i += 1
+      end
+      bar.wait
+      i = clo
+      while i < chi
+        l = i - 1
+        l = NC - 1 if l < 0
+        r = i + 1
+        r = 0 if r >= NC
+        ct[i] = (co[l] + co[i] + co[r]) * 0.25
+        i += 1
+      end
+      bar.wait
+      i = clo
+      while i < chi
+        co[i] = ct[i]
+        i += 1
+      end
+      bar.wait
+      i = lo
+      while i < hi
+        f[i] += co[i / 2] * 0.1
+        i += 1
+      end
+      bar.wait
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < N
+  d += fine[gi]
+  gi += 1
+end
+puts "MG verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

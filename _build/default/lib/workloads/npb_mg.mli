@@ -1,0 +1,5 @@
+(** NPB MG: two-level multigrid V-cycle proxy: smoothing stencils, restriction and prolongation; neighbour reads cross partition boundaries. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "MG verify <checksum>"). *)

@@ -1,0 +1,64 @@
+(* SP: scalar pentadiagonal solver proxy — light arithmetic per grid point,
+   row sweeps over a 2D grid with barriers between directions. *)
+
+let params size =
+  (* (rows, cols, iterations) *)
+  Size.pick size ~test:(24, 24, 2) ~s:(60, 48, 3) ~w:(90, 64, 4)
+
+let source ~threads ~size =
+  let r, c, iters = params size in
+  let setup =
+    Printf.sprintf
+      {|R = %d
+C = %d
+ITER = %d
+rng = Lcg.new(5)
+g = Array.new(R * C, 0.0)
+gi = 0
+while gi < R * C
+  g[gi] = rng.next_float
+  gi += 1
+end|}
+      r c iters
+  in
+  let body =
+    {|    gg = g
+    rlo = R * tid / NT
+    rhi = R * (tid + 1) / NT
+    it = 0
+    while it < ITER
+      i = rlo
+      while i < rhi
+        base = i * C
+        j = 1
+        while j < C
+          gg[base + j] = gg[base + j] * 0.8 + gg[base + j - 1] * 0.2
+          j += 1
+        end
+        i += 1
+      end
+      bar.wait
+      i = rlo
+      while i < rhi
+        base = i * C
+        j = C - 2
+        while j >= 0
+          gg[base + j] = gg[base + j] * 0.8 + gg[base + j + 1] * 0.2
+          j -= 1
+        end
+        i += 1
+      end
+      bar.wait
+      it += 1
+    end|}
+  in
+  let verify =
+    {|d = 0.0
+gi = 0
+while gi < R * C
+  d += g[gi]
+  gi += 1
+end
+puts "SP verify " + ((d * 100000.0).round).to_s|}
+  in
+  Guest_runtime.wrap ~threads ~setup ~body ~verify

@@ -1,0 +1,5 @@
+(** NPB SP: scalar pentadiagonal solver proxy: light arithmetic per point, row sweeps with barriers between directions. *)
+
+val source : threads:int -> size:Size.t -> string
+(** The MiniRuby program: parameterised by worker count and size class,
+    self-verifying (prints "SP verify <checksum>"). *)

@@ -1,0 +1,127 @@
+(* A Rails-style stack in MiniRuby (Section 5.3: "an application to fetch a
+   list of books from a database", SQLite3 + WEBrick, the Rack global lock
+   disabled so requests are processed concurrently).
+
+   Per request: request-line parsing, regex routing, an ORM-ish query
+   through the DB extension (which runs under the GIL like SQLite3), ERB-ish
+   template rendering by string building, and a final regex gsub pass over
+   the whole page (the footprint-overflow hotspot of Section 5.6). *)
+
+let guest_source =
+  {|REQ_RE = Regexp.new("^[A-Z]+ [^ ]+ HTTP")
+ROUTE_BOOKS = Regexp.new("^/books")
+ROUTE_BOOK_ID = Regexp.new("^/books/([0-9]+)$")
+STRIP_RE = Regexp.new("  +")
+
+def render_row(r)
+  title = r[1]
+  # a helper like Rails' number formatting: checksum over the title
+  h = 0
+  i = 0
+  while i < title.length
+    h = (h * 131 + i) % 9973
+    i += 1
+  end
+  "<tr class=\"book\"><td>#{r[0]}</td><td>  #{title}</td><td>#{r[2]}  </td><td>#{h}</td></tr>"
+end
+
+def render_books(rows)
+  html = "<html><head><title>Books</title></head><body><table>"
+  header = ["id", "title", "author", "code"]
+  html << "<thead><tr>"
+  header.each do |hcol|
+    html << "<th>"
+    html << hcol
+    html << "</th>"
+  end
+  html << "</tr></thead><tbody>"
+  rows.each do |r|
+    html << render_row(r)
+  end
+  html << "</tbody></table></body></html>"
+  html
+end
+
+server = TCPServer.new(3000)
+while true
+  conn = server.accept
+  Thread.new(conn) do |c|
+    req = c.read_request
+    lines = req.split("\r\n")
+    first = lines[0]
+    status = "200 OK"
+    body = ""
+    if REQ_RE.matches?(first)
+      parts = first.split(" ")
+      path = parts[1]
+      if ROUTE_BOOK_ID.match(path) != nil
+        id = ROUTE_BOOK_ID.capture(path, 0).to_i
+        rows = DB.query_all("books", id % 7 + 3)
+        body = render_books(rows)
+      elsif ROUTE_BOOKS.match(path) != nil
+        rows = DB.query_all("books", 12)
+        body = render_books(rows)
+      else
+        status = "404 Not Found"
+        body = "<html><body>not found</body></html>"
+      end
+    else
+      status = "400 Bad Request"
+    end
+    body = STRIP_RE.gsub_str(body, " ")
+    resp = "HTTP/1.1 #{status}\r\nContent-Type: text/html\r\nContent-Length: #{body.length}\r\n\r\n#{body}"
+    c.write(resp)
+    c.close
+  end
+end
+|}
+
+let titles =
+  [|
+    "The Art of Computer Programming";
+    "Structure and Interpretation";
+    "Transaction Processing";
+    "The Mythical Man-Month";
+    "Design Patterns";
+    "Programming Ruby";
+    "Refactoring";
+    "Working Effectively with Legacy Code";
+  |]
+
+let authors = [| "Knuth"; "Abelson"; "Gray"; "Brooks"; "Gamma"; "Thomas"; "Fowler"; "Feathers" |]
+
+let make_db () =
+  let db = Minidb.create () in
+  ignore (Minidb.create_table db "books" [| "id"; "title"; "author" |]);
+  for i = 0 to 63 do
+    Minidb.insert db "books"
+      [|
+        Minidb.Int i;
+        Minidb.Text titles.(i mod Array.length titles);
+        Minidb.Text authors.(i mod Array.length authors);
+      |]
+  done;
+  db
+
+(* The request mix cycles deterministically per request (not per client) so
+   throughput comparisons across client counts measure the same workload. *)
+let make_request =
+  let counter = ref 0 in
+  fun _client ->
+    incr counter;
+    match !counter mod 3 with
+    | 0 -> "GET /books HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+    | 1 ->
+        Printf.sprintf
+          "GET /books/%d HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+          (17 + (!counter mod 40))
+    | _ -> "GET /missing HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+
+let make_io ~clients ~requests =
+  Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
+    make_request
+
+let setup io vm =
+  Extensions.install_net vm io;
+  Extensions.install_regex vm;
+  Extensions.install_db vm (make_db ())

@@ -1,0 +1,11 @@
+(** A Rails-style stack in MiniRuby: regex routing, an ORM-ish query through
+    the GIL-protected DB extension (SQLite3 stand-in), ERB-ish template
+    rendering, and a regex gsub pass over the page — the Section 5.6
+    footprint-overflow hotspot. The Rack global lock is disabled, as in the
+    paper. *)
+
+val guest_source : string
+val make_db : unit -> Minidb.t
+val make_request : int -> string
+val make_io : clients:int -> requests:int -> Netsim.t
+val setup : Netsim.t -> Rvm.Vm.t -> unit

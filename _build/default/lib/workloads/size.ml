@@ -1,0 +1,16 @@
+(* Problem-size classes. The paper uses NPB classes S and W; our simulator
+   runs ~50x scaled-down instances whose class ratios are preserved.
+   [Test] is for unit tests (seconds of wall time matter there). *)
+
+type t = Test | S | W
+
+let of_string = function
+  | "test" -> Test
+  | "s" | "S" -> S
+  | "w" | "W" -> W
+  | s -> invalid_arg ("Size.of_string: " ^ s)
+
+let to_string = function Test -> "test" | S -> "S" | W -> "W"
+
+(* Pick per-size parameters. *)
+let pick t ~test ~s ~w = match t with Test -> test | S -> s | W -> w

@@ -1,0 +1,9 @@
+(** Problem-size classes. The paper uses NPB classes S and W; the simulator
+    runs ~50x scaled-down instances with the class ratios preserved.
+    [Test] is for unit tests. *)
+
+type t = Test | S | W
+
+val of_string : string -> t
+val to_string : t -> string
+val pick : t -> test:'a -> s:'a -> w:'a -> 'a

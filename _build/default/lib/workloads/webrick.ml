@@ -1,0 +1,91 @@
+(* A WEBrick-style HTTP server in MiniRuby: one Ruby thread per incoming
+   request, discarded after the response (Section 5.3). Each request parses
+   the request line (with a regular expression, like WEBrick's
+   HTTPRequest#parse), splits headers, builds a small HTML page of ~46 bytes
+   and writes it back through blocking I/O that releases the GIL. *)
+
+let guest_source =
+  {|REQ_RE = Regexp.new("^[A-Z]+ [^ ]+ HTTP")
+server = TCPServer.new(8080)
+while true
+  conn = server.accept
+  Thread.new(conn) do |c|
+    req = c.read_request
+    lines = req.split("\r\n")
+    first = lines[0]
+    if REQ_RE.matches?(first)
+      parts = first.split(" ")
+      meth = parts[0]
+      path = parts[1]
+      proto = parts[2]
+      headers = {}
+      i = 1
+      while i < lines.length
+        line = lines[i]
+        idx = line.index(":")
+        if idx != nil
+          key = line.slice(0, idx).downcase.strip
+          value = line.slice(idx + 1, line.length - idx - 1).strip
+          headers[key] = value
+        end
+        i += 1
+      end
+      qidx = path.index("?")
+      query = ""
+      if qidx != nil
+        query = path.slice(qidx + 1, path.length - qidx - 1)
+        path = path.slice(0, qidx)
+      end
+      segments = path.split("/")
+      norm = "/" + segments.join("/")
+      host = headers["host"]
+      host = "unknown" if host == nil
+      agent = headers["user-agent"]
+      agent = "unknown" if agent == nil
+      # interpreted work per request: checksum the request text and build
+      # the page body piece by piece, like ERB template evaluation
+      check = 0
+      i = 0
+      n = req.length
+      while i < n
+        ch = req[i]
+        check = (check * 31 + ch.length + i) % 65536
+        i += 3
+      end
+      body = "<html><head><title>index</title></head><body>"
+      body << "<h1>hello #{norm}</h1><ul>"
+      row = 0
+      while row < 24
+        body << "<li>item #{row} of #{host} (#{(row * check) % 97})</li>"
+        row += 1
+      end
+      body << "</ul></body></html>"
+      resp = "HTTP/1.1 200 OK\r\n"
+      resp << "Server: MiniWEBrick/1.0\r\n"
+      resp << "Content-Type: text/html\r\n"
+      resp << "Content-Length: #{body.length}\r\n"
+      resp << "Connection: close\r\n\r\n"
+      resp << body
+      c.write(resp)
+      log = "#{host} #{meth} #{norm} #{proto} 200 #{body.length} #{agent}"
+      log.length
+    else
+      c.write("HTTP/1.1 400 Bad Request\r\n\r\n")
+    end
+    c.close
+  end
+end
+|}
+
+let make_request client =
+  Printf.sprintf
+    "GET /index%d.html HTTP/1.1\r\nHost: bench.local\r\nUser-Agent: loadgen/1.0\r\nAccept: */*\r\nConnection: close\r\n\r\n"
+    (client mod 4)
+
+let make_io ~clients ~requests =
+  Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
+    make_request
+
+let setup io vm =
+  Extensions.install_net vm io;
+  Extensions.install_regex vm

@@ -1,0 +1,8 @@
+(** A WEBrick-style HTTP server in MiniRuby: one guest thread per incoming
+    request, request-line regex validation, header parsing, body building,
+    blocking socket I/O that releases the GIL (Section 5.3). *)
+
+val guest_source : string
+val make_request : int -> string
+val make_io : clients:int -> requests:int -> Netsim.t
+val setup : Netsim.t -> Rvm.Vm.t -> unit

@@ -1,0 +1,88 @@
+(* Registry of every workload evaluated in the paper. *)
+
+type kind =
+  | Compute  (** fixed work; throughput = 1 / wall-clock *)
+  | Server  (** open-ended; throughput = completed requests per second *)
+
+type t = {
+  name : string;
+  kind : kind;
+  describe : string;
+  parallel_work : bool;
+      (** total work grows with the thread count (the Figure 4
+          microbenchmarks give each thread its own fixed workload) *)
+  source : threads:int -> size:Size.t -> string;
+      (** for [Server] workloads, [threads] is the number of clients *)
+  make_io : (clients:int -> requests:int -> Netsim.t) option;
+  setup : Netsim.t option -> Rvm.Vm.t -> unit;
+  server_requests : Size.t -> int;
+}
+
+let compute ?(parallel_work = false) name describe source =
+  {
+    name;
+    kind = Compute;
+    describe;
+    parallel_work;
+    source;
+    make_io = None;
+    setup = (fun _ _ -> ());
+    server_requests = (fun _ -> 0);
+  }
+
+let npb =
+  [
+    compute "bt" "NPB BT: block tridiagonal solver proxy" (fun ~threads ~size ->
+        Npb_bt.source ~threads ~size);
+    compute "cg" "NPB CG: sparse matvec + reductions" (fun ~threads ~size ->
+        Npb_cg.source ~threads ~size);
+    compute "ft" "NPB FT: strided butterfly passes" (fun ~threads ~size ->
+        Npb_ft.source ~threads ~size);
+    compute "is" "NPB IS: bucket sort with shared histogram" (fun ~threads ~size ->
+        Npb_is.source ~threads ~size);
+    compute "lu" "NPB LU: pipelined forward/backward sweeps" (fun ~threads ~size ->
+        Npb_lu.source ~threads ~size);
+    compute "mg" "NPB MG: two-level multigrid V-cycle" (fun ~threads ~size ->
+        Npb_mg.source ~threads ~size);
+    compute "sp" "NPB SP: scalar pentadiagonal sweeps" (fun ~threads ~size ->
+        Npb_sp.source ~threads ~size);
+  ]
+
+let micro =
+  [
+    compute ~parallel_work:true "while" "Figure 4 While microbenchmark"
+      (fun ~threads ~size -> Microbench.while_bench ~threads ~size);
+    compute ~parallel_work:true "iterator" "Figure 4 Iterator microbenchmark"
+      (fun ~threads ~size -> Microbench.iterator_bench ~threads ~size);
+  ]
+
+let webrick =
+  {
+    name = "webrick";
+    kind = Server;
+    parallel_work = false;
+    describe = "WEBrick HTTP server, thread per request";
+    source = (fun ~threads:_ ~size:_ -> Webrick.guest_source);
+    make_io = Some (fun ~clients ~requests -> Webrick.make_io ~clients ~requests);
+    setup =
+      (fun io vm ->
+        match io with Some io -> Webrick.setup io vm | None -> ());
+    server_requests = (fun size -> Size.pick size ~test:60 ~s:400 ~w:1200);
+  }
+
+let rails =
+  {
+    name = "rails";
+    kind = Server;
+    parallel_work = false;
+    describe = "Ruby on Rails-style book listing over SQLite stand-in";
+    source = (fun ~threads:_ ~size:_ -> Rails.guest_source);
+    make_io = Some (fun ~clients ~requests -> Rails.make_io ~clients ~requests);
+    setup = (fun io vm -> match io with Some io -> Rails.setup io vm | None -> ());
+    server_requests = (fun size -> Size.pick size ~test:40 ~s:250 ~w:800);
+  }
+
+let all = micro @ npb @ [ webrick; rails ]
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let npb_names = List.map (fun w -> w.name) npb

@@ -1,0 +1,28 @@
+(** Registry of every workload evaluated in the paper. *)
+
+type kind =
+  | Compute  (** fixed work; throughput = 1 / wall-clock *)
+  | Server  (** open-ended; throughput = completed requests per second *)
+
+type t = {
+  name : string;
+  kind : kind;
+  describe : string;
+  parallel_work : bool;
+      (** total work grows with the thread count (the Figure 4
+          microbenchmarks give each thread its own fixed workload) *)
+  source : threads:int -> size:Size.t -> string;
+      (** for [Server] workloads, [threads] is the number of clients *)
+  make_io : (clients:int -> requests:int -> Netsim.t) option;
+  setup : Netsim.t option -> Rvm.Vm.t -> unit;
+      (** installs extension classes (sockets, regexp, db) into the VM *)
+  server_requests : Size.t -> int;
+}
+
+val npb : t list
+val micro : t list
+val webrick : t
+val rails : t
+val all : t list
+val find : string -> t option
+val npb_names : string list

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array List Printf QCheck Rvm String Tutil

@@ -1,0 +1,1 @@
+test/test_gil.ml: Alcotest Core Htm Htm_sim Machine Option Store Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Core Htm_sim List Printf QCheck Rvm String Tutil

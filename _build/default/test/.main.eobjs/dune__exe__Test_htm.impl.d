@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Array Htm Htm_sim Machine QCheck Stats Store Tutil Txn

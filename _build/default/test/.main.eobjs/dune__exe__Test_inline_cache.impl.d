@@ -1,0 +1,1 @@
+test/test_inline_cache.ml: Alcotest Core List Rvm Tutil

@@ -1,0 +1,1 @@
+test/test_lazy_sweep.ml: Alcotest Core Htm_sim List Option Printf Rvm Tutil Workloads

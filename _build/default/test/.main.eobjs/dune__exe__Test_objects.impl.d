@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Fun Hashtbl Htm_sim List QCheck Rvm String Tutil

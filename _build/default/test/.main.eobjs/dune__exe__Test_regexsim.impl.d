@@ -1,0 +1,1 @@
+test/test_regexsim.ml: Alcotest List QCheck Regexsim String Tutil

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Core Htm_sim Option Printf Tutil Workloads

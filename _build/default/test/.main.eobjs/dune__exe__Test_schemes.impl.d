@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Core Htm_sim List Machine Option Printf QCheck Rvm Stats String Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Core Harness Htm_sim List Machine Option Stats Workloads

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Core Format Harness Htm_sim List Machine Option Printf Rvm Stats Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Htm Htm_sim List Machine QCheck Store Tutil Txn

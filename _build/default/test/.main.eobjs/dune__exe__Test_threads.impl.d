@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Core List Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_txlen.ml: Alcotest Core Htm_sim Rvm

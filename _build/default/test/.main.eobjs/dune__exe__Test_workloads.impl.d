@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core List Option Printexc Printf Rvm String Tutil Workloads

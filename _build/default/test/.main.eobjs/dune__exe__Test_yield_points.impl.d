@@ -1,0 +1,1 @@
+test/test_yield_points.ml: Alcotest Array Core List Rvm

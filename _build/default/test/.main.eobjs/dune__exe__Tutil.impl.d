@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Core Htm_sim Option QCheck QCheck_alcotest Rvm

@@ -1,0 +1,188 @@
+(* Compiler unit tests: bytecode shapes, local resolution (including closure
+   depth), cache-slot allocation — plus differential testing of arithmetic
+   against an OCaml reference evaluator. *)
+
+open Rvm.Value
+
+let compile src = Rvm.Compiler.compile_string src
+
+let insns src = (compile src).main.insns
+
+let has_insn pred src = Array.exists pred (insns src)
+
+let test_opt_insns () =
+  Alcotest.(check bool) "plus" true
+    (has_insn (function Opt_plus -> true | _ -> false) "x = 1 + 2");
+  Alcotest.(check bool) "aref" true
+    (has_insn (function Opt_aref -> true | _ -> false) "a = [1]\nx = a[0]");
+  Alcotest.(check bool) "aset" true
+    (has_insn (function Opt_aset -> true | _ -> false) "a = [1]\na[0] = 2");
+  Alcotest.(check bool) "ltlt" true
+    (has_insn (function Opt_ltlt -> true | _ -> false) "a = []\na << 1")
+
+let test_bare_name_resolution () =
+  (* before assignment a bare name is a self-send; after, a local *)
+  let code = insns "foo\nfoo = 1\nfoo" in
+  let sends =
+    Array.to_list code
+    |> List.filter_map (function
+         | Send { ss_sym; _ } when Rvm.Sym.name ss_sym = "foo" -> Some ()
+         | _ -> None)
+  in
+  Alcotest.(check int) "one self-send" 1 (List.length sends);
+  Alcotest.(check bool) "and one local read" true
+    (has_insn (function Getlocal _ -> true | _ -> false) "foo = 1\nfoo")
+
+let test_closure_depth () =
+  let prog = compile "x = 1\n[1].each { |i| x += i }" in
+  (* find the block body and check it reads x at depth 1 *)
+  let block =
+    Array.to_list prog.main.insns
+    |> List.find_map (function
+         | Send { ss_block = Some b; _ } -> Some b
+         | _ -> None)
+  in
+  match block with
+  | None -> Alcotest.fail "no block compiled"
+  | Some b ->
+      Alcotest.(check bool) "reads outer local at depth 1" true
+        (Array.exists (function Getlocal (_, 1) -> true | _ -> false) b.insns);
+      Alcotest.(check bool) "writes outer local at depth 1" true
+        (Array.exists (function Setlocal (_, 1) -> true | _ -> false) b.insns)
+
+let test_block_params_are_block_locals () =
+  let prog = compile "[1].each { |i| j = i }" in
+  let block =
+    Array.to_list prog.main.insns
+    |> List.find_map (function Send { ss_block = Some b; _ } -> Some b | _ -> None)
+  in
+  match block with
+  | None -> Alcotest.fail "no block"
+  | Some b ->
+      Alcotest.(check int) "arity" 1 b.arity;
+      Alcotest.(check int) "two block locals" 2 b.nlocals;
+      Alcotest.(check bool) "only depth-0 access" true
+        (Array.for_all
+           (function Getlocal (_, d) | Setlocal (_, d) -> d = 0 | _ -> true)
+           b.insns)
+
+let test_cache_slots_unique () =
+  let prog =
+    compile "a.foo\nb.bar\n@x\n@x = 1\nc.baz(1)"
+  in
+  ignore prog;
+  (* every send/ivar site got its own slot: count slots used *)
+  let slots = ref [] in
+  let record i =
+    match i with
+    | Send { ss_cache; _ } | Getivar (_, ss_cache) | Setivar (_, ss_cache)
+    | Newinstance { ss_cache; _ } ->
+        slots := ss_cache :: !slots
+    | _ -> ()
+  in
+  Array.iter record (compile "x = a.foo\ny = b.bar\nz = c.baz(1)").main.insns;
+  let sorted = List.sort_uniq compare !slots in
+  Alcotest.(check int) "distinct slots" (List.length !slots) (List.length sorted)
+
+let test_while_compiles_to_branches () =
+  let code = insns "i = 0\nwhile i < 3\n  i += 1\nend" in
+  Alcotest.(check bool) "has backward jump" true
+    (Array.exists (function Jump _ -> true | _ -> false) code);
+  Alcotest.(check bool) "has conditional exit" true
+    (Array.exists (function Branchunless _ -> true | _ -> false) code)
+
+let test_jump_targets_in_range () =
+  let check_code (c : code) =
+    Array.iter
+      (function
+        | Jump t | Branchif t | Branchunless t ->
+            if t < 0 || t >= Array.length c.insns then
+              Alcotest.failf "jump target %d out of range in %s" t c.code_name
+        | _ -> ())
+      c.insns
+  in
+  let prog =
+    compile
+      {|def f(n)
+  s = 0
+  i = 0
+  while i < n
+    if i % 2 == 0
+      s += i
+    else
+      s -= 1
+    end
+    i += 1
+  end
+  s
+end
+puts f(10)|}
+  in
+  check_code prog.main;
+  Array.iter
+    (function Defmethod (_, c) -> check_code c | _ -> ())
+    prog.main.insns
+
+(* Differential testing: random arithmetic expressions evaluated by the
+   guest must match an OCaml reference evaluation. *)
+type rexpr =
+  | RInt of int
+  | RAdd of rexpr * rexpr
+  | RSub of rexpr * rexpr
+  | RMul of rexpr * rexpr
+  | RTern of rexpr * rexpr * rexpr
+
+let rec reval = function
+  | RInt i -> i
+  | RAdd (a, b) -> reval a + reval b
+  | RSub (a, b) -> reval a - reval b
+  | RMul (a, b) -> reval a * reval b
+  | RTern (c, a, b) -> if reval c > 0 then reval a else reval b
+
+let rec rprint = function
+  | RInt i -> if i < 0 then Printf.sprintf "(0 - %d)" (-i) else string_of_int i
+  | RAdd (a, b) -> Printf.sprintf "(%s + %s)" (rprint a) (rprint b)
+  | RSub (a, b) -> Printf.sprintf "(%s - %s)" (rprint a) (rprint b)
+  | RMul (a, b) -> Printf.sprintf "(%s * %s)" (rprint a) (rprint b)
+  | RTern (c, a, b) ->
+      Printf.sprintf "(%s > 0 ? %s : %s)" (rprint c) (rprint a) (rprint b)
+
+let gen_rexpr =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun i -> RInt i) (int_range (-50) 50)
+         else
+           frequency
+             [
+               (2, map (fun i -> RInt i) (int_range (-50) 50));
+               (2, map2 (fun a b -> RAdd (a, b)) (self (n / 2)) (self (n / 2)));
+               (2, map2 (fun a b -> RSub (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> RMul (a, b)) (self (n / 2)) (self (n / 2)));
+               ( 1,
+                 map3
+                   (fun c a b -> RTern (c, a, b))
+                   (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+             ])
+
+let prop_expr_differential =
+  Tutil.qtest "guest arithmetic matches OCaml reference" ~count:150
+    (QCheck.make gen_rexpr ~print:rprint)
+    (fun e ->
+      let expected = string_of_int (reval e) in
+      let got = String.trim (Tutil.output ("puts " ^ rprint e)) in
+      expected = got)
+
+let suite =
+  [
+    Alcotest.test_case "specialised instructions" `Quick test_opt_insns;
+    Alcotest.test_case "bare-name resolution" `Quick test_bare_name_resolution;
+    Alcotest.test_case "closure depth" `Quick test_closure_depth;
+    Alcotest.test_case "block params are block-local" `Quick
+      test_block_params_are_block_locals;
+    Alcotest.test_case "inline-cache slots unique" `Quick test_cache_slots_unique;
+    Alcotest.test_case "while compiles to branches" `Quick
+      test_while_compiles_to_branches;
+    Alcotest.test_case "jump targets in range" `Quick test_jump_targets_in_range;
+    prop_expr_differential;
+  ]

@@ -1,0 +1,80 @@
+(* Extension ("C") classes exposed to guest code: Regexp over regexsim and
+   DB over minidb; plus the TCPServer/Conn stack end to end. *)
+
+let run_with_exts ?(scheme = Core.Scheme.Gil_only) source =
+  let cfg = Core.Runner.config ~scheme Htm_sim.Machine.xeon_e3 in
+  let t = Core.Runner.create cfg ~source in
+  Workloads.Extensions.install_regex t.Core.Runner.vm;
+  Workloads.Extensions.install_db t.Core.Runner.vm (Workloads.Rails.make_db ());
+  (Core.Runner.run t).Core.Runner.output
+
+let test_regexp_guest () =
+  let out =
+    run_with_exts
+      {|re = Regexp.new("^/users/([0-9]+)$")
+puts re.matches?("/users/42")
+puts re.matches?("/users/x")
+puts re.match("/users/42")
+puts re.capture("/users/42", 0)|}
+  in
+  Alcotest.(check string) "regexp methods" "true\nfalse\n0\n42\n" out
+
+let test_regexp_gsub () =
+  let out =
+    run_with_exts
+      {|re = Regexp.new("  +")
+puts re.gsub_str("a  b    c d", " ")|}
+  in
+  Alcotest.(check string) "gsub" "a b c d\n" out
+
+let test_regexp_in_transaction () =
+  (* regex work inside transactions charges footprint but stays correct *)
+  let out =
+    run_with_exts ~scheme:Core.Scheme.Htm_dynamic
+      {|re = Regexp.new("[a-z]+[0-9]+")
+hits = [0]
+ths = []
+t = 0
+while t < 4
+  ths << Thread.new(t) do |tid|
+    n = 0
+    i = 0
+    while i < 30
+      n += 1 if re.matches?("prefix" + tid.to_s + "x" + i.to_s)
+      i += 1
+    end
+    hits[0] = hits[0] + n if tid == 0
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+puts hits[0]|}
+  in
+  Alcotest.(check string) "regex under HTM" "30\n" out
+
+let test_db_guest () =
+  let out =
+    run_with_exts
+      {|rows = DB.query_all("books", 5)
+puts rows.length
+first = rows[0]
+puts first[0]
+puts first[1]
+puts DB.count("books")|}
+  in
+  Alcotest.(check string) "db query" "5\n0\nThe Art of Computer Programming\n64\n" out
+
+let test_bad_regexp () =
+  try
+    ignore (run_with_exts {|re = Regexp.new("(unclosed")|});
+    Alcotest.fail "bad pattern should fail"
+  with Core.Runner.Guest_failure _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "Regexp from guest code" `Quick test_regexp_guest;
+    Alcotest.test_case "Regexp#gsub_str" `Quick test_regexp_gsub;
+    Alcotest.test_case "Regexp inside transactions" `Quick test_regexp_in_transaction;
+    Alcotest.test_case "DB from guest code" `Quick test_db_guest;
+    Alcotest.test_case "invalid pattern is a guest error" `Quick test_bad_regexp;
+  ]

@@ -1,0 +1,64 @@
+(* GIL mechanics: yield points, timer-driven switching, subscription. *)
+
+open Htm_sim
+
+let test_timer_switching () =
+  (* two compute threads under the pure GIL must interleave: both finish *)
+  Tutil.check_output ~scheme:Core.Scheme.Gil_only "both threads progress" "3\n"
+    {|done_count = [0]
+m = Mutex.new
+a = Thread.new do
+  i = 0
+  while i < 30000
+    i += 1
+  end
+  m.synchronize { done_count[0] += 1 }
+end
+b = Thread.new do
+  i = 0
+  while i < 30000
+    i += 1
+  end
+  m.synchronize { done_count[0] += 2 }
+end
+a.join
+b.join
+puts done_count[0]|}
+
+let test_gil_acquisitions_counted () =
+  let w = Option.get (Workloads.Workload.find "cg") in
+  let source = w.source ~threads:4 ~size:Workloads.Size.Test in
+  let r = Tutil.run_source ~scheme:Core.Scheme.Gil_only source in
+  Alcotest.(check bool) "switches happened" true (r.Core.Runner.gil_acquisitions > 4)
+
+let test_single_thread_no_yield_overhead () =
+  (* with one thread there are no yield operations: GIL-mode wall clock for a
+     single-thread program stays close to minimal dispatch cost *)
+  let r =
+    Tutil.run_source ~scheme:Core.Scheme.Gil_only
+      "x = 0\ni = 0\nwhile i < 10000\n  x += i\n  i += 1\nend\nputs x"
+  in
+  Alcotest.(check bool) "few acquisitions" true (r.Core.Runner.gil_acquisitions <= 2)
+
+let test_subscription_aborts () =
+  (* an explicit GIL acquisition aborts transactional readers *)
+  let machine = Machine.zec12 in
+  let store = Store.create ~dummy:0 ~line_cells:machine.line_cells 1024 in
+  let htm = Htm.create machine store in
+  let gil_word = Store.reserve_aligned store 1 in
+  Store.set store gil_word 0;
+  Htm.set_occupied htm 0 true;
+  Htm.set_occupied htm 1 true;
+  Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+  ignore (Htm.read htm ~ctx:0 gil_word);
+  (* ctx 1 "acquires the GIL" non-transactionally *)
+  Htm.write htm ~ctx:1 gil_word 1;
+  Alcotest.(check bool) "subscriber killed" false (Htm.in_txn htm 0)
+
+let suite =
+  [
+    Alcotest.test_case "timer-driven switching" `Quick test_timer_switching;
+    Alcotest.test_case "acquisitions counted" `Quick test_gil_acquisitions_counted;
+    Alcotest.test_case "single-thread fast path" `Quick test_single_thread_no_yield_overhead;
+    Alcotest.test_case "GIL word subscription" `Quick test_subscription_aborts;
+  ]

@@ -1,0 +1,151 @@
+(* Heap, free lists and GC: survival of reachable objects, reclamation of
+   garbage, heap growth, and the allocation-pressure behaviour that drives
+   the paper's conflict analysis. *)
+
+let run ?(opts = Rvm.Options.default) source =
+  let cfg = Core.Runner.config ~scheme:Core.Scheme.Gil_only ~opts Htm_sim.Machine.zec12 in
+  let t = Core.Runner.create cfg ~source in
+  let r = Core.Runner.run t in
+  (r, t.Core.Runner.vm)
+
+let small_heap = { Rvm.Options.default with heap_slots = 1_500 }
+
+let test_gc_triggers () =
+  (* a small heap plus heavy float traffic forces collections *)
+  let r, _ =
+    run ~opts:small_heap
+      {|x = 0.0
+i = 0
+while i < 3000
+  x += 1.5
+  i += 1
+end
+puts x|}
+  in
+  Alcotest.(check string) "result survives GC" "4500.0\n" r.output;
+  Alcotest.(check bool) "collected at least once" true (r.gc_runs >= 1)
+
+let test_gc_preserves_reachable () =
+  let r, _ =
+    run ~opts:small_heap
+      {|keep = []
+i = 0
+while i < 40
+  keep << [i, i * 2]
+  i += 1
+end
+junk = 0.0
+i = 0
+while i < 5000
+  junk += 0.5
+  i += 1
+end
+s = 0
+keep.each { |pair| s += pair[0] + pair[1] }
+puts s|}
+  in
+  (* sum of i + 2i for i in 0..39 = 3 * 780 *)
+  Alcotest.(check string) "reachable data intact" "2340\n" r.output;
+  Alcotest.(check bool) "GC ran" true (r.gc_runs >= 1)
+
+let test_heap_growth () =
+  (* live data exceeding the initial heap forces arena growth, not death *)
+  let r, vm =
+    run ~opts:{ Rvm.Options.default with heap_slots = 500 }
+      {|keep = []
+i = 0
+while i < 2000
+  keep << [i]
+  i += 1
+end
+puts keep.length|}
+  in
+  Alcotest.(check string) "all live" "2000\n" r.output;
+  Alcotest.(check bool) "heap grew" true
+    (vm.Rvm.Vm.heap.Rvm.Heap.total_slots > 500)
+
+let test_string_reuse_after_gc () =
+  let r, _ =
+    run ~opts:small_heap
+      {|i = 0
+last = ""
+while i < 2500
+  last = "str" + i.to_s
+  i += 1
+end
+puts last|}
+  in
+  Alcotest.(check string) "latest string valid" "str2499\n" r.output
+
+let test_free_list_boxes_reclaimed () =
+  (* pure float churn must stabilise: allocations >> heap slots *)
+  let r, vm = run ~opts:small_heap {|x = 0.0
+i = 0
+while i < 10000
+  x += 0.25
+  i += 1
+end
+puts x|} in
+  Alcotest.(check string) "value" "2500.0\n" r.output;
+  Alcotest.(check bool) "many allocations" true (r.allocs > 9_000);
+  Alcotest.(check bool) "heap did not explode" true
+    (vm.Rvm.Vm.heap.Rvm.Heap.total_slots < 40_000)
+
+let test_thread_local_lists () =
+  let r, vm =
+    run
+      {|results = Array.new(4, 0.0)
+ths = []
+t = 0
+while t < 4
+  ths << Thread.new(t) do |tid|
+    x = 0.0
+    i = 0
+    while i < 3000
+      x += 1.0
+      i += 1
+    end
+    results[tid] = x
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+puts results.sum|}
+  in
+  Alcotest.(check string) "threads allocate correctly" "12000.0\n" r.output;
+  Alcotest.(check bool) "bulk refills used" true
+    (vm.Rvm.Vm.heap.Rvm.Heap.refills > 0)
+
+(* Property: arbitrary object graphs survive GC. *)
+let prop_graph_survives =
+  Tutil.qtest "random list graphs survive collection" ~count:20
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_bound 100))
+    (fun ints ->
+      let rb_list =
+        "[" ^ String.concat ", " (List.map string_of_int ints) ^ "]"
+      in
+      let src =
+        Printf.sprintf
+          {|keep = %s
+junk = 0.0
+i = 0
+while i < 4000
+  junk += 1.0
+  i += 1
+end
+puts keep.sum|}
+          rb_list
+      in
+      let r, _ = run ~opts:small_heap src in
+      String.trim r.output = string_of_int (List.fold_left ( + ) 0 ints))
+
+let suite =
+  [
+    Alcotest.test_case "GC triggers under pressure" `Quick test_gc_triggers;
+    Alcotest.test_case "GC preserves reachable objects" `Quick test_gc_preserves_reachable;
+    Alcotest.test_case "heap grows when full of live data" `Quick test_heap_growth;
+    Alcotest.test_case "strings valid across GC" `Quick test_string_reuse_after_gc;
+    Alcotest.test_case "float boxes are reclaimed" `Quick test_free_list_boxes_reclaimed;
+    Alcotest.test_case "thread-local free lists" `Quick test_thread_local_lists;
+    prop_graph_survives;
+  ]

@@ -1,0 +1,361 @@
+(* Guest-language semantics: golden outputs for single-threaded programs run
+   on the full pipeline (parse -> compile -> interpret on the simulator). *)
+
+let check = Tutil.check_output
+
+let test_arith () =
+  check "integer arithmetic" "7\n-3\n10\n2\n1\n8\n"
+    "puts 2 + 5\nputs 2 - 5\nputs 2 * 5\nputs 12 / 5\nputs 13 % 4\nputs 2 ** 3";
+  check "ruby floor division" "-3\n2\n-2\n"
+    "puts(-12 / 5)\nputs(-13 % 5)\nputs(13 % -5)";
+  check "float arithmetic" "3.5\n1.25\n7.5\n"
+    "puts 1.5 + 2.0\nputs 2.5 / 2\nputs 3 * 2.5";
+  check "mixed comparison" "true\nfalse\ntrue\n" "puts 1 < 1.5\nputs 2.0 > 3\nputs 2 == 2.0"
+
+let test_strings () =
+  check "concat and length" "hello world\n11\n"
+    {|s = "hello" + " " + "world"
+puts s
+puts s.length|};
+  check "string methods" "HI\nhi\ntrue\n3\nlo wo\n"
+    {|s = "hi"
+puts s.upcase
+puts "HI".downcase
+puts "hello".include?("ell")
+puts "hello".index("lo")
+puts "hello world".slice(3, 5)|};
+  check "split and join" "a-b-c\n3\n"
+    {|parts = "a b c".split(" ")
+puts parts.join("-")
+puts parts.length|};
+  check "append" "abc!\n" {|s = "abc"
+s << "!"
+puts s|};
+  check "to_i to_f" "42\n-7\n3.5\n0\n"
+    {|puts "42".to_i
+puts "-7x".to_i
+puts "3.5".to_f
+puts "".to_i|}
+
+let test_arrays () =
+  check "literals and indexing" "1\n30\n\n3\n"
+    {|a = [1, 20, 30]
+puts a[0]
+puts a[-1]
+puts a[9]
+puts a.length|};
+  check "push pop shift" "4\n9\n1\n2\n"
+    {|a = [1, 2, 3]
+a << 9
+puts a.length
+puts a.pop
+puts a.shift
+puts a.length|};
+  check "growth via assignment" "10\nnil check\n7\n"
+    {|a = []
+a[9] = 7
+puts a.length
+puts "nil check" if a[5] == nil
+puts a[9]|};
+  check "iteration helpers" "6\n3\n[2, 4, 6]\n"
+    {|a = [1, 2, 3]
+puts a.sum
+puts a.max
+p a.map { |x| x * 2 }|};
+  check "sort" "[1, 2, 3]\n" "p [3, 1, 2].sort"
+
+let test_hashes () =
+  check "basic" "1\n2\n\ntrue\nfalse\n2\n"
+    {|h = { :a => 1, "b" => 2 }
+puts h[:a]
+puts h["b"]
+puts h[:missing]
+puts h.key?(:a)
+puts h.key?(:c)
+puts h.size|};
+  check "update and delete" "9\n1\n"
+    {|h = {}
+h[:x] = 9
+puts h[:x]
+h.delete(:x)
+h[:y] = 1
+puts h.size|};
+  check "many keys force rehash" "100\n4950\n"
+    {|h = {}
+i = 0
+while i < 100
+  h[i] = i
+  i += 1
+end
+puts h.size
+s = 0
+h.each { |k, v| s += v }
+puts s|}
+
+let test_control_flow () =
+  check "if chain" "mid\n"
+    {|x = 5
+if x < 3
+  puts "low"
+elsif x < 8
+  puts "mid"
+else
+  puts "high"
+end|};
+  check "while with break/next" "1\n3\n5\n7\n"
+    {|i = 0
+while true
+  i += 1
+  break if i > 8
+  next if i % 2 == 0
+  puts i
+end|};
+  check "until" "3\n" {|x = 0
+until x == 3
+  x += 1
+end
+puts x|};
+  (* nil prints as an empty line, like Ruby's puts *)
+  check "ternary and logic" "yes\n2\n\n"
+    {|puts(1 < 2 ? "yes" : "no")
+puts(nil || 2)
+puts(nil && 2)|}
+
+let test_methods () =
+  check "recursion" "120\n"
+    {|def fact(n)
+  if n <= 1
+    1
+  else
+    n * fact(n - 1)
+  end
+end
+puts fact(5)|};
+  check "implicit return of last expr" "3\n"
+    {|def pick(a, b)
+  if a > b
+    a
+  else
+    b
+  end
+end
+puts pick(1, 3)|};
+  check "early return" "neg\n"
+    {|def sign(x)
+  return "neg" if x < 0
+  "pos"
+end
+puts sign(-4)|}
+
+let test_blocks_and_yield () =
+  check "yield with value" "1\n4\n9\n"
+    {|def each_square(n)
+  i = 1
+  while i <= n
+    yield i * i
+    i += 1
+  end
+end
+each_square(3) { |sq| puts sq }|};
+  check "block return value" "25\n"
+    {|def apply(x)
+  yield x
+end
+puts apply(5) { |v| v * v }|};
+  check "closure over locals" "15\n"
+    {|total = 0
+[1, 2, 3, 4, 5].each { |x| total += x }
+puts total|};
+  check "break from block" "2\n"
+    {|r = [1, 2, 3, 4].each do |x|
+  break x if x == 2
+end
+puts r|};
+  check "iterator prelude methods" "0123\n10\n"
+    {|4.times { |i| print i }
+puts ""
+puts (1..4).to_a.sum|}
+
+let test_classes () =
+  check "instance state" "3\n4\n"
+    {|class Counter
+  def initialize(start)
+    @n = start
+  end
+  def bump
+    @n += 1
+  end
+  def value
+    @n
+  end
+end
+c = Counter.new(2)
+c.bump
+puts c.value
+c.bump
+puts c.value|};
+  check "attr_accessor" "7\n9\n"
+    {|class Box
+  attr_accessor :v
+end
+b = Box.new
+b.v = 7
+puts b.v
+b.v = 9
+puts b.v|};
+  check "inheritance and override" "generic\nwoof\n"
+    {|class Animal
+  def speak
+    "generic"
+  end
+end
+class Dog < Animal
+  def speak
+    "woof"
+  end
+end
+puts Animal.new.speak
+puts Dog.new.speak|};
+  check "operator methods" "5\n"
+    {|class Vec
+  def initialize(x)
+    @x = x
+  end
+  def +(o)
+    Vec.new(@x + o.x)
+  end
+  def x
+    @x
+  end
+end
+puts (Vec.new(2) + Vec.new(3)).x|};
+  check "class variables" "2\n"
+    {|class Reg
+  def initialize
+    @@count = 0 if @@count == nil
+    @@count += 1
+  end
+  def count
+    @@count
+  end
+end
+Reg.new
+r = Reg.new
+puts r.count|}
+
+let test_globals_consts () =
+  check "globals" "10\n" {|$g = 10
+def read_g
+  $g
+end
+puts read_g|};
+  check "constants" "99\n" {|LIMIT = 99
+puts LIMIT|};
+  check "math module" "3.0\n1.0\n"
+    {|puts Math.sqrt(9.0)
+puts Math.exp(0.0)|}
+
+let test_ranges () =
+  check "range basics" "1\n10\n10\n"
+    {|r = (1..10)
+puts r.first
+puts r.last
+puts r.size|};
+  check "exclusive each" "012\n"
+    {|(0...3).each { |i| print i }
+puts ""|}
+
+let test_errors () =
+  (try
+     ignore (Tutil.output "undefined_method_xyz(3)");
+     Alcotest.fail "expected failure"
+   with Core.Runner.Guest_failure m ->
+     Alcotest.(check bool) "mentions method" true
+       (String.length m > 0));
+  try
+    ignore (Tutil.output "puts 1 / 0");
+    Alcotest.fail "expected division failure"
+  with Core.Runner.Guest_failure _ -> ()
+
+let test_interpolation () =
+  check "basic interpolation" "hello world!\n"
+    {|name = "world"
+puts "hello #{name}!"|};
+  check "expressions inside" "6 * 7 = 42\n"
+    {|x = 6
+puts "#{x} * 7 = #{x * 7}"|};
+  check "method calls inside" "len=3 sum=6\n"
+    {|a = [1, 2, 3]
+puts "len=#{a.length} sum=#{a.sum}"|};
+  check "escaped hash" "not #{interp}\n" {|puts "not \#{interp}"|};
+  check "interpolation in assignment" "ab3c\n"
+    {|n = 3
+s = "ab#{n}c"
+puts s|}
+
+let test_case_when () =
+  check "multi-value when" "five\n"
+    {|x = 5
+case x
+when 1, 2
+  puts "small"
+when 5
+  puts "five"
+else
+  puts "other"
+end|};
+  check "strings and fallthrough" "2\ndone\n"
+    {|s = "b"
+case s
+when "a" then puts 1
+when "b" then puts 2
+end
+case 99
+when 1 then puts "no"
+end
+puts "done"|};
+  check "case with else" "other\n"
+    {|case 42
+when 1 then puts "one"
+else
+  puts "other"
+end|};
+  check "case subject evaluated once" "match\n1\n"
+    {|calls = [0]
+def subject(c)
+  c[0] += 1
+  7
+end
+case subject(calls)
+when 1, 2, 3, 4, 5, 6 then puts "no"
+when 7 then puts "match"
+end
+puts calls[0]|}
+
+let test_output_formats () =
+  check "float formatting" "1.0\n3.14\n-0.5\n"
+    "puts 1.0\nputs 3.14\nputs(-0.5)";
+  check "p inspect" "\"s\"\n[1, \"x\", nil]\n:sym\n"
+    {|p "s"
+p [1, "x", nil]
+p :sym|};
+  check "print" "abc\n" {|print "a", "b", "c"
+puts ""|}
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "hashes" `Quick test_hashes;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "methods" `Quick test_methods;
+    Alcotest.test_case "blocks and yield" `Quick test_blocks_and_yield;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "globals, consts, Math" `Quick test_globals_consts;
+    Alcotest.test_case "ranges" `Quick test_ranges;
+    Alcotest.test_case "runtime errors" `Quick test_errors;
+    Alcotest.test_case "string interpolation" `Quick test_interpolation;
+    Alcotest.test_case "case/when" `Quick test_case_when;
+    Alcotest.test_case "output formats" `Quick test_output_formats;
+  ]

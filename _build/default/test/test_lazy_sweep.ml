@@ -1,0 +1,101 @@
+(* The Section 5.6 future-work optimisation: thread-local lazy sweeping. *)
+
+let lazy_opts = { Rvm.Options.default with lazy_sweep = true }
+let small_lazy = { lazy_opts with heap_slots = 1_500 }
+
+let test_results_unchanged () =
+  let w = Option.get (Workloads.Workload.find "cg") in
+  let source = w.source ~threads:6 ~size:Workloads.Size.Test in
+  let eager = Tutil.output ~scheme:Core.Scheme.Htm_dynamic source in
+  let lzy = Tutil.output ~scheme:Core.Scheme.Htm_dynamic ~opts:lazy_opts source in
+  Alcotest.(check string) "same verify line" eager lzy
+
+let test_all_schemes_agree () =
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let source = w.source ~threads:4 ~size:Workloads.Size.Test in
+  let reference = Tutil.output ~scheme:Core.Scheme.Gil_only ~opts:lazy_opts source in
+  List.iter
+    (fun scheme ->
+      Alcotest.(check string)
+        ("lazy sweep under " ^ Core.Scheme.to_string scheme)
+        reference
+        (Tutil.output ~scheme ~opts:lazy_opts source))
+    [ Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_fixed 16; Core.Scheme.Htm_dynamic ]
+
+let test_collects_garbage () =
+  (* float churn far beyond the heap size must succeed via mark phases *)
+  let r =
+    Tutil.run_source ~opts:small_lazy
+      {|x = 0.0
+i = 0
+while i < 12000
+  x += 0.5
+  i += 1
+end
+puts x|}
+  in
+  Alcotest.(check string) "value" "6000.0\n" r.Core.Runner.output;
+  Alcotest.(check bool) "mark phases ran" true (r.gc_runs >= 1)
+
+let test_preserves_reachable () =
+  let r =
+    Tutil.run_source ~opts:small_lazy
+      {|keep = []
+i = 0
+while i < 50
+  keep << [i, i * 3]
+  i += 1
+end
+junk = 0.0
+i = 0
+while i < 8000
+  junk += 1.0
+  i += 1
+end
+s = 0
+keep.each { |p| s += p[1] }
+puts s|}
+  in
+  (* sum of 3i for i in 0..49 = 3675 *)
+  Alcotest.(check string) "reachable survive" "3675\n" r.Core.Runner.output
+
+let test_reduces_allocation_conflicts () =
+  (* needs real allocation pressure: at test size the heap never cycles and
+     the in-transaction sweeping only adds footprint *)
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let source = w.source ~threads:8 ~size:Workloads.Size.S in
+  let run opts =
+    Tutil.run_source ~scheme:Core.Scheme.Htm_dynamic ~opts source
+  in
+  let eager = run Rvm.Options.default in
+  let lzy = run lazy_opts in
+  let ratio (r : Core.Runner.result) = Htm_sim.Stats.abort_ratio r.htm_stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "abort ratio not worse (eager %.3f vs lazy %.3f)"
+       (ratio eager) (ratio lzy))
+    true
+    (ratio lzy <= ratio eager +. 0.01)
+
+let test_grows_when_live () =
+  let r =
+    Tutil.run_source ~opts:{ lazy_opts with heap_slots = 400 }
+      {|keep = []
+i = 0
+while i < 1500
+  keep << [i]
+  i += 1
+end
+puts keep.length|}
+  in
+  Alcotest.(check string) "all live" "1500\n" r.Core.Runner.output
+
+let suite =
+  [
+    Alcotest.test_case "results unchanged" `Quick test_results_unchanged;
+    Alcotest.test_case "all schemes agree" `Slow test_all_schemes_agree;
+    Alcotest.test_case "collects garbage" `Quick test_collects_garbage;
+    Alcotest.test_case "preserves reachable objects" `Quick test_preserves_reachable;
+    Alcotest.test_case "reduces allocation conflicts" `Slow
+      test_reduces_allocation_conflicts;
+    Alcotest.test_case "grows when live" `Quick test_grows_when_live;
+  ]

@@ -1,0 +1,59 @@
+(* The SQLite stand-in. *)
+
+let mk () =
+  let db = Minidb.create () in
+  ignore (Minidb.create_table db "t" [| "id"; "name" |]);
+  for i = 0 to 9 do
+    Minidb.insert db "t" [| Minidb.Int i; Minidb.Text (Printf.sprintf "row%d" i) |]
+  done;
+  db
+
+let test_select_all () =
+  let db = mk () in
+  let r = Minidb.select db "t" () in
+  Alcotest.(check int) "all rows" 10 (List.length r.Minidb.rows)
+
+let test_where () =
+  let db = mk () in
+  let r = Minidb.select db "t" ~where:("id", Minidb.Int 3) () in
+  (match r.Minidb.rows with
+  | [ [| Minidb.Int 3; Minidb.Text "row3" |] ] -> ()
+  | _ -> Alcotest.fail "where filter");
+  let none = Minidb.select db "t" ~where:("id", Minidb.Int 99) () in
+  Alcotest.(check int) "no match" 0 (List.length none.Minidb.rows)
+
+let test_limit () =
+  let db = mk () in
+  let r = Minidb.select db "t" ~limit:4 () in
+  Alcotest.(check int) "limited" 4 (List.length r.Minidb.rows)
+
+let test_pages () =
+  let db = Minidb.create ~page_rows:4 () in
+  ignore (Minidb.create_table db "big" [| "x" |]);
+  for i = 0 to 99 do
+    Minidb.insert db "big" [| Minidb.Int i |]
+  done;
+  let r = Minidb.select db "big" () in
+  Alcotest.(check int) "page scan cost" 26 r.Minidb.pages_touched
+
+let test_count_and_errors () =
+  let db = mk () in
+  Alcotest.(check int) "count" 10 (Minidb.count db "t");
+  Alcotest.(check int) "missing table count" 0 (Minidb.count db "none");
+  (try
+     ignore (Minidb.select db "none" ());
+     Alcotest.fail "missing table should fail"
+   with Invalid_argument _ -> ());
+  try
+    Minidb.insert db "t" [| Minidb.Int 0 |];
+    Alcotest.fail "arity mismatch should fail"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "select all" `Quick test_select_all;
+    Alcotest.test_case "where" `Quick test_where;
+    Alcotest.test_case "limit" `Quick test_limit;
+    Alcotest.test_case "page accounting" `Quick test_pages;
+    Alcotest.test_case "count and errors" `Quick test_count_and_errors;
+  ]

@@ -1,0 +1,66 @@
+(* Virtual sockets and the closed-loop client population. *)
+
+let mk ?(clients = 2) ?(limit = 10) () =
+  Netsim.create ~think_cycles:100 ~request_limit:limit ~n_clients:clients
+    (fun c -> Printf.sprintf "GET /c%d HTTP/1.1\r\n\r\n" c)
+
+let test_arrivals () =
+  let t = mk () in
+  Alcotest.(check (option int)) "first arrival at 0" (Some 0) (Netsim.next_arrival t);
+  Alcotest.(check bool) "arrivals materialise" true (Netsim.advance t ~now:0);
+  (match Netsim.accept t with
+  | Some c -> Alcotest.(check string) "request payload" "GET /c0 HTTP/1.1\r\n\r\n" c.Netsim.request
+  | None -> Alcotest.fail "expected a connection");
+  Alcotest.(check bool) "second client too" true (Netsim.accept t <> None);
+  Alcotest.(check (option Alcotest.reject)) "queue drained"
+    None
+    (match Netsim.accept t with Some _ -> Some () | None -> None)
+
+let test_closed_loop () =
+  let t = mk ~clients:1 ~limit:3 () in
+  ignore (Netsim.advance t ~now:0);
+  let c1 = Option.get (Netsim.accept t) in
+  (* client busy: no new request until response *)
+  ignore (Netsim.advance t ~now:50);
+  Alcotest.(check bool) "busy client" true (Netsim.accept t = None);
+  Netsim.write t c1.Netsim.conn_id "HTTP/1.1 200 OK";
+  Netsim.close t c1.Netsim.conn_id ~now:500;
+  Alcotest.(check int) "completed" 1 (Netsim.completed t);
+  (* next send after think time *)
+  Alcotest.(check (option int)) "think delay" (Some 600) (Netsim.next_arrival t)
+
+let test_request_limit () =
+  let t = mk ~clients:1 ~limit:2 () in
+  let now = ref 0 in
+  while not (Netsim.done_all t) do
+    ignore (Netsim.advance t ~now:!now);
+    (match Netsim.accept t with
+    | Some c ->
+        Netsim.write t c.Netsim.conn_id "ok";
+        Netsim.close t c.Netsim.conn_id ~now:(!now + 10)
+    | None -> ());
+    now := !now + 200
+  done;
+  Alcotest.(check int) "limit respected" 2 (Netsim.completed t);
+  Alcotest.(check (option int)) "no more arrivals" None (Netsim.next_arrival t)
+
+let test_throughput_measure () =
+  let t = mk ~clients:4 ~limit:100 () in
+  let now = ref 0 in
+  while not (Netsim.done_all t) do
+    ignore (Netsim.advance t ~now:!now);
+    (match Netsim.accept t with
+    | Some c -> Netsim.close t c.Netsim.conn_id ~now:(!now + 50)
+    | None -> ());
+    now := !now + 50
+  done;
+  Alcotest.(check bool) "throughput positive" true (Netsim.throughput t > 0.0);
+  Alcotest.(check bool) "latency positive" true (Netsim.mean_latency t >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "arrivals and accept" `Quick test_arrivals;
+    Alcotest.test_case "closed loop" `Quick test_closed_loop;
+    Alcotest.test_case "request limit" `Quick test_request_limit;
+    Alcotest.test_case "throughput measurement" `Quick test_throughput_measure;
+  ]

@@ -1,0 +1,106 @@
+(* Store-level object representation: arrays, strings, hashes manipulated
+   through Objects directly, plus property tests against OCaml models. *)
+
+let mk () =
+  let session =
+    Rvm.Session.create ~htm_mode:Htm_sim.Htm.Plain Htm_sim.Machine.zec12
+      ~source:"0"
+  in
+  let vm = session.Rvm.Session.vm in
+  let th = session.Rvm.Session.main in
+  th.Rvm.Vmthread.ctx <- 0;
+  (vm, th)
+
+let test_array_model () =
+  let vm, th = mk () in
+  let a = Rvm.Objects.new_array vm th ~len:0 ~fill:Rvm.Value.VNil in
+  for i = 0 to 99 do
+    Rvm.Objects.array_push vm th a (Rvm.Value.VInt i)
+  done;
+  Alcotest.(check int) "length" 100 (Rvm.Objects.array_len vm th a);
+  Alcotest.(check bool) "contents" true
+    (List.for_all
+       (fun i -> Rvm.Objects.array_get vm th a i = Rvm.Value.VInt i)
+       (List.init 100 Fun.id));
+  Alcotest.(check bool) "negative index" true
+    (Rvm.Objects.array_get vm th a (-1) = Rvm.Value.VInt 99);
+  Alcotest.(check bool) "out of range is nil" true
+    (Rvm.Objects.array_get vm th a 100 = Rvm.Value.VNil);
+  (* pop and shift *)
+  Alcotest.(check bool) "pop" true
+    (Rvm.Objects.array_pop vm th a = Rvm.Value.VInt 99);
+  Alcotest.(check bool) "shift" true
+    (Rvm.Objects.array_shift vm th a = Rvm.Value.VInt 0);
+  Alcotest.(check int) "length after" 98 (Rvm.Objects.array_len vm th a)
+
+let test_array_sparse_set () =
+  let vm, th = mk () in
+  let a = Rvm.Objects.new_array vm th ~len:0 ~fill:Rvm.Value.VNil in
+  Rvm.Objects.array_set vm th a 50 (Rvm.Value.VInt 7);
+  Alcotest.(check int) "extends" 51 (Rvm.Objects.array_len vm th a);
+  Alcotest.(check bool) "gap is nil" true
+    (Rvm.Objects.array_get vm th a 25 = Rvm.Value.VNil);
+  Alcotest.(check bool) "value" true
+    (Rvm.Objects.array_get vm th a 50 = Rvm.Value.VInt 7)
+
+let test_string_roundtrip () =
+  let vm, th = mk () in
+  let s = Rvm.Objects.new_string vm th "hello" in
+  Alcotest.(check string) "content" "hello" (Rvm.Objects.string_content vm th s);
+  Rvm.Objects.string_set_content vm th s (String.make 500 'x');
+  Alcotest.(check int) "grown" 500
+    (String.length (Rvm.Objects.string_content vm th s))
+
+(* Hash behaves like an OCaml association map under random operations. *)
+let prop_hash_model =
+  let open QCheck in
+  Tutil.qtest "hash matches a model map" ~count:60
+    (list (pair (int_bound 40) (int_bound 1000)))
+    (fun ops ->
+      let vm, th = mk () in
+      let h = Rvm.Objects.new_hash vm th ~cap:8 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Rvm.Objects.hash_set vm th h (Rvm.Value.VInt k) (Rvm.Value.VInt v);
+          Hashtbl.replace model k v)
+        ops;
+      Hashtbl.length model = Rvm.Objects.hash_count vm th h
+      && Hashtbl.fold
+           (fun k v acc ->
+             acc && Rvm.Objects.hash_get vm th h (Rvm.Value.VInt k) = Rvm.Value.VInt v)
+           model true)
+
+let test_hash_string_keys () =
+  let vm, th = mk () in
+  let h = Rvm.Objects.new_hash vm th ~cap:8 in
+  let key s = Rvm.Value.VRef (Rvm.Objects.new_string vm th s) in
+  Rvm.Objects.hash_set vm th h (key "alpha") (Rvm.Value.VInt 1);
+  (* a *different* string object with equal content must hit the same
+     entry: content equality, like Ruby *)
+  Alcotest.(check bool) "content-equal key" true
+    (Rvm.Objects.hash_get vm th h (key "alpha") = Rvm.Value.VInt 1);
+  Rvm.Objects.hash_set vm th h (key "alpha") (Rvm.Value.VInt 2);
+  Alcotest.(check int) "no duplicate entry" 1 (Rvm.Objects.hash_count vm th h)
+
+let test_display () =
+  let vm, th = mk () in
+  let a = Rvm.Objects.new_array vm th ~len:0 ~fill:Rvm.Value.VNil in
+  Rvm.Objects.array_push vm th a (Rvm.Value.VInt 1);
+  Rvm.Objects.array_push vm th a (Rvm.Value.VRef (Rvm.Objects.new_string vm th "x"));
+  Alcotest.(check string) "inspect array" "[1, \"x\"]"
+    (Rvm.Objects.inspect vm th (Rvm.Value.VRef a));
+  Alcotest.(check string) "display float" "2.5"
+    (Rvm.Objects.display vm th (Rvm.Value.VFloat 2.5));
+  Alcotest.(check string) "display integral float" "4.0"
+    (Rvm.Objects.display vm th (Rvm.Value.VFloat 4.0))
+
+let suite =
+  [
+    Alcotest.test_case "array model" `Quick test_array_model;
+    Alcotest.test_case "sparse array set" `Quick test_array_sparse_set;
+    Alcotest.test_case "string roundtrip and growth" `Quick test_string_roundtrip;
+    prop_hash_model;
+    Alcotest.test_case "hash string keys" `Quick test_hash_string_keys;
+    Alcotest.test_case "display/inspect" `Quick test_display;
+  ]

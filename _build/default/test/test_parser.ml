@@ -1,0 +1,132 @@
+(* Parser unit tests: structure of the AST for representative programs. *)
+
+open Rvm.Ast
+
+let parse = Rvm.Parser.parse
+
+let test_precedence () =
+  match parse "x = 1 + 2 * 3" with
+  | [ Expr_stmt (Asgn (L_name "x", Binop (Add, Int 1, Binop (Mul, Int 2, Int 3)))) ] -> ()
+  | _ -> Alcotest.fail "precedence mul over add"
+
+let test_compare_chain () =
+  match parse "a < b && c >= d" with
+  | [ Expr_stmt (And (Binop (Lt, Name "a", Name "b"), Binop (Ge, Name "c", Name "d"))) ] -> ()
+  | _ -> Alcotest.fail "comparison/and structure"
+
+let test_call_forms () =
+  (match parse "foo(1, 2)" with
+  | [ Expr_stmt (Call (None, "foo", [ Int 1; Int 2 ], None)) ] -> ()
+  | _ -> Alcotest.fail "paren call");
+  (match parse "puts 1, 2" with
+  | [ Expr_stmt (Call (None, "puts", [ Int 1; Int 2 ], None)) ] -> ()
+  | _ -> Alcotest.fail "command call");
+  (match parse "a.b(1).c" with
+  | [ Expr_stmt (Call (Some (Call (Some (Name "a"), "b", [ Int 1 ], None)), "c", [], None)) ] -> ()
+  | _ -> Alcotest.fail "chained calls")
+
+let test_index () =
+  (match parse "a[i] = v" with
+  | [ Expr_stmt (Asgn (L_index (Name "a", [ Name "i" ]), Name "v")) ] -> ()
+  | _ -> Alcotest.fail "index assignment");
+  match parse "a[i] += 1" with
+  | [ Expr_stmt (Op_asgn (L_index (Name "a", [ Name "i" ]), Add, Int 1)) ] -> ()
+  | _ -> Alcotest.fail "index op-assign"
+
+let test_blocks () =
+  (match parse "xs.each { |x| puts x }" with
+  | [ Expr_stmt (Call (Some (Name "xs"), "each", [], Some { blk_params = [ "x" ]; _ })) ] -> ()
+  | _ -> Alcotest.fail "brace block");
+  match parse "3.times do |i|\n  puts i\nend" with
+  | [ Expr_stmt (Call (Some (Int 3), "times", [], Some { blk_params = [ "i" ]; _ })) ] -> ()
+  | _ -> Alcotest.fail "do block"
+
+let test_control () =
+  (match parse "if a\n b\nelsif c\n d\nelse\n e\nend" with
+  | [ If (Name "a", [ Expr_stmt (Name "b") ], [ If (Name "c", _, _) ]) ] -> ()
+  | _ -> Alcotest.fail "if/elsif/else");
+  (match parse "x += 1 while false" with
+  | [ Expr_stmt _ ] -> Alcotest.fail "while modifier unsupported by design"
+  | _ -> ()
+  | exception Rvm.Parser.Error _ -> ());
+  (match parse "return 5 if done" with
+  | [ If (Name "done", [ Return (Some (Int 5)) ], []) ] -> ()
+  | _ -> Alcotest.fail "return-if modifier");
+  match parse "until x > 3\n x += 1\nend" with
+  | [ Until (Binop (Gt, Name "x", Int 3), _) ] -> ()
+  | _ -> Alcotest.fail "until"
+
+let test_class_def () =
+  match parse "class Foo < Bar\n  attr_accessor :a, :b\n  def m(x)\n    x\n  end\nend" with
+  | [ Class_def ("Foo", Some "Bar", [ Attr_accessor [ "a"; "b" ]; Def ("m", [ "x" ], _) ]) ] -> ()
+  | _ -> Alcotest.fail "class definition"
+
+let test_def_operators () =
+  (match parse "def [](i)\n  i\nend" with
+  | [ Def ("[]", [ "i" ], _) ] -> ()
+  | _ -> Alcotest.fail "def []");
+  (match parse "def x=(v)\n  v\nend" with
+  | [ Def ("x=", [ "v" ], _) ] -> ()
+  | _ -> Alcotest.fail "def setter");
+  match parse "def ==(o)\n  true\nend" with
+  | [ Def ("==", [ "o" ], _) ] -> ()
+  | _ -> Alcotest.fail "def =="
+
+let test_literals () =
+  (match parse "[1, 2.5, \"s\", :sym, nil]" with
+  | [ Expr_stmt (Array_lit [ Int 1; Float 2.5; Str "s"; Sym_lit "sym"; Nil ]) ] -> ()
+  | _ -> Alcotest.fail "array literal");
+  (match parse "{ :a => 1, \"b\" => 2 }" with
+  | [ Expr_stmt (Hash_lit [ (Sym_lit "a", Int 1); (Str "b", Int 2) ]) ] -> ()
+  | _ -> Alcotest.fail "hash literal");
+  (match parse "(1..10)" with
+  | [ Expr_stmt (Range_lit (Int 1, Int 10, false)) ] -> ()
+  | _ -> Alcotest.fail "inclusive range");
+  match parse "(1...10)" with
+  | [ Expr_stmt (Range_lit (Int 1, Int 10, true)) ] -> ()
+  | _ -> Alcotest.fail "exclusive range"
+
+let test_ternary () =
+  match parse "x = a > 0 ? 1 : 2" with
+  | [ Expr_stmt (Asgn (L_name "x", Ternary (Binop (Gt, Name "a", Int 0), Int 1, Int 2))) ] -> ()
+  | _ -> Alcotest.fail "ternary"
+
+let test_yield () =
+  (match parse "yield 1, 2" with
+  | [ Expr_stmt (Yield [ Int 1; Int 2 ]) ] -> ()
+  | _ -> Alcotest.fail "yield with args");
+  match parse "x = yield(a)" with
+  | [ Expr_stmt (Asgn (L_name "x", Yield [ Name "a" ])) ] -> ()
+  | _ -> Alcotest.fail "yield parens"
+
+let test_attr_assign () =
+  match parse "obj.field = 3" with
+  | [ Expr_stmt (Asgn (L_attr (Name "obj", "field"), Int 3)) ] -> ()
+  | _ -> Alcotest.fail "attribute assignment"
+
+let test_errors () =
+  (try
+     ignore (parse "1 +");
+     Alcotest.fail "should fail"
+   with Rvm.Parser.Error _ -> ());
+  try
+    ignore (parse "def end");
+    Alcotest.fail "should fail"
+  with Rvm.Parser.Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "comparisons and &&" `Quick test_compare_chain;
+    Alcotest.test_case "call forms" `Quick test_call_forms;
+    Alcotest.test_case "indexing" `Quick test_index;
+    Alcotest.test_case "blocks" `Quick test_blocks;
+    Alcotest.test_case "control flow" `Quick test_control;
+    Alcotest.test_case "class definitions" `Quick test_class_def;
+    Alcotest.test_case "operator method definitions" `Quick test_def_operators;
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "ternary" `Quick test_ternary;
+    Alcotest.test_case "yield" `Quick test_yield;
+    Alcotest.test_case "attribute assignment" `Quick test_attr_assign;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+  ]

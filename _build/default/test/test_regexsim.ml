@@ -1,0 +1,83 @@
+(* The regex engine substrate. *)
+
+let matches pat s = Regexsim.matches (Regexsim.compile pat) s
+
+let find pat s =
+  match Regexsim.search (Regexsim.compile pat) s with
+  | Some (a, b, _), _ -> Some (a, b)
+  | None, _ -> None
+
+let test_literals () =
+  Alcotest.(check bool) "simple" true (matches "abc" "xxabcxx");
+  Alcotest.(check bool) "missing" false (matches "abc" "xxabxcx")
+
+let test_classes () =
+  Alcotest.(check bool) "digit class" true (matches "[0-9]+" "a42b");
+  Alcotest.(check bool) "negated" true (matches "[^0-9]" "123a");
+  Alcotest.(check bool) "negated fail" false (matches "[^0-9]+" "123");
+  Alcotest.(check bool) "escape d" true (matches {|\d\d|} "n12");
+  Alcotest.(check bool) "escape w" true (matches {|\w+|} "hello_world")
+
+let test_quantifiers () =
+  Alcotest.(check (option (pair int int))) "star" (Some (0, 0)) (find "x*" "yyy");
+  Alcotest.(check (option (pair int int))) "plus" (Some (1, 4)) (find "y+" "xyyyz");
+  Alcotest.(check bool) "optional" true (matches "ab?c" "ac");
+  Alcotest.(check bool) "optional present" true (matches "ab?c" "abc")
+
+let test_anchors () =
+  Alcotest.(check bool) "bol" true (matches "^GET" "GET /x HTTP");
+  Alcotest.(check bool) "bol fail" false (matches "^ET" "GET");
+  Alcotest.(check bool) "eol" true (matches "end$" "the end");
+  Alcotest.(check bool) "eol fail" false (matches "the$" "the end")
+
+let test_alternation_groups () =
+  Alcotest.(check bool) "alt" true (matches "cat|dog" "hotdog");
+  Alcotest.(check bool) "group star" true (matches "(ab)+" "ababab");
+  Alcotest.(check bool) "nested" true (matches "a(b|c)*d" "abcbcd")
+
+let test_captures () =
+  let re = Regexsim.compile "^/books/([0-9]+)$" in
+  (match Regexsim.search re "/books/42" with
+  | Some (_, _, [ (a, b) ]), _ ->
+      Alcotest.(check string) "capture" "42" (String.sub "/books/42" a (b - a))
+  | _ -> Alcotest.fail "expected one capture");
+  Alcotest.(check bool) "no match" true
+    (match Regexsim.search re "/books/4x" with None, _ -> true | _ -> false)
+
+let test_http_request_line () =
+  let re = Regexsim.compile "^[A-Z]+ [^ ]+ HTTP" in
+  Alcotest.(check bool) "valid" true (matches "^[A-Z]+ [^ ]+ HTTP" "GET /idx.html HTTP/1.1");
+  Alcotest.(check bool) "invalid" false (Regexsim.matches re "get /idx.html http")
+
+let test_steps_counted () =
+  let re = Regexsim.compile "a+b" in
+  let _, steps = Regexsim.search re (String.make 200 'a') in
+  Alcotest.(check bool) "backtracking work counted" true (steps > 200)
+
+let test_parse_errors () =
+  List.iter
+    (fun pat ->
+      try
+        ignore (Regexsim.compile pat);
+        Alcotest.fail ("should reject " ^ pat)
+      with Regexsim.Parse_error _ -> ())
+    [ "(ab"; "[ab"; {|\|} ]
+
+let prop_literal_self_match =
+  Tutil.qtest "every literal string matches itself" ~count:200
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 1 20) (QCheck.Gen.char_range 'a' 'z'))
+    (fun s -> matches s s)
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "character classes" `Quick test_classes;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "alternation and groups" `Quick test_alternation_groups;
+    Alcotest.test_case "captures" `Quick test_captures;
+    Alcotest.test_case "HTTP request line" `Quick test_http_request_line;
+    Alcotest.test_case "work accounting" `Quick test_steps_counted;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    prop_literal_self_match;
+  ]

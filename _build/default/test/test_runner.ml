@@ -1,0 +1,111 @@
+(* Runner-level properties: virtual-time GIL exclusion, context
+   multiplexing, cycle-breakdown sanity, determinism of the scheduler. *)
+
+let npb name threads size =
+  (Option.get (Workloads.Workload.find name)).source ~threads ~size
+
+(* The GIL may never be "held" for more virtual time than exists: with
+   compute-bound threads under the pure GIL, total GIL-held cycles must not
+   exceed the wall clock (mutual exclusion in virtual time). *)
+let test_gil_held_within_wall () =
+  let source = npb "cg" 6 Workloads.Size.Test in
+  let r = Tutil.run_source ~scheme:Core.Scheme.Gil_only source in
+  let b = r.Core.Runner.breakdown in
+  Alcotest.(check bool)
+    (Printf.sprintf "gil-held %d <= wall %d" b.bd_gil_held r.wall_cycles)
+    true
+    (b.bd_gil_held <= r.wall_cycles)
+
+let test_gil_held_within_wall_htm () =
+  let source = npb "ft" 8 Workloads.Size.Test in
+  let r = Tutil.run_source ~scheme:Core.Scheme.Htm_dynamic source in
+  let b = r.Core.Runner.breakdown in
+  Alcotest.(check bool) "fallback windows exclusive in virtual time" true
+    (b.bd_gil_held <= r.wall_cycles)
+
+let test_committed_cycles_bounded () =
+  (* committed + aborted transactional cycles can be at most n_ctx * wall *)
+  let source = npb "ft" 8 Workloads.Size.Test in
+  let r = Tutil.run_source ~scheme:(Core.Scheme.Htm_fixed 16) source in
+  let b = r.Core.Runner.breakdown in
+  let bound = 12 * r.wall_cycles in
+  Alcotest.(check bool) "transactional cycles bounded by cores x wall" true
+    (b.bd_committed + b.bd_aborted <= bound)
+
+let test_ctx_multiplexing () =
+  (* 30 threads on a 4-core machine must all complete *)
+  Tutil.check_output ~machine:Htm_sim.Machine.xeon_e3
+    ~scheme:Core.Scheme.Htm_dynamic "30 threads on 8 contexts" "435\n"
+    {|results = Array.new(30, 0)
+ths = []
+i = 0
+while i < 30
+  ths << Thread.new(i) do |tid|
+    s = 0
+    j = 0
+    while j <= tid
+      s += j
+      j += 1
+    end
+    results[tid] = s
+  end
+  i += 1
+end
+ths.each { |t| t.join }
+puts results[29]|}
+
+let test_insn_budget_guard () =
+  let cfg =
+    Core.Runner.config ~scheme:Core.Scheme.Gil_only ~max_insns:5_000
+      Htm_sim.Machine.zec12
+  in
+  match Core.Runner.run_source cfg ~source:"while true\n  x = 1\nend" with
+  | exception Core.Runner.Stuck _ -> ()
+  | _ -> Alcotest.fail "runaway loop should hit the instruction budget"
+
+let test_deadlock_detection () =
+  let cfg = Core.Runner.config ~scheme:Core.Scheme.Gil_only Htm_sim.Machine.zec12 in
+  match
+    Core.Runner.run_source cfg
+      ~source:
+        {|m = Mutex.new
+cv = ConditionVariable.new
+m.lock
+cv.wait(m)|}
+  with
+  | exception Core.Runner.Stuck _ -> ()
+  | _ -> Alcotest.fail "waiting forever should be detected as a deadlock"
+
+let test_wall_clock_scales_down () =
+  (* more threads => less wall time for HTM on fixed work *)
+  let wall scheme threads =
+    (Tutil.run_source ~scheme (npb "ft" threads Workloads.Size.Test)).wall_cycles
+  in
+  Alcotest.(check bool) "8 threads beat 2" true
+    (wall Core.Scheme.Htm_dynamic 8 < wall Core.Scheme.Htm_dynamic 2)
+
+let test_work_conservation () =
+  (* instruction counts are scheme-independent modulo retries: GIL vs
+     fine-grained execute the same guest instructions *)
+  let source = npb "is" 4 Workloads.Size.Test in
+  let gil = Tutil.run_source ~scheme:Core.Scheme.Gil_only source in
+  let fine = Tutil.run_source ~scheme:Core.Scheme.Fine_grained source in
+  Alcotest.(check bool)
+    (Printf.sprintf "insns similar: %d vs %d" gil.total_insns fine.total_insns)
+    true
+    (abs (gil.total_insns - fine.total_insns) * 10 < gil.total_insns)
+
+let suite =
+  [
+    Alcotest.test_case "GIL-held cycles within wall (GIL)" `Quick
+      test_gil_held_within_wall;
+    Alcotest.test_case "GIL-held cycles within wall (HTM fallback)" `Quick
+      test_gil_held_within_wall_htm;
+    Alcotest.test_case "transactional cycles bounded" `Quick
+      test_committed_cycles_bounded;
+    Alcotest.test_case "context multiplexing" `Quick test_ctx_multiplexing;
+    Alcotest.test_case "instruction budget guard" `Quick test_insn_budget_guard;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "HTM wall clock scales" `Quick test_wall_clock_scales_down;
+    Alcotest.test_case "work conservation" `Quick test_work_conservation;
+  ]

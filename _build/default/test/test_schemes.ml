@@ -1,0 +1,170 @@
+(* Scheme equivalence: the central correctness property of TLE — replacing
+   the GIL with transactions must not change program results. Every workload
+   (at test size) must print byte-identical output under every scheme, plus
+   the TLE-specific behaviours of Figures 1-3. *)
+
+open Htm_sim
+
+let equivalence_for name threads =
+  let w =
+    match Workloads.Workload.find name with
+    | Some w -> w
+    | None -> Alcotest.fail ("no workload " ^ name)
+  in
+  let source = w.source ~threads ~size:Workloads.Size.Test in
+  let reference = Tutil.output ~scheme:Core.Scheme.Gil_only source in
+  Alcotest.(check bool) "reference non-empty" true (String.length reference > 0);
+  List.iter
+    (fun scheme ->
+      let out = Tutil.output ~scheme source in
+      Alcotest.(check string)
+        (Printf.sprintf "%s under %s" name (Core.Scheme.to_string scheme))
+        reference out)
+    (List.tl Tutil.all_schemes)
+
+let npb_equiv name () = equivalence_for name 6
+let micro_equiv name () = equivalence_for name 4
+
+let test_machines_agree () =
+  (* guest results are machine-independent even though performance differs *)
+  let w = Option.get (Workloads.Workload.find "cg") in
+  let source = w.source ~threads:4 ~size:Workloads.Size.Test in
+  let a = Tutil.output ~machine:Machine.zec12 ~scheme:Core.Scheme.Htm_dynamic source in
+  let b = Tutil.output ~machine:Machine.xeon_e3 ~scheme:Core.Scheme.Htm_dynamic source in
+  Alcotest.(check string) "zEC12 vs Xeon" a b
+
+let test_determinism () =
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let source = w.source ~threads:6 ~size:Workloads.Size.Test in
+  let run () =
+    let r = Tutil.run_source ~scheme:Core.Scheme.Htm_dynamic source in
+    (r.Core.Runner.output, r.wall_cycles, r.total_insns)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let test_yield_point_sets_agree () =
+  let w = Option.get (Workloads.Workload.find "mg") in
+  let source = w.source ~threads:6 ~size:Workloads.Size.Test in
+  let a =
+    Tutil.output ~scheme:Core.Scheme.Htm_dynamic
+      ~yield_points:Core.Yield_points.Extended source
+  in
+  let b =
+    Tutil.output ~scheme:Core.Scheme.Htm_dynamic
+      ~yield_points:Core.Yield_points.Original source
+  in
+  Alcotest.(check string) "original vs extended yield points" a b
+
+let test_conflict_removal_opts_agree () =
+  let w = Option.get (Workloads.Workload.find "bt") in
+  let source = w.source ~threads:6 ~size:Workloads.Size.Test in
+  let a = Tutil.output ~scheme:Core.Scheme.Htm_dynamic source in
+  let b =
+    Tutil.output ~scheme:Core.Scheme.Htm_dynamic ~opts:Rvm.Options.cruby_baseline
+      source
+  in
+  Alcotest.(check string) "conflict removals do not change results" a b
+
+let test_htm_actually_used () =
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let source = w.source ~threads:6 ~size:Workloads.Size.Test in
+  let r = Tutil.run_source ~scheme:Core.Scheme.Htm_dynamic source in
+  let s = r.Core.Runner.htm_stats in
+  Alcotest.(check bool) "transactions committed" true (s.Stats.commits > 100);
+  let gil = Tutil.run_source ~scheme:Core.Scheme.Gil_only source in
+  Alcotest.(check int) "no transactions under GIL" 0
+    gil.Core.Runner.htm_stats.Stats.begins
+
+let test_gil_serialises () =
+  (* under the GIL, wall time with N threads is not much less than 1 thread *)
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let one =
+    Tutil.run_source ~scheme:Core.Scheme.Gil_only
+      (w.source ~threads:1 ~size:Workloads.Size.Test)
+  in
+  let many =
+    Tutil.run_source ~scheme:Core.Scheme.Gil_only
+      (w.source ~threads:8 ~size:Workloads.Size.Test)
+  in
+  Alcotest.(check bool) "GIL gives no compute speedup" true
+    (float_of_int many.wall_cycles > 0.85 *. float_of_int one.wall_cycles)
+
+let test_htm_scales () =
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let one =
+    Tutil.run_source ~scheme:(Core.Scheme.Htm_fixed 16)
+      (w.source ~threads:1 ~size:Workloads.Size.Test)
+  in
+  let many =
+    Tutil.run_source ~scheme:(Core.Scheme.Htm_fixed 16)
+      (w.source ~threads:8 ~size:Workloads.Size.Test)
+  in
+  Alcotest.(check bool) "HTM speeds up multithreaded FT" true
+    (float_of_int many.wall_cycles < 0.7 *. float_of_int one.wall_cycles)
+
+(* Random concurrent programs: [n] threads apply random operation
+   sequences to disjoint slices plus a mutex-protected shared counter; all
+   schemes must print identical results. *)
+let random_program (ops : int list) n_threads =
+  let body_ops =
+    ops
+    |> List.mapi (fun i op ->
+           match op mod 4 with
+           | 0 -> Printf.sprintf "      acc += %d" (i + 1)
+           | 1 -> Printf.sprintf "      acc = acc * 2 + tid"
+           | 2 -> Printf.sprintf "      data[tid] = acc + data[tid]"
+           | _ -> Printf.sprintf "      m.synchronize { shared[0] += %d }" (op mod 7))
+    |> String.concat "\n"
+  in
+  Printf.sprintf
+    {|m = Mutex.new
+shared = [0]
+data = Array.new(%d, 1)
+ths = []
+t = 0
+while t < %d
+  ths << Thread.new(t) do |tid|
+    acc = tid
+    r = 0
+    while r < 3
+%s
+      r += 1
+    end
+    data[tid] = data[tid] + acc
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+puts data.join(",")
+puts shared[0]|}
+    n_threads n_threads body_ops
+
+let prop_random_scheme_equivalence =
+  Tutil.qtest "random concurrent programs agree across schemes" ~count:12
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 6) (int_bound 20)) (int_range 2 6))
+    (fun (ops, n_threads) ->
+      let src = random_program ops n_threads in
+      let reference = Tutil.output ~scheme:Core.Scheme.Gil_only src in
+      List.for_all
+        (fun scheme -> Tutil.output ~scheme src = reference)
+        [ Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_fixed 64; Core.Scheme.Htm_dynamic ])
+
+let suite =
+  List.map
+    (fun n -> Alcotest.test_case ("equivalence: " ^ n) `Slow (npb_equiv n))
+    Workloads.Workload.npb_names
+  @ [
+      Alcotest.test_case "equivalence: while" `Slow (micro_equiv "while");
+      Alcotest.test_case "equivalence: iterator" `Slow (micro_equiv "iterator");
+      Alcotest.test_case "machines agree on results" `Quick test_machines_agree;
+      Alcotest.test_case "runs are deterministic" `Quick test_determinism;
+      Alcotest.test_case "yield-point sets agree on results" `Quick
+        test_yield_point_sets_agree;
+      Alcotest.test_case "conflict removals agree on results" `Quick
+        test_conflict_removal_opts_agree;
+      Alcotest.test_case "HTM is exercised" `Quick test_htm_actually_used;
+      Alcotest.test_case "GIL serialises compute" `Quick test_gil_serialises;
+      Alcotest.test_case "HTM scales compute" `Quick test_htm_scales;
+      prop_random_scheme_equivalence;
+    ]

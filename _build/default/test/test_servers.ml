@@ -1,0 +1,51 @@
+(* WEBrick and Rails workloads end to end over the virtual network. *)
+
+open Htm_sim
+
+let run_server name ~scheme ~clients ~machine =
+  let w = Option.get (Workloads.Workload.find name) in
+  Harness.Exp.run
+    (Harness.Exp.point ~workload:w ~machine ~scheme ~threads:clients
+       ~size:Workloads.Size.Test ())
+
+let test_webrick_serves () =
+  let o = run_server "webrick" ~scheme:Core.Scheme.Gil_only ~clients:3 ~machine:Machine.zec12 in
+  Alcotest.(check int) "all requests served" 60 o.result.Core.Runner.requests_completed;
+  Alcotest.(check bool) "throughput measured" true (o.throughput > 0.0)
+
+let test_webrick_schemes_serve_all () =
+  List.iter
+    (fun scheme ->
+      let o = run_server "webrick" ~scheme ~clients:4 ~machine:Machine.xeon_e3 in
+      Alcotest.(check int)
+        ("served under " ^ Core.Scheme.to_string scheme)
+        60 o.result.Core.Runner.requests_completed)
+    [ Core.Scheme.Gil_only; Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_dynamic ]
+
+let test_rails_serves () =
+  let o = run_server "rails" ~scheme:Core.Scheme.Gil_only ~clients:3 ~machine:Machine.xeon_e3 in
+  Alcotest.(check int) "all requests served" 40 o.result.Core.Runner.requests_completed
+
+let test_rails_htm () =
+  let o = run_server "rails" ~scheme:Core.Scheme.Htm_dynamic ~clients:4 ~machine:Machine.xeon_e3 in
+  Alcotest.(check int) "served" 40 o.result.Core.Runner.requests_completed;
+  (* Rails aborts are dominated by footprint overflows / GIL-requiring
+     extension calls (Section 5.6) *)
+  Alcotest.(check bool) "transactions attempted" true
+    (o.result.Core.Runner.htm_stats.Stats.begins > 0)
+
+let test_webrick_io_releases_gil () =
+  (* with blocking I/O releasing the GIL, more clients help even under GIL
+     (the paper reports 17-26% GIL speedups for WEBrick) *)
+  let one = run_server "webrick" ~scheme:Core.Scheme.Gil_only ~clients:1 ~machine:Machine.xeon_e3 in
+  let four = run_server "webrick" ~scheme:Core.Scheme.Gil_only ~clients:4 ~machine:Machine.xeon_e3 in
+  Alcotest.(check bool) "GIL overlaps I/O" true (four.throughput > one.throughput)
+
+let suite =
+  [
+    Alcotest.test_case "webrick serves all requests" `Quick test_webrick_serves;
+    Alcotest.test_case "webrick under HTM schemes" `Slow test_webrick_schemes_serve_all;
+    Alcotest.test_case "rails serves all requests" `Quick test_rails_serves;
+    Alcotest.test_case "rails under HTM" `Quick test_rails_htm;
+    Alcotest.test_case "I/O releases the GIL" `Quick test_webrick_io_releases_gil;
+  ]

@@ -1,0 +1,118 @@
+(* Fast shape assertions on the paper's headline results, at test size so
+   they run in seconds: the qualitative claims EXPERIMENTS.md records must
+   not silently regress. *)
+
+open Htm_sim
+
+let wall ?(machine = Machine.zec12) ?opts scheme name threads =
+  let w = Option.get (Workloads.Workload.find name) in
+  (Tutil.run_source ~machine ~scheme ?opts (w.source ~threads ~size:Workloads.Size.Test))
+    .Core.Runner.wall_cycles
+
+let test_gil_flat_htm_scales () =
+  (* microbenchmark: per-thread fixed work; GIL wall grows ~linearly with
+     threads while HTM wall stays roughly flat *)
+  let gil1 = wall Core.Scheme.Gil_only "while" 1 in
+  let gil8 = wall Core.Scheme.Gil_only "while" 8 in
+  let htm8 = wall Core.Scheme.Htm_dynamic "while" 8 in
+  Alcotest.(check bool) "GIL serialises (8x work ~ 8x wall)" true
+    (float_of_int gil8 > 5.0 *. float_of_int gil1);
+  Alcotest.(check bool) "HTM runs threads in parallel" true
+    (float_of_int htm8 < 0.45 *. float_of_int gil8)
+
+let test_htm256_overflows () =
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let r =
+    Tutil.run_source ~scheme:(Core.Scheme.Htm_fixed 256)
+      (w.source ~threads:8 ~size:Workloads.Size.Test)
+  in
+  let s = r.Core.Runner.htm_stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "long transactions abort heavily (%.1f%%)"
+       (100.0 *. Stats.abort_ratio s))
+    true
+    (Stats.abort_ratio s > 0.25)
+
+let test_single_thread_overhead_band () =
+  (* HTM-dynamic on one thread is slower than the GIL but within reason *)
+  let gil = wall Core.Scheme.Gil_only "sp" 1 in
+  let dyn = wall Core.Scheme.Htm_dynamic "sp" 1 in
+  let overhead = float_of_int dyn /. float_of_int gil -. 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.1f%% in (2%%, 60%%)" (100.0 *. overhead))
+    true
+    (overhead > 0.02 && overhead < 0.6)
+
+let test_no_removal_kills_htm () =
+  (* Section 5.4: without the conflict removals, no acceleration *)
+  let dyn = wall Core.Scheme.Htm_dynamic "ft" 8 in
+  let baseline =
+    wall ~opts:Rvm.Options.cruby_baseline Core.Scheme.Htm_dynamic "ft" 8
+  in
+  Alcotest.(check bool) "conflict removals are load-bearing" true
+    (baseline > 2 * dyn)
+
+let test_learning_ramp () =
+  let points = Harness.Figures.fig6a ~iters_per_phase:8_000 Format.str_formatter in
+  ignore (Format.flush_str_formatter ());
+  let phase kb = List.filter (fun p -> p.Harness.Figures.written_kb = kb) points in
+  let avg ps =
+    List.fold_left (fun a p -> a +. p.Harness.Figures.success_pct) 0.0 ps
+    /. float_of_int (max 1 (List.length ps))
+  in
+  (* over-capacity phases never succeed *)
+  Alcotest.(check bool) "24KB always aborts" true (avg (phase 24) < 0.5);
+  Alcotest.(check bool) "20KB always aborts" true (avg (phase 20) < 0.5);
+  (* the 16KB phase ramps: early windows below 60%, late windows above 90% *)
+  let p16 = phase 16 in
+  let n = List.length p16 in
+  let early = List.filteri (fun i _ -> i < n / 8) p16 in
+  let late = List.filteri (fun i _ -> i > 3 * n / 4) p16 in
+  Alcotest.(check bool) "early 16KB below 60%" true (avg early < 60.0);
+  Alcotest.(check bool) "late 16KB above 90%" true (avg late > 90.0)
+
+let test_servers_prefer_htm_on_xeon () =
+  let w = Option.get (Workloads.Workload.find "webrick") in
+  let run scheme =
+    Harness.Exp.run
+      (Harness.Exp.point ~workload:w ~machine:Machine.xeon_e3 ~scheme ~threads:4
+         ~size:Workloads.Size.Test ())
+  in
+  let gil = run Core.Scheme.Gil_only in
+  let dyn = run Core.Scheme.Htm_dynamic in
+  Alcotest.(check bool)
+    (Printf.sprintf "HTM-dynamic (%.0f req/s) beats GIL (%.0f req/s)"
+       dyn.throughput gil.throughput)
+    true
+    (dyn.throughput > gil.throughput)
+
+let test_refcounting_defeats_htm () =
+  (* Section 7: CPython-style reference counting makes shared objects
+     write-hot and collapses the elision *)
+  let w = Option.get (Workloads.Workload.find "ft") in
+  let source = w.source ~threads:8 ~size:Workloads.Size.Test in
+  let run opts = Tutil.run_source ~scheme:Core.Scheme.Htm_dynamic ~opts source in
+  let plain = run Rvm.Options.default in
+  let rc = run { Rvm.Options.default with refcount_writes = true } in
+  Alcotest.(check bool)
+    (Printf.sprintf "refcounting slower (%d vs %d)" rc.wall_cycles
+       plain.wall_cycles)
+    true
+    (rc.wall_cycles > plain.wall_cycles);
+  Alcotest.(check string) "results unchanged"
+    plain.Core.Runner.output rc.Core.Runner.output
+
+let suite =
+  [
+    Alcotest.test_case "GIL flat, HTM scales (Fig 4)" `Slow test_gil_flat_htm_scales;
+    Alcotest.test_case "HTM-256 collapses (Fig 5)" `Quick test_htm256_overflows;
+    Alcotest.test_case "single-thread overhead band (S5.6)" `Quick
+      test_single_thread_overhead_band;
+    Alcotest.test_case "conflict removals load-bearing (S5.4)" `Quick
+      test_no_removal_kills_htm;
+    Alcotest.test_case "Haswell learning ramp (Fig 6a)" `Slow test_learning_ramp;
+    Alcotest.test_case "WEBrick prefers HTM on Xeon (Fig 7)" `Quick
+      test_servers_prefer_htm_on_xeon;
+    Alcotest.test_case "refcounting defeats HTM (S7)" `Quick
+      test_refcounting_defeats_htm;
+  ]

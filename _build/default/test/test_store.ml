@@ -1,0 +1,96 @@
+(* Store and undo-log / rollback behaviour. *)
+
+open Htm_sim
+
+let machine = Machine.zec12
+
+let mk () =
+  let store = Store.create ~dummy:0 ~line_cells:machine.line_cells 256 in
+  let htm = Htm.create machine store in
+  (store, htm)
+
+let test_reserve () =
+  let store, _ = mk () in
+  let a = Store.reserve store 10 in
+  let b = Store.reserve store 5 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 10);
+  Store.set store a 42;
+  Alcotest.(check int) "roundtrip" 42 (Store.get store a)
+
+let test_alignment () =
+  let store, _ = mk () in
+  ignore (Store.reserve store 3);
+  let a = Store.reserve_aligned store 4 in
+  Alcotest.(check int) "aligned" 0 (a mod machine.line_cells)
+
+let test_bounds () =
+  let store, _ = mk () in
+  let a = Store.reserve store 4 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Store.get: address 999 out of bounds")
+    (fun () -> ignore (Store.get store 999));
+  ignore a
+
+let test_growth () =
+  let store, _ = mk () in
+  let base = Store.reserve store 100_000 in
+  Store.set store (base + 99_999) 7;
+  Alcotest.(check int) "grown" 7 (Store.get store (base + 99_999))
+
+(* A transaction's writes are undone exactly on abort. *)
+let prop_rollback =
+  let open QCheck in
+  Tutil.qtest "abort restores all cells" ~count:200
+    (list (pair (int_bound 63) small_int))
+    (fun writes ->
+      let store, htm = mk () in
+      let base = Store.reserve store 64 in
+      List.iteri (fun i _ -> Store.set store (base + i mod 64) i) writes;
+      let before = Array.init 64 (fun i -> Store.get store (base + i)) in
+      Htm.set_occupied htm 0 true;
+      Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+      List.iter (fun (off, v) -> Htm.write htm ~ctx:0 (base + off) v) writes;
+      (try Htm.tabort htm ~ctx:0 Txn.Explicit with Htm.Abort_now _ -> ());
+      Array.to_list before
+      = List.init 64 (fun i -> Store.get store (base + i)))
+
+(* Committed writes persist. *)
+let prop_commit =
+  let open QCheck in
+  Tutil.qtest "commit keeps all cells" ~count:200
+    (list (pair (int_bound 63) small_int))
+    (fun writes ->
+      let store, htm = mk () in
+      let base = Store.reserve store 64 in
+      Htm.set_occupied htm 0 true;
+      Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+      List.iter (fun (off, v) -> Htm.write htm ~ctx:0 (base + off) v) writes;
+      Htm.tend htm ~ctx:0;
+      List.for_all
+        (fun (off, v) ->
+          (* the last write to each offset wins *)
+          let last =
+            List.fold_left
+              (fun acc (o, v') -> if o = off then Some v' else acc)
+              None writes
+          in
+          match last with Some l -> Store.get store (base + off) = l || v = l || true | None -> true)
+        writes
+      &&
+      (* spot-check: final value of each touched cell equals the last write *)
+      List.for_all
+        (fun off ->
+          let lasts = List.filter (fun (o, _) -> o = off) writes in
+          match List.rev lasts with
+          | (_, v) :: _ -> Store.get store (base + off) = v
+          | [] -> true)
+        (List.map fst writes))
+
+let suite =
+  [
+    Alcotest.test_case "reserve/set/get" `Quick test_reserve;
+    Alcotest.test_case "aligned reservation" `Quick test_alignment;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "growth" `Quick test_growth;
+    prop_rollback;
+    prop_commit;
+  ]

@@ -1,0 +1,176 @@
+(* Guest threading semantics: spawn/join, mutex mutual exclusion, condition
+   variables, and the barrier used by the NPB ports — under both the GIL and
+   HTM schemes. *)
+
+let counter_src =
+  {|m = Mutex.new
+count = 0
+ths = []
+t = 0
+while t < 6
+  ths << Thread.new do
+    i = 0
+    while i < 200
+      m.synchronize { count += 1 }
+      i += 1
+    end
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+puts count|}
+
+let test_mutex_mutual_exclusion () =
+  List.iter
+    (fun scheme ->
+      let out = Tutil.output ~scheme counter_src in
+      Alcotest.(check string)
+        ("exact count under " ^ Core.Scheme.to_string scheme)
+        "1200\n" out)
+    Tutil.all_schemes
+
+let test_join_value () =
+  Tutil.check_output "thread result via value" "25\n"
+    {|t = Thread.new { 5 * 5 }
+puts t.value|}
+
+let test_join_ordering () =
+  Tutil.check_output ~scheme:Core.Scheme.Htm_dynamic "join waits" "done\n42\n"
+    {|box = [0]
+t = Thread.new do
+  i = 0
+  while i < 500
+    i += 1
+  end
+  box[0] = 42
+  puts "done"
+end
+t.join
+puts box[0]|}
+
+let test_thread_args () =
+  Tutil.check_output "Thread.new args" "0:a\n1:b\n2:c\n"
+    {|names = ["a", "b", "c"]
+lines = Array.new(3, nil)
+ths = []
+i = 0
+while i < 3
+  ths << Thread.new(i, names[i]) do |idx, name|
+    lines[idx] = idx.to_s + ":" + name
+  end
+  i += 1
+end
+ths.each { |t| t.join }
+lines.each { |l| puts l }|}
+
+let test_condvar_pingpong () =
+  List.iter
+    (fun scheme ->
+      Tutil.check_output ~scheme
+        ("condvar handoff under " ^ Core.Scheme.to_string scheme) "30\n"
+        {|m = Mutex.new
+cv = ConditionVariable.new
+box = [0]
+consumer = Thread.new do
+  m.lock
+  while box[0] == 0
+    cv.wait(m)
+  end
+  v = box[0]
+  m.unlock
+  v
+end
+producer = Thread.new do
+  i = 0
+  while i < 100
+    i += 1
+  end
+  m.lock
+  box[0] = 30
+  cv.signal
+  m.unlock
+end
+producer.join
+puts consumer.value|})
+    [ Core.Scheme.Gil_only; Core.Scheme.Htm_fixed 16; Core.Scheme.Htm_dynamic ]
+
+let test_barrier () =
+  (* every thread must observe every other thread's pre-barrier writes *)
+  List.iter
+    (fun scheme ->
+      Tutil.check_output ~scheme
+        ("barrier correctness under " ^ Core.Scheme.to_string scheme) "ok\n"
+        (Workloads.Guest_runtime.source
+        ^ {|
+n = 6
+bar = Barrier.new(n)
+flags = Array.new(n, 0)
+sums = Array.new(n, 0)
+ths = []
+t = 0
+while t < n
+  ths << Thread.new(t) do |tid|
+    flags[tid] = tid + 1
+    bar.wait
+    s = 0
+    i = 0
+    while i < n
+      s += flags[i]
+      i += 1
+    end
+    sums[tid] = s
+  end
+  t += 1
+end
+ths.each { |th| th.join }
+expected = n * (n + 1) / 2
+ok = true
+sums.each { |s| ok = false if s != expected }
+puts(ok ? "ok" : "BROKEN")|}))
+    [ Core.Scheme.Gil_only; Core.Scheme.Htm_fixed 1; Core.Scheme.Htm_dynamic ]
+
+let test_try_lock () =
+  Tutil.check_output "try_lock" "true\nfalse\ntrue\n"
+    {|m = Mutex.new
+puts m.try_lock
+puts m.try_lock
+m.unlock
+puts m.try_lock|}
+
+let test_thread_alive () =
+  Tutil.check_output "alive?" "false\n"
+    {|t = Thread.new { 1 }
+t.join
+puts t.alive?|}
+
+let test_many_short_threads () =
+  (* more threads than hardware contexts: they multiplex *)
+  Tutil.check_output ~scheme:Core.Scheme.Htm_dynamic "40 threads on 12 cores"
+    "40\n"
+    {|m = Mutex.new
+done = [0]
+ths = []
+i = 0
+while i < 40
+  ths << Thread.new do
+    m.synchronize { done[0] += 1 }
+  end
+  i += 1
+end
+ths.each { |t| t.join }
+puts done[0]|}
+
+let suite =
+  [
+    Alcotest.test_case "mutex mutual exclusion (all schemes)" `Slow
+      test_mutex_mutual_exclusion;
+    Alcotest.test_case "thread value" `Quick test_join_value;
+    Alcotest.test_case "join ordering" `Quick test_join_ordering;
+    Alcotest.test_case "thread arguments" `Quick test_thread_args;
+    Alcotest.test_case "condition variables" `Quick test_condvar_pingpong;
+    Alcotest.test_case "barrier visibility" `Slow test_barrier;
+    Alcotest.test_case "try_lock" `Quick test_try_lock;
+    Alcotest.test_case "alive?" `Quick test_thread_alive;
+    Alcotest.test_case "thread multiplexing over contexts" `Quick
+      test_many_short_threads;
+  ]

@@ -1,0 +1,78 @@
+(* Workload-level pins: golden verification checksums at test size (the
+   kernels are deterministic by construction), parameter monotonicity, and
+   thread-count independence of results. *)
+
+let goldens =
+  [
+    ("while", "microbench verify 8004000");
+    ("iterator", "microbench verify 8004000");
+    ("bt", "BT verify 11487874");
+    ("cg", "CG verify 403999");
+    ("ft", "FT verify 1434893");
+    ("is", "IS verify 6000 3091");
+    ("lu", "LU verify 43211239");
+    ("mg", "MG verify 8000806");
+    ("sp", "SP verify 29885552");
+  ]
+
+let run name threads =
+  let w = Option.get (Workloads.Workload.find name) in
+  String.trim
+    (Tutil.output ~scheme:Core.Scheme.Gil_only
+       (w.source ~threads ~size:Workloads.Size.Test))
+
+let test_goldens () =
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check string) ("golden " ^ name) expected (run name 4))
+    goldens
+
+(* The kernels compute the same answer regardless of worker count: the
+   parallelisation must not change the numerics. *)
+let test_thread_count_independent () =
+  List.iter
+    (fun name ->
+      let a = run name 2 and b = run name 7 in
+      Alcotest.(check bool) (name ^ " verify thread-independent") true
+        ((name = "while" || name = "iterator") || a = b))
+    (List.map fst goldens)
+
+let test_sizes_grow () =
+  (* bigger classes mean strictly more instructions *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.Workload.find name) in
+      let insns size =
+        (Tutil.run_source ~scheme:Core.Scheme.Gil_only
+           (w.source ~threads:2 ~size))
+          .Core.Runner.total_insns
+      in
+      let t = insns Workloads.Size.Test and s = insns Workloads.Size.S in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: S (%d) > test (%d)" name s t)
+        true (s > t))
+    [ "cg"; "is"; "sp" ]
+
+let test_all_parse_and_compile () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun size ->
+          let src = w.source ~threads:4 ~size in
+          match Rvm.Compiler.compile_string src with
+          | _ -> ()
+          | exception e ->
+              Alcotest.failf "%s at %s does not compile: %s" w.name
+                (Workloads.Size.to_string size) (Printexc.to_string e))
+        [ Workloads.Size.Test; Workloads.Size.S; Workloads.Size.W ])
+    Workloads.Workload.all
+
+let suite =
+  [
+    Alcotest.test_case "golden checksums" `Quick test_goldens;
+    Alcotest.test_case "thread-count independence" `Slow
+      test_thread_count_independent;
+    Alcotest.test_case "size classes grow" `Quick test_sizes_grow;
+    Alcotest.test_case "all workloads compile at all sizes" `Quick
+      test_all_parse_and_compile;
+  ]
