@@ -1,20 +1,24 @@
 (* The benchmark harness.
 
    Part 1 regenerates every table and figure of the paper's evaluation
-   (Figures 4-9 plus the Section 5.4/5.6 ablations) on the simulator and
-   prints the same series the paper plots. Absolute numbers are simulated;
-   the shapes — who wins, by what factor, where the crossovers are — are
-   the reproduction target (see EXPERIMENTS.md).
+   (Figures 4-9 plus the Section 5.4/5.6 ablations) on the simulator, prints
+   the same series the paper plots, and dumps them all to BENCH_results.json
+   — the canonical machine-readable perf artifact future PRs diff against.
 
    Part 2 runs Bechamel micro-benchmarks of the simulator itself (host-side
-   performance), one Test.make per experiment family.
+   performance), one Test.make per experiment family, and asserts that the
+   observability layer costs nothing when tracing is disabled (the default).
 
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- figures      # only the paper figures
-     dune exec bench/main.exe -- micro        # only the Bechamel suite
-     BENCH_SIZE=test dune exec bench/main.exe # quick pass *)
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- figures           # figures + BENCH_results.json
+     dune exec bench/main.exe -- micro             # only the Bechamel suite
+     dune exec bench/main.exe -- validate [FILE]   # parse-check a results file
+     BENCH_SIZE=test dune exec bench/main.exe      # quick pass *)
+
+module J = Obs.Json
 
 let fmt = Format.std_formatter
+let results_file = "BENCH_results.json"
 
 let size () =
   match Sys.getenv_opt "BENCH_SIZE" with
@@ -27,31 +31,219 @@ let time name f =
   Format.fprintf fmt "@.[%s took %.1fs]@." name (Unix.gettimeofday () -. t0);
   r
 
+(* ---- JSON series for BENCH_results.json ---- *)
+
+let breakdown_json (b : Core.Runner.breakdown) =
+  J.Obj
+    [
+      ("txn_overhead", J.Int b.bd_txn_overhead);
+      ("committed", J.Int b.bd_committed);
+      ("aborted", J.Int b.bd_aborted);
+      ("gil_held", J.Int b.bd_gil_held);
+      ("gil_wait", J.Int b.bd_gil_wait);
+      ("other", J.Int b.bd_other);
+    ]
+
+let outcome_json (o : Harness.Exp.outcome) =
+  let r = o.Harness.Exp.result in
+  J.Obj
+    [
+      ("wall_cycles", J.Int o.Harness.Exp.wall_cycles);
+      ("throughput", J.Float o.Harness.Exp.throughput);
+      ("abort_ratio", J.Float o.Harness.Exp.abort_ratio);
+      ("gil_acquisitions", J.Int r.Core.Runner.gil_acquisitions);
+      ("gc_runs", J.Int r.Core.Runner.gc_runs);
+      ("breakdown", breakdown_json r.Core.Runner.breakdown);
+    ]
+
+(* A panel's sweep as a flat point list, deterministically ordered. *)
+let panel_json (p : Harness.Figures.panel) =
+  let points =
+    Hashtbl.fold (fun key v acc -> (key, v) :: acc) p.Harness.Figures.cells []
+    |> List.sort compare
+    |> List.map (fun ((scheme, threads), speedup) ->
+           let abort =
+             Option.value
+               (Hashtbl.find_opt p.Harness.Figures.aborts (scheme, threads))
+               ~default:0.0
+           in
+           J.Obj
+             [
+               ("scheme", J.Str scheme);
+               ("threads", J.Int threads);
+               ("speedup", J.Float speedup);
+               ("abort_ratio", J.Float abort);
+             ])
+  in
+  J.Obj
+    [
+      ("workload", J.Str p.Harness.Figures.workload);
+      ("machine", J.Str p.Harness.Figures.machine);
+      ("baseline_wall", J.Int p.Harness.Figures.baseline_wall);
+      ("points", J.List points);
+    ]
+
+let pair_series_json ~variant pairs =
+  J.List
+    (List.map
+       (fun (name, baseline, changed) ->
+         J.Obj
+           [
+             ("bench", J.Str name);
+             ("baseline", outcome_json baseline);
+             (variant, outcome_json changed);
+           ])
+       pairs)
+
 let figures () =
   let size = size () in
-  time "Figure 4" (fun () -> ignore (Harness.Figures.fig4 ~size fmt));
-  time "Figure 5" (fun () -> ignore (Harness.Figures.fig5 ~size fmt));
-  time "Figure 6a" (fun () -> ignore (Harness.Figures.fig6a fmt));
-  time "Figure 6b" (fun () -> ignore (Harness.Figures.fig6b fmt));
-  time "Figure 7" (fun () -> ignore (Harness.Figures.fig7 ~size fmt));
-  time "Figure 8" (fun () -> ignore (Harness.Figures.fig8 ~size fmt));
-  time "Figure 9" (fun () -> ignore (Harness.Figures.fig9 ~size fmt));
-  time "Section 5.4 ablations" (fun () ->
-      ignore (Harness.Figures.ablation ~size fmt));
-  time "Section 5.6 overhead" (fun () ->
-      ignore (Harness.Figures.overhead ~size fmt));
-  time "Section 5.6 future work (lazy sweep)" (fun () ->
-      ignore (Harness.Figures.future_work ~size fmt));
-  time "Section 7 (CPython-style refcounting)" (fun () ->
-      ignore (Harness.Figures.refcount ~size fmt))
+  let figs = ref [] in
+  let add name j = figs := (name, j) :: !figs in
+  add "fig4"
+    (time "Figure 4" (fun () ->
+         J.List (List.map panel_json (Harness.Figures.fig4 ~size fmt))));
+  add "fig5"
+    (time "Figure 5" (fun () ->
+         J.List (List.map panel_json (Harness.Figures.fig5 ~size fmt))));
+  add "fig6a"
+    (time "Figure 6a" (fun () ->
+         J.List
+           (List.map
+              (fun (pt : Harness.Figures.fig6a_point) ->
+                J.Obj
+                  [
+                    ("iteration", J.Int pt.iteration);
+                    ("written_kb", J.Int pt.written_kb);
+                    ("success_pct", J.Float pt.success_pct);
+                  ])
+              (Harness.Figures.fig6a fmt))));
+  add "fig6b" (time "Figure 6b" (fun () -> panel_json (Harness.Figures.fig6b fmt)));
+  add "fig7"
+    (time "Figure 7" (fun () ->
+         J.List (List.map panel_json (Harness.Figures.fig7 ~size fmt))));
+  add "fig8"
+    (time "Figure 8" (fun () ->
+         J.List
+           (List.map
+              (fun ((workload, machine), series) ->
+                J.Obj
+                  [
+                    ("workload", J.Str workload);
+                    ("machine", J.Str machine);
+                    ( "series",
+                      J.List
+                        (List.map
+                           (fun (threads, o) ->
+                             match outcome_json o with
+                             | J.Obj fields ->
+                                 J.Obj (("threads", J.Int threads) :: fields)
+                             | j -> j)
+                           series) );
+                  ])
+              (Harness.Figures.fig8 ~size fmt))));
+  add "fig9"
+    (time "Figure 9" (fun () ->
+         J.List
+           (List.map
+              (fun (bench, series) ->
+                J.Obj
+                  [
+                    ("bench", J.Str bench);
+                    ( "series",
+                      J.List
+                        (List.map
+                           (fun (name, pts) ->
+                             J.Obj
+                               [
+                                 ("name", J.Str name);
+                                 ( "points",
+                                   J.List
+                                     (List.map
+                                        (fun (threads, v) ->
+                                          J.Obj
+                                            [
+                                              ("threads", J.Int threads);
+                                              ("speedup", J.Float v);
+                                            ])
+                                        pts) );
+                               ])
+                           series) );
+                  ])
+              (Harness.Figures.fig9 ~size fmt))));
+  add "ablation"
+    (time "Section 5.4 ablations" (fun () ->
+         J.List
+           (List.map
+              (fun (bench, gil, dyn, orig_yield, no_removal) ->
+                J.Obj
+                  [
+                    ("bench", J.Str bench);
+                    ("gil", J.Float gil);
+                    ("htm_dynamic", J.Float dyn);
+                    ("original_yield_points", J.Float orig_yield);
+                    ("no_conflict_removal", J.Float no_removal);
+                  ])
+              (Harness.Figures.ablation ~size fmt))));
+  add "overhead"
+    (time "Section 5.6 overhead" (fun () ->
+         J.List
+           (List.map
+              (fun (bench, pct) ->
+                J.Obj [ ("bench", J.Str bench); ("overhead_pct", J.Float pct) ])
+              (Harness.Figures.overhead ~size fmt))));
+  add "future_work"
+    (time "Section 5.6 future work (lazy sweep)" (fun () ->
+         pair_series_json ~variant:"lazy_sweep"
+           (Harness.Figures.future_work ~size fmt)));
+  add "refcount"
+    (time "Section 7 (CPython-style refcounting)" (fun () ->
+         pair_series_json ~variant:"refcounted"
+           (Harness.Figures.refcount ~size fmt)));
+  let doc =
+    J.Obj
+      [
+        ("producer", J.Str "bench/main.exe");
+        ("size", J.Str (Workloads.Size.to_string size));
+        ("figures", J.Obj (List.rev !figs));
+      ]
+  in
+  J.to_file results_file doc;
+  Format.fprintf fmt "@.results -> %s@." results_file
+
+(* ---- validate: parse-check a results file (used by the smoke script) ---- *)
+
+let validate path =
+  let text =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      text
+    with Sys_error msg ->
+      Format.eprintf "%s: cannot read: %s@." path msg;
+      exit 1
+  in
+  match J.of_string text with
+  | exception J.Parse_error msg ->
+      Format.eprintf "%s: JSON parse error: %s@." path msg;
+      exit 1
+  | doc -> (
+      match J.member "figures" doc with
+      | Some (J.Obj figs) when figs <> [] ->
+          Format.fprintf fmt "%s: ok (%d figure series)@." path
+            (List.length figs)
+      | _ ->
+          Format.eprintf "%s: parsed, but no \"figures\" object@." path;
+          exit 1)
 
 (* ---- Bechamel micro-benchmarks of the simulator ---- *)
 
 open Bechamel
 open Toolkit
 
-let run_guest scheme source () =
-  let cfg = Core.Runner.config ~scheme Htm_sim.Machine.zec12 in
+let run_guest ?tracer scheme source () =
+  let cfg = Core.Runner.config ?tracer ~scheme Htm_sim.Machine.zec12 in
   ignore (Core.Runner.run_source cfg ~source)
 
 let micro_source =
@@ -121,30 +313,74 @@ let micro_tests =
       (Staged.stage (run_guest Core.Scheme.Fine_grained mt_source));
   ]
 
-let micro () =
+let estimate test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name res acc ->
+      match Analyze.OLS.estimates res with
+      | Some (est :: _) ->
+          Format.fprintf fmt "%-28s %12.0f ns/run@." name est;
+          est :: acc
+      | _ -> acc)
+    results []
+  |> function
+  | est :: _ -> est
+  | [] -> nan
+
+(* Acceptance gate: the observability instrumentation must be free when
+   tracing is off. A config carrying a disabled sink exercises every
+   [match tracer with Some ...] site plus the sink's own enabled check; it
+   must stay within 5% of the tracer-less Figure 4 micro path. Re-measured
+   once before failing, since single Bechamel estimates carry noise. *)
+let tracing_overhead_check () =
+  Format.fprintf fmt "@.=== disabled-tracing overhead (Figure 4 micro path) ===@.";
+  let measure () =
+    let base =
+      estimate
+        (Test.make ~name:"fig4:trace-absent"
+           (Staged.stage (run_guest Core.Scheme.Gil_only micro_source)))
+    in
+    let disabled_sink = Obs.Trace.create ~enabled:false () in
+    let disabled =
+      estimate
+        (Test.make ~name:"fig4:trace-disabled"
+           (Staged.stage
+              (run_guest ~tracer:disabled_sink Core.Scheme.Gil_only micro_source)))
+    in
+    100.0 *. (disabled -. base) /. base
+  in
+  let rec go attempts =
+    let overhead = measure () in
+    Format.fprintf fmt "disabled-tracing overhead: %+.1f%% (budget 5%%)@."
+      overhead;
+    if overhead > 5.0 then
+      if attempts > 1 then go (attempts - 1)
+      else begin
+        Format.eprintf "FAIL: disabled tracing costs more than 5%%@.";
+        exit 1
+      end
+  in
+  go 3
+
+let micro () =
   Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let ols =
-        Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-      in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name res ->
-          match Analyze.OLS.estimates res with
-          | Some (est :: _) -> Format.fprintf fmt "%-28s %12.0f ns/run@." name est
-          | _ -> Format.fprintf fmt "%-28s (no estimate)@." name)
-        results)
-    micro_tests
+  List.iter (fun test -> ignore (estimate test)) micro_tests;
+  tracing_overhead_check ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match what with
   | "figures" -> figures ()
   | "micro" -> micro ()
+  | "validate" ->
+      let path = if Array.length Sys.argv > 2 then Sys.argv.(2) else results_file in
+      validate path
   | _ ->
       figures ();
       micro ());

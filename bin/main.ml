@@ -56,6 +56,87 @@ let quiet_arg =
   let doc = "Suppress guest output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* ---- observability flags (shared by run and exec) ---- *)
+
+let trace_arg =
+  let doc = "Pretty-print the structured event trace to stderr after the run." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write the run's event trace to $(docv) as Chrome trace-event JSON \
+     (opens directly in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_json_arg =
+  let doc =
+    "Write HTM stats, the metrics registry (counters and histograms) and the \
+     abort-site attribution to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let abort_report_arg =
+  let doc =
+    "Print the abort-site attribution report (the Section 5.6 abort-cause \
+     investigation): top aborting bytecode sites and conflicting cache lines."
+  in
+  Arg.(value & flag & info [ "abort-report" ] ~doc)
+
+(* A sink is allocated only when some trace output was requested, so the
+   default run keeps the instrumentation at one branch per site. *)
+let make_tracer ~trace ~trace_out =
+  if trace || trace_out <> None then Some (Obs.Trace.create ()) else None
+
+let metrics_document (r : Core.Runner.result) =
+  Obs.Json.Obj
+    [
+      ( "htm",
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Obs.Json.Int v))
+             (Htm_sim.Stats.to_assoc r.htm_stats)) );
+      ("metrics", Obs.Metrics.to_json r.metrics);
+      ("abort_sites", Obs.Sites.to_json r.abort_sites);
+      ( "breakdown",
+        let b = r.breakdown in
+        Obs.Json.Obj
+          [
+            ("txn_overhead", Obs.Json.Int b.bd_txn_overhead);
+            ("committed", Obs.Json.Int b.bd_committed);
+            ("aborted", Obs.Json.Int b.bd_aborted);
+            ("gil_held", Obs.Json.Int b.bd_gil_held);
+            ("gil_wait", Obs.Json.Int b.bd_gil_wait);
+            ("other", Obs.Json.Int b.bd_other);
+          ] );
+      ("wall_cycles", Obs.Json.Int r.wall_cycles);
+      ("total_insns", Obs.Json.Int r.total_insns);
+    ]
+
+let write_json_or_die path doc =
+  try Obs.Json.to_file path doc
+  with Sys_error msg ->
+    Format.eprintf "htm-gil: cannot write %s: %s@." path msg;
+    exit 1
+
+let emit_observability ~trace ~trace_out ~metrics_json ~abort_report
+    (r : Core.Runner.result) =
+  (match (r.trace, trace_out) with
+  | Some tr, Some path ->
+      write_json_or_die path (Obs.Trace.to_chrome tr);
+      Format.eprintf "trace: %d events (%d dropped) -> %s@." (Obs.Trace.total tr)
+        (Obs.Trace.dropped tr) path
+  | _ -> ());
+  (match r.trace with
+  | Some tr when trace -> Format.eprintf "%a@?" Obs.Trace.pp tr
+  | _ -> ());
+  (match metrics_json with
+  | Some path ->
+      write_json_or_die path (metrics_document r);
+      Format.eprintf "metrics -> %s@." path
+  | None -> ());
+  if abort_report then Obs.Sites.report Format.std_formatter r.abort_sites
+
 let parse_common machine scheme yield_points no_removal lazy_sweep refcount =
   let machine = Htm_sim.Machine.by_name machine in
   let scheme = Core.Scheme.of_string scheme in
@@ -108,7 +189,8 @@ let run_cmd =
     let doc = "Workload name (see list)." in
     Arg.(value & opt string "cg" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
-  let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet =
+  let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet
+      trace trace_out metrics_json abort_report =
     match Workloads.Workload.find workload with
     | None ->
         Format.eprintf "unknown workload %s@." workload;
@@ -118,25 +200,30 @@ let run_cmd =
           parse_common machine scheme yield_points no_removal lazy_sweep refcount
         in
         let size = Workloads.Size.of_string size in
+        let tracer = make_tracer ~trace ~trace_out in
         let o =
-          Harness.Exp.run
+          Harness.Exp.run ?tracer
             (Harness.Exp.point ~yield_points ~opts ~workload:w ~machine ~scheme
                ~threads ~size ())
         in
-        print_outcome ~quiet o
+        print_outcome ~quiet o;
+        emit_observability ~trace ~trace_out ~metrics_json ~abort_report
+          o.Harness.Exp.result
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one scheme")
     Term.(
       const run $ workload_arg $ machine_arg $ scheme_arg $ threads_arg
       $ size_arg $ yield_arg $ baseline_opts_arg $ lazy_sweep_arg
-      $ refcount_arg $ quiet_arg)
+      $ refcount_arg $ quiet_arg $ trace_arg $ trace_out_arg
+      $ metrics_json_arg $ abort_report_arg)
 
 let exec_cmd =
   let file_arg =
     let doc = "MiniRuby source file." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file machine scheme yield_points no_removal lazy_sweep refcount quiet =
+  let run file machine scheme yield_points no_removal lazy_sweep refcount quiet
+      trace trace_out metrics_json abort_report =
     let machine, scheme, yield_points, opts =
       parse_common machine scheme yield_points no_removal lazy_sweep refcount
     in
@@ -144,16 +231,19 @@ let exec_cmd =
     let n = in_channel_length ic in
     let source = really_input_string ic n in
     close_in ic;
-    let cfg = Core.Runner.config ~scheme ~yield_points ~opts machine in
+    let tracer = make_tracer ~trace ~trace_out in
+    let cfg = Core.Runner.config ?tracer ~scheme ~yield_points ~opts machine in
     let r = Core.Runner.run_source cfg ~source in
     if not quiet then print_string r.Core.Runner.output;
     Format.printf "@.wall=%d cycles, %d instructions, %a@." r.wall_cycles
-      r.total_insns Htm_sim.Stats.pp r.htm_stats
+      r.total_insns Htm_sim.Stats.pp r.htm_stats;
+    emit_observability ~trace ~trace_out ~metrics_json ~abort_report r
   in
   Cmd.v (Cmd.info "exec" ~doc:"Execute a MiniRuby file on the simulated VM")
     Term.(
       const run $ file_arg $ machine_arg $ scheme_arg $ yield_arg
-      $ baseline_opts_arg $ lazy_sweep_arg $ refcount_arg $ quiet_arg)
+      $ baseline_opts_arg $ lazy_sweep_arg $ refcount_arg $ quiet_arg
+      $ trace_arg $ trace_out_arg $ metrics_json_arg $ abort_report_arg)
 
 let fig_cmd =
   let which_arg =

@@ -21,6 +21,7 @@ type t = {
           earlier, so GIL-held intervals never overlap in simulated time *)
   mutable handoffs : int;
   mutable acquisitions : int;
+  mutable tracer : Obs.Trace.t option;  (** installed by the runner *)
 }
 
 (* CRuby's timer thread ticks every 250 ms; scaled to the simulation's pace
@@ -35,7 +36,15 @@ let create ?(timer_interval = 250_000) vm =
     free_since = 0;
     handoffs = 0;
     acquisitions = 0;
+    tracer = None;
   }
+
+let emit_event t (th : Rvm.Vmthread.t) kind =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.emit tr
+        { Obs.Event.ts = th.clock; tid = th.tid; ctx = th.ctx; kind }
 
 let acquired_cell t = t.vm.Rvm.Vm.g_gil
 
@@ -67,7 +76,8 @@ let take t (th : Rvm.Vmthread.t) =
   else
     Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_current_thread
       (Rvm.Value.VInt th.tid);
-  th.holds_gil <- true
+  th.holds_gil <- true;
+  emit_event t th Obs.Event.Gil_acquire
 
 (* Release; returns every parked waiter: they re-contend when scheduled. *)
 let release t (th : Rvm.Vmthread.t) =
@@ -79,6 +89,7 @@ let release t (th : Rvm.Vmthread.t) =
   Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.VInt (-1));
   th.holds_gil <- false;
   t.free_since <- th.clock;
+  emit_event t th Obs.Event.Gil_release;
   let wake = t.waiters in
   t.waiters <- [];
   wake

@@ -14,6 +14,9 @@ type t = {
   mutable free_since : int;
   mutable handoffs : int;
   mutable acquisitions : int;
+  mutable tracer : Obs.Trace.t option;
+      (** when set, {!take} / {!release} emit [Gil_acquire] / [Gil_release]
+          trace events (installed by the runner) *)
 }
 
 val create : ?timer_interval:int -> Rvm.Vm.t -> t

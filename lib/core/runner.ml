@@ -21,13 +21,15 @@ type config = {
   opts : Rvm.Options.t;
   txlen_params : Txlen.params option;  (** default: per-machine *)
   max_insns : int;  (** safety stop *)
-  trace : bool;
+  tracer : Obs.Trace.t option;
+      (** event-trace sink shared by the runner, the GIL and the heap; None
+          (the default) keeps every instrumentation site at one branch *)
 }
 
 let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
-    ?(trace = false) machine =
-  { machine; scheme; yield_points; opts; txlen_params; max_insns; trace }
+    ?tracer machine =
+  { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer }
 
 type breakdown = {
   mutable bd_txn_overhead : int;
@@ -52,6 +54,9 @@ type result = {
   txlen_mean : float;
   requests_completed : int;
   request_throughput : float;  (** requests/sec where netsim is used *)
+  metrics : Obs.Metrics.t;  (** the VM's registry, runner histograms included *)
+  abort_sites : Obs.Sites.t;  (** abort-site attribution for this run *)
+  trace : Obs.Trace.t option;  (** the sink passed in the config, if any *)
 }
 
 exception Stuck of string
@@ -107,6 +112,16 @@ type t = {
   prng : Prng.t;  (** scheduling-only randomness (retry backoff) *)
   breakdown : breakdown;
   mutable stop : unit -> bool;
+  (* observability *)
+  tracer : Obs.Trace.t option;
+  sites : Obs.Sites.t;
+  mutable last_tid : int;  (** last stepped thread, for Ctx_switch events *)
+  m_txn_committed : Obs.Metrics.histogram;  (** cycles per committed txn *)
+  m_txn_aborted : Obs.Metrics.histogram;  (** cycles wasted per abort *)
+  m_txn_retries : Obs.Metrics.histogram;  (** aborts absorbed per window *)
+  m_txn_rs : Obs.Metrics.histogram;  (** committed read-set lines *)
+  m_txn_ws : Obs.Metrics.histogram;
+  m_gil_wait : Obs.Metrics.histogram;  (** cycles parked waiting for the GIL *)
 }
 
 let max_threads = 64
@@ -141,10 +156,55 @@ let create ?(io : Netsim.t option) cfg ~source =
     | Some p -> p
     | None -> Txlen.params_for cfg.machine
   in
+  let gil = Gil.create vm in
+  gil.Gil.tracer <- cfg.tracer;
+  vm.Rvm.Vm.heap.Rvm.Heap.tracer <- cfg.tracer;
+  let sites = Obs.Sites.create () in
+  (* Name the shared regions of Section 4.4 / 5.5 by cache line, walking the
+     live VM at report time (threads and arenas appear as the run goes). *)
+  Obs.Sites.set_line_resolver sites (fun line ->
+      let store = vm.Rvm.Vm.store in
+      let lof a = Store.line_of store a in
+      let heap = vm.Rvm.Vm.heap in
+      if line = lof vm.Rvm.Vm.g_gil then Some "GIL word"
+      else if line = lof vm.Rvm.Vm.g_gil_owner then Some "GIL owner word"
+      else if line = lof vm.Rvm.Vm.g_current_thread then
+        Some "current-thread global"
+      else if line = lof vm.Rvm.Vm.g_live then Some "live-thread count"
+      else if line = lof heap.Rvm.Heap.g_free_head then
+        Some "global free-list head"
+      else if line = lof heap.Rvm.Heap.g_free_count then
+        Some "global free-list count"
+      else if line = lof heap.Rvm.Heap.g_malloc_ptr then
+        Some "global malloc bump pointer"
+      else if line = lof heap.Rvm.Heap.g_malloc_end then
+        Some "global malloc end pointer"
+      else if line = lof heap.Rvm.Heap.lazy_cursor then
+        Some "lazy-sweep cursor"
+      else if
+        vm.Rvm.Vm.n_caches > 0
+        && line >= lof vm.Rvm.Vm.cache_base
+        && line <= lof (vm.Rvm.Vm.cache_base + (2 * vm.Rvm.Vm.n_caches) - 1)
+      then Some "inline method caches"
+      else
+        let rec scan = function
+          | [] -> None
+          | (th : V.t) :: rest ->
+              if
+                line >= lof th.struct_base
+                && line <= lof (th.struct_base + V.struct_cells - 1)
+              then Some (Printf.sprintf "thread struct (tid %d)" th.tid)
+              else if
+                line >= lof th.stack_base && line <= lof (th.stack_limit - 1)
+              then Some (Printf.sprintf "thread stack (tid %d)" th.tid)
+              else scan rest
+        in
+        scan vm.Rvm.Vm.threads);
+  let metrics = vm.Rvm.Vm.metrics in
   {
     cfg;
     vm;
-    gil = Gil.create vm;
+    gil;
     txlen = Txlen.create ~params txlen_mode;
     session;
     io;
@@ -173,9 +233,25 @@ let create ?(io : Netsim.t option) cfg ~source =
         bd_other = 0;
       };
     stop = (fun () -> false);
+    tracer = cfg.tracer;
+    sites;
+    last_tid = -1;
+    m_txn_committed = Obs.Metrics.histogram metrics "txn.committed_cycles";
+    m_txn_aborted = Obs.Metrics.histogram metrics "txn.aborted_cycles";
+    m_txn_retries = Obs.Metrics.histogram metrics "txn.retries_per_window";
+    m_txn_rs = Obs.Metrics.histogram metrics "txn.read_set_lines";
+    m_txn_ws = Obs.Metrics.histogram metrics "txn.write_set_lines";
+    m_gil_wait = Obs.Metrics.histogram metrics "gil.wait_cycles";
   }
 
 let costs t = t.cfg.machine.costs
+
+let emit t (th : V.t) kind =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.emit tr
+        { Obs.Event.ts = th.clock; tid = th.tid; ctx = th.ctx; kind }
 
 (* Grow the per-tid state arrays so [tid] is addressable. *)
 let ensure_tid t tid =
@@ -242,8 +318,20 @@ let wake t (th : V.t) ~at =
   if th.ctx < 0 then ignore (grant_ctx t th)
 
 let wake_gil_waiter t (th : V.t) ~at =
-  t.breakdown.bd_gil_wait <- t.breakdown.bd_gil_wait + max 0 (at - t.park_clock.(th.tid));
-  th.cyc_gil_wait <- th.cyc_gil_wait + max 0 (at - t.park_clock.(th.tid));
+  let waited = max 0 (at - t.park_clock.(th.tid)) in
+  t.breakdown.bd_gil_wait <- t.breakdown.bd_gil_wait + waited;
+  th.cyc_gil_wait <- th.cyc_gil_wait + waited;
+  Obs.Metrics.observe t.m_gil_wait waited;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.emit tr
+        {
+          Obs.Event.ts = at;
+          tid = th.tid;
+          ctx = th.ctx;
+          kind = Gil_wait { cycles = waited };
+        });
   wake t th ~at
 
 let queue_for tbl key =
@@ -262,13 +350,30 @@ let charge_txn_overhead t (th : V.t) c =
   t.breakdown.bd_txn_overhead <- t.breakdown.bd_txn_overhead + c
 
 (* The rollback closure run by the engine whenever this thread's transaction
-   dies (self-abort or victim of a conflict). *)
-let rollback_hook t (th : V.t) (_reason : Txn.abort_reason) =
+   dies (self-abort or victim of a conflict). The abort site — the bytecode
+   this thread was executing when it died — must be read before [V.restore]
+   rewinds the registers to the window start. *)
+let rollback_hook t (th : V.t) (reason : Txn.abort_reason) =
   th.n_aborts <- th.n_aborts + 1;
+  let code = th.code.Rvm.Value.code_name and pc = th.pc in
+  let op =
+    if pc >= 0 && pc < Array.length th.code.insns then
+      Rvm.Bytecode.insn_name th.code.insns.(pc)
+    else "?"
+  in
   V.restore th;
   let wasted = max 0 (th.clock - th.txn_start_clock) in
   th.cyc_aborted <- th.cyc_aborted + wasted;
   t.breakdown.bd_aborted <- t.breakdown.bd_aborted + wasted;
+  let htm = t.vm.Rvm.Vm.htm in
+  let line = Htm.abort_line htm th.ctx in
+  let rs, ws = Htm.txn_footprint htm th.ctx in
+  let reason_s = Txn.reason_to_string reason in
+  Obs.Sites.record t.sites ~code ~pc ~op ~reason:reason_s ~line;
+  Obs.Metrics.observe t.m_txn_aborted wasted;
+  emit t th
+    (Obs.Event.Txn_abort
+       { reason = reason_s; cycles = wasted; rs; ws; line; code; pc; op });
   th.clock <- th.clock + (costs t).cyc_abort
 
 let set_yield_counter t (th : V.t) len =
@@ -322,6 +427,7 @@ let rec transaction_begin t (th : V.t) ~key =
       V.snapshot th;
       th.txn_start_clock <- th.clock;
       Htm.tbegin vm.Rvm.Vm.htm ~ctx:th.ctx ~rollback:(rollback_hook t th);
+      emit t th Obs.Event.Txn_begin;
       set_yield_counter t th len;
       (* publish the running thread (Section 4.4 conflict #1) *)
       (if vm.Rvm.Vm.opts.tls_current_thread then begin
@@ -429,10 +535,22 @@ let transaction_end t (th : V.t) =
   if Gil.held_by t.gil th then gil_release_and_wake t th
   else if Htm.in_txn vm.Rvm.Vm.htm th.ctx then begin
     let in_txn_cycles = max 0 (th.clock - th.txn_start_clock) in
+    let rs, ws = Htm.txn_footprint vm.Rvm.Vm.htm th.ctx in
     Htm.tend vm.Rvm.Vm.htm ~ctx:th.ctx;
     charge_txn_overhead t th (costs t).cyc_tend;
     th.cyc_committed <- th.cyc_committed + in_txn_cycles;
-    t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles
+    t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles;
+    let st = t.tle.(th.tid) in
+    let retries =
+      transient_retry_max - st.transient_retry_counter
+      + (gil_retry_max - st.gil_retry_counter)
+    in
+    Obs.Metrics.observe t.m_txn_committed in_txn_cycles;
+    Obs.Metrics.observe t.m_txn_rs rs;
+    Obs.Metrics.observe t.m_txn_ws ws;
+    Obs.Metrics.observe t.m_txn_retries retries;
+    emit t th
+      (Obs.Event.Txn_commit { cycles = in_txn_cycles; rs; ws; retries })
   end;
   reset_retries t th
 
@@ -641,6 +759,11 @@ let key_of (th : V.t) = (th.code, th.pc)
 let step_thread t (th : V.t) =
   let vm = t.vm in
   let scheme = t.cfg.scheme in
+  if th.tid <> t.last_tid then begin
+    if t.last_tid >= 0 then
+      emit t th (Obs.Event.Ctx_switch { prev_tid = t.last_tid });
+    t.last_tid <- th.tid
+  end;
   (* 1. outstanding abort to handle? *)
   if Scheme.uses_htm scheme && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then
     handle_abort t th;
@@ -676,12 +799,6 @@ let step_thread t (th : V.t) =
       if th.status <> V.Runnable then ()
       else begin
         (* 4. execute one instruction *)
-        if t.cfg.trace then
-          Printf.eprintf "[%d] tid=%d %s@%d %s txn=%b gil=%d clk=%d\n%!"
-            t.total_insns th.tid th.code.Rvm.Value.code_name th.pc
-            (Rvm.Bytecode.insn_name th.code.insns.(th.pc))
-            (Htm.in_txn vm.Rvm.Vm.htm th.ctx)
-            t.gil.Gil.owner th.clock;
         let pre_fp = th.fp and pre_sp = th.sp and pre_pc = th.pc and pre_code = th.code in
         let in_txn_before = Htm.in_txn vm.Rvm.Vm.htm th.ctx in
         (try
@@ -775,6 +892,9 @@ let run ?(stop = fun () -> false) t =
     txlen_mean = mean_len;
     requests_completed = (match t.io with Some io -> Netsim.completed io | None -> 0);
     request_throughput = (match t.io with Some io -> Netsim.throughput io | None -> 0.0);
+    metrics = vm.Rvm.Vm.metrics;
+    abort_sites = t.sites;
+    trace = t.tracer;
   }
 
 (* Convenience one-shot entry point. *)

@@ -15,7 +15,9 @@ type config = {
   opts : Rvm.Options.t;
   txlen_params : Txlen.params option;
   max_insns : int;
-  trace : bool;
+  tracer : Obs.Trace.t option;
+      (** event-trace sink shared by the runner, the GIL and the heap; [None]
+          (the default) keeps every instrumentation site at one branch *)
 }
 
 val config :
@@ -24,7 +26,7 @@ val config :
   ?opts:Rvm.Options.t ->
   ?txlen_params:Txlen.params ->
   ?max_insns:int ->
-  ?trace:bool ->
+  ?tracer:Obs.Trace.t ->
   Htm_sim.Machine.t ->
   config
 
@@ -51,6 +53,11 @@ type result = {
   txlen_mean : float;
   requests_completed : int;
   request_throughput : float;
+  metrics : Obs.Metrics.t;
+      (** the VM's registry: interpreter counters, GC pause / txn / GIL-wait
+          histograms added by the runner *)
+  abort_sites : Obs.Sites.t;  (** abort-site attribution for this run *)
+  trace : Obs.Trace.t option;  (** the sink passed in the config, if any *)
 }
 
 exception Stuck of string
@@ -83,6 +90,15 @@ type t = {
   prng : Htm_sim.Prng.t;
   breakdown : breakdown;
   mutable stop : unit -> bool;
+  tracer : Obs.Trace.t option;
+  sites : Obs.Sites.t;
+  mutable last_tid : int;
+  m_txn_committed : Obs.Metrics.histogram;
+  m_txn_aborted : Obs.Metrics.histogram;
+  m_txn_retries : Obs.Metrics.histogram;
+  m_txn_rs : Obs.Metrics.histogram;
+  m_txn_ws : Obs.Metrics.histogram;
+  m_gil_wait : Obs.Metrics.histogram;
 }
 
 and tle_state = {

@@ -26,9 +26,9 @@ type outcome = {
   output : string;
 }
 
-let run (p : point) : outcome =
+let run ?tracer (p : point) : outcome =
   let cfg =
-    Core.Runner.config ~scheme:p.scheme ~yield_points:p.yield_points
+    Core.Runner.config ?tracer ~scheme:p.scheme ~yield_points:p.yield_points
       ~opts:p.opts p.machine
   in
   let source = p.workload.source ~threads:p.threads ~size:p.size in

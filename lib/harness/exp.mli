@@ -31,5 +31,8 @@ type outcome = {
   output : string;
 }
 
-val run : point -> outcome
+val run : ?tracer:Obs.Trace.t -> point -> outcome
+(** [tracer] is threaded into the runner config: the run's txn / GIL / GC /
+    scheduler events land in it (see {!Core.Runner.config}). *)
+
 val verify_line : outcome -> string option

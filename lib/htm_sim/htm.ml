@@ -70,6 +70,13 @@ let machine t = t.machine
 let set_occupied t ctx v = t.occupied.(ctx) <- v
 let in_txn t ctx = t.txns.(ctx).active
 let active_count t = t.active
+let abort_line t ctx = t.txns.(ctx).abort_line
+
+(* Footprint of the context's transaction. rs/ws are reset only at the next
+   tbegin, so this is still valid inside the rollback closure of an abort. *)
+let txn_footprint t ctx =
+  let txn = t.txns.(ctx) in
+  (txn.Txn.rs, txn.Txn.ws)
 
 let drain_step_cost t =
   let c = t.step_extra_cycles and a = t.step_accesses in
@@ -104,8 +111,10 @@ let finish_txn t (txn : 'a Txn.t) =
   t.active <- t.active - 1
 
 (* Abort [txn]: restore memory, clear footprint marks, restore the owning
-   thread's registers, leave the reason for its scheme. *)
-let abort_txn t (txn : 'a Txn.t) reason =
+   thread's registers, leave the reason for its scheme. [line] is the cache
+   line whose conflict killed the transaction (-1 for capacity / explicit
+   aborts); attribution hooks read it from the rollback closure. *)
+let abort_txn ?(line = -1) t (txn : 'a Txn.t) reason =
   List.iter (fun (addr, v) -> Store.set_unsafe t.store addr v) txn.undo;
   clear_marks t txn;
   finish_txn t txn;
@@ -113,6 +122,7 @@ let abort_txn t (txn : 'a Txn.t) reason =
   if t.machine.learning && Txn.is_persistent reason then
     t.suspicion.(txn.ctx) <- 1.0;
   txn.pending_abort <- Some reason;
+  txn.abort_line <- line;
   txn.rollback reason
 
 let pending_abort t ctx = t.txns.(ctx).pending_abort
@@ -142,6 +152,7 @@ let tbegin t ~ctx ~rollback =
   txn.ws_limit <- ws_limit;
   txn.rollback <- rollback;
   txn.pending_abort <- None;
+  txn.abort_line <- -1;
   t.active <- t.active + 1;
   t.stats.begins <- t.stats.begins + 1;
   if t.machine.learning then
@@ -173,13 +184,13 @@ let note_conflict t id =
 let abort_conflicting t l ~ctx ~id =
   if l.writer >= 0 && l.writer <> ctx then begin
     note_conflict t id;
-    abort_txn t t.txns.(l.writer) Conflict
+    abort_txn ~line:id t t.txns.(l.writer) Conflict
   end;
   if l.readers land lnot (1 lsl ctx) <> 0 then
     for i = 0 to Array.length t.txns - 1 do
       if i <> ctx && l.readers land (1 lsl i) <> 0 then begin
         note_conflict t id;
-        abort_txn t t.txns.(i) Conflict
+        abort_txn ~line:id t t.txns.(i) Conflict
       end
     done
 
@@ -202,7 +213,7 @@ let read t ~ctx addr =
     if l.writer <> ctx then begin
       if l.writer >= 0 then begin
         note_conflict t id;
-        abort_txn t t.txns.(l.writer) Conflict
+        abort_txn ~line:id t t.txns.(l.writer) Conflict
       end;
       let bit = 1 lsl ctx in
       if l.readers land bit = 0 then begin
@@ -221,7 +232,7 @@ let read t ~ctx addr =
       let l = line_for t id in
       if l.writer >= 0 && l.writer <> ctx then begin
         note_conflict t id;
-        abort_txn t t.txns.(l.writer) Conflict
+        abort_txn ~line:id t t.txns.(l.writer) Conflict
       end
     end;
     if t.mode = Coherent then
@@ -281,7 +292,10 @@ let touch_read_range t ~ctx base len =
       if txn.active then begin
         let l = line_for t id in
         if l.writer <> ctx then begin
-          if l.writer >= 0 then abort_txn t t.txns.(l.writer) Conflict;
+          if l.writer >= 0 then begin
+            note_conflict t id;
+            abort_txn ~line:id t t.txns.(l.writer) Conflict
+          end;
           let bit = 1 lsl ctx in
           if l.readers land bit = 0 then begin
             if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
@@ -293,8 +307,10 @@ let touch_read_range t ~ctx base len =
       end
       else if t.active > 0 then begin
         let l = line_for t id in
-        if l.writer >= 0 && l.writer <> ctx then
-          abort_txn t t.txns.(l.writer) Conflict
+        if l.writer >= 0 && l.writer <> ctx then begin
+          note_conflict t id;
+          abort_txn ~line:id t t.txns.(l.writer) Conflict
+        end
       end
     done;
     t.step_accesses <- t.step_accesses + (1 + last - first)

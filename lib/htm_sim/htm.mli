@@ -35,6 +35,17 @@ val set_occupied : 'a t -> int -> bool -> unit
 val in_txn : 'a t -> int -> bool
 val active_count : 'a t -> int
 
+val abort_line : 'a t -> int -> int
+(** For conflict aborts: the cache line whose coherence traffic killed the
+    context's last transaction, or [-1] when unknown (capacity, explicit and
+    predictor aborts). Valid inside the rollback closure and until the next
+    {!tbegin} on that context. *)
+
+val txn_footprint : 'a t -> int -> int * int
+(** [(read_set, write_set)] sizes, in distinct lines, of the context's
+    current or just-aborted transaction (rs/ws reset only at {!tbegin}, so
+    the rollback closure can attribute footprints to abort events). *)
+
 val drain_step_cost : 'a t -> int * int
 (** [(extra_cycles, accesses)] accrued since the last drain; the runner
     charges them to the current instruction. *)

@@ -51,10 +51,50 @@ let aborts t =
    transactions. *)
 let abort_ratio t = if t.begins = 0 then 0.0 else float_of_int (aborts t) /. float_of_int t.begins
 
+(* Accumulate [src] into [dst]: sums for counters, max for the set-size
+   high-water marks. Used to aggregate per-shard or repeated runs. *)
+let merge dst src =
+  dst.begins <- dst.begins + src.begins;
+  dst.commits <- dst.commits + src.commits;
+  dst.aborts_conflict <- dst.aborts_conflict + src.aborts_conflict;
+  dst.aborts_overflow_read <- dst.aborts_overflow_read + src.aborts_overflow_read;
+  dst.aborts_overflow_write <- dst.aborts_overflow_write + src.aborts_overflow_write;
+  dst.aborts_explicit <- dst.aborts_explicit + src.aborts_explicit;
+  dst.aborts_eager <- dst.aborts_eager + src.aborts_eager;
+  dst.rs_total <- dst.rs_total + src.rs_total;
+  dst.ws_total <- dst.ws_total + src.ws_total;
+  dst.rs_max <- max dst.rs_max src.rs_max;
+  dst.ws_max <- max dst.ws_max src.ws_max;
+  dst.txn_accesses <- dst.txn_accesses + src.txn_accesses;
+  dst.non_txn_accesses <- dst.non_txn_accesses + src.non_txn_accesses;
+  dst.coherence_transfers <- dst.coherence_transfers + src.coherence_transfers
+
+let to_assoc t =
+  [
+    ("begins", t.begins);
+    ("commits", t.commits);
+    ("aborts", aborts t);
+    ("aborts_conflict", t.aborts_conflict);
+    ("aborts_overflow_read", t.aborts_overflow_read);
+    ("aborts_overflow_write", t.aborts_overflow_write);
+    ("aborts_explicit", t.aborts_explicit);
+    ("aborts_eager", t.aborts_eager);
+    ("rs_total", t.rs_total);
+    ("ws_total", t.ws_total);
+    ("rs_max", t.rs_max);
+    ("ws_max", t.ws_max);
+    ("txn_accesses", t.txn_accesses);
+    ("non_txn_accesses", t.non_txn_accesses);
+    ("coherence_transfers", t.coherence_transfers);
+  ]
+
+let mean_rs t = if t.commits = 0 then 0.0 else float_of_int t.rs_total /. float_of_int t.commits
+let mean_ws t = if t.commits = 0 then 0.0 else float_of_int t.ws_total /. float_of_int t.commits
+
 let pp fmt t =
   Format.fprintf fmt
     "begins=%d commits=%d aborts=%d (conflict=%d ovf-r=%d ovf-w=%d explicit=%d eager=%d) \
-     abort-ratio=%.2f%% rs-max=%d ws-max=%d"
+     abort-ratio=%.2f%% rs-mean=%.1f ws-mean=%.1f rs-max=%d ws-max=%d"
     t.begins t.commits (aborts t) t.aborts_conflict t.aborts_overflow_read
     t.aborts_overflow_write t.aborts_explicit t.aborts_eager
-    (100.0 *. abort_ratio t) t.rs_max t.ws_max
+    (100.0 *. abort_ratio t) (mean_rs t) (mean_ws t) t.rs_max t.ws_max

@@ -24,4 +24,17 @@ val aborts : t -> int
 val abort_ratio : t -> float
 (** Aborted over started transactions, as the paper reports it. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] accumulates [src] into [dst]: counters sum, the rs/ws
+    high-water marks take the max. *)
+
+val to_assoc : t -> (string * int) list
+(** Every counter as a [(name, value)] list, for JSON export. *)
+
+val mean_rs : t -> float
+(** Mean committed read-set size in lines (0 when nothing committed). *)
+
+val mean_ws : t -> float
+(** Mean committed write-set size in lines. *)
+
 val pp : Format.formatter -> t -> unit

@@ -37,6 +37,9 @@ type 'a t = {
   mutable pending_abort : abort_reason option;
       (** set when the transaction was aborted; the owning thread observes it
           at its next step and runs the retry / fallback logic *)
+  mutable abort_line : int;
+      (** conflict aborts: the cache line that killed this transaction, for
+          abort-site attribution; -1 otherwise *)
 }
 
 let create ctx =
@@ -51,4 +54,5 @@ let create ctx =
     ws_limit = 0;
     rollback = (fun _ -> ());
     pending_abort = None;
+    abort_line = -1;
   }

@@ -24,6 +24,9 @@ type 'a t = {
   mutable ws_limit : int;
   mutable rollback : abort_reason -> unit;
   mutable pending_abort : abort_reason option;
+  mutable abort_line : int;
+      (** conflict aborts: the cache line that killed this transaction, for
+          abort-site attribution; -1 otherwise *)
 }
 
 val create : int -> 'a t

@@ -1,0 +1,110 @@
+(* Structured trace events. Timestamps are virtual cycles (the simulated
+   1 GHz clock), thread ids are guest tids, ctx is the hardware context the
+   thread was pinned to when the event fired. *)
+
+type kind =
+  | Txn_begin
+  | Txn_commit of { cycles : int; rs : int; ws : int; retries : int }
+  | Txn_abort of {
+      reason : string;
+      cycles : int;  (** wasted inside the dead transaction *)
+      rs : int;
+      ws : int;
+      line : int;  (** conflicting cache line, -1 when not a conflict *)
+      code : string;  (** bytecode unit the thread was executing *)
+      pc : int;
+      op : string;  (** opcode name at [pc] *)
+    }
+  | Gil_acquire
+  | Gil_release
+  | Gil_wait of { cycles : int }
+  | Gc_start
+  | Gc_end of { cycles : int }
+  | Ctx_switch of { prev_tid : int }
+
+type t = { ts : int; tid : int; ctx : int; kind : kind }
+
+let name = function
+  | Txn_begin -> "tbegin"
+  | Txn_commit _ -> "txn"
+  | Txn_abort _ -> "txn-abort"
+  | Gil_acquire -> "gil-acquire"
+  | Gil_release -> "gil-release"
+  | Gil_wait _ -> "gil-wait"
+  | Gc_start -> "gc-start"
+  | Gc_end _ -> "gc"
+  | Ctx_switch _ -> "ctx-switch"
+
+let category = function
+  | Txn_begin | Txn_commit _ | Txn_abort _ -> "txn"
+  | Gil_acquire | Gil_release | Gil_wait _ -> "gil"
+  | Gc_start | Gc_end _ -> "gc"
+  | Ctx_switch _ -> "sched"
+
+(* Duration (in cycles) for events that close an interval; the interval's
+   start is [ts - duration]. *)
+let duration = function
+  | Txn_commit { cycles; _ } | Txn_abort { cycles; _ } -> Some cycles
+  | Gil_wait { cycles } -> Some cycles
+  | Gc_end { cycles } -> Some cycles
+  | Txn_begin | Gil_acquire | Gil_release | Gc_start | Ctx_switch _ -> None
+
+let pp fmt (e : t) =
+  Format.fprintf fmt "[%10d] tid=%-2d ctx=%-2d %-11s" e.ts e.tid e.ctx
+    (name e.kind);
+  match e.kind with
+  | Txn_begin | Gil_acquire | Gil_release | Gc_start -> ()
+  | Txn_commit { cycles; rs; ws; retries } ->
+      Format.fprintf fmt " cycles=%d rs=%d ws=%d retries=%d" cycles rs ws
+        retries
+  | Txn_abort { reason; cycles; rs; ws; line; code; pc; op } ->
+      Format.fprintf fmt " reason=%s cycles=%d rs=%d ws=%d at %s:%d (%s)"
+        reason cycles rs ws code pc op;
+      if line >= 0 then Format.fprintf fmt " line=%d" line
+  | Gil_wait { cycles } -> Format.fprintf fmt " cycles=%d" cycles
+  | Gc_end { cycles } -> Format.fprintf fmt " cycles=%d" cycles
+  | Ctx_switch { prev_tid } -> Format.fprintf fmt " prev-tid=%d" prev_tid
+
+(* One Chrome trace-event object (the chrome://tracing / Perfetto format:
+   interval events use phase "X" with ts/dur, points use instants "i").
+   Virtual cycles map to trace microseconds 1:1000 (1 cycle = 1 ns). *)
+let to_chrome (e : t) : Json.t =
+  let us cycles = Json.Float (float_of_int cycles /. 1000.0) in
+  let base ~ph ~ts extra =
+    Json.Obj
+      ([
+         ("name", Json.Str (name e.kind));
+         ("cat", Json.Str (category e.kind));
+         ("ph", Json.Str ph);
+         ("ts", us ts);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int e.tid);
+       ]
+      @ extra)
+  in
+  let args fields = [ ("args", Json.Obj (("ctx", Json.Int e.ctx) :: fields)) ] in
+  match duration e.kind with
+  | Some dur ->
+      let extra =
+        match e.kind with
+        | Txn_commit { rs; ws; retries; _ } ->
+            args [ ("rs", Json.Int rs); ("ws", Json.Int ws); ("retries", Json.Int retries) ]
+        | Txn_abort { reason; rs; ws; line; code; pc; op; _ } ->
+            args
+              [
+                ("reason", Json.Str reason);
+                ("rs", Json.Int rs);
+                ("ws", Json.Int ws);
+                ("line", Json.Int line);
+                ("site", Json.Str (Printf.sprintf "%s:%d %s" code pc op));
+              ]
+        | _ -> args []
+      in
+      base ~ph:"X" ~ts:(e.ts - dur) (("dur", us dur) :: extra)
+  | None ->
+      let extra =
+        match e.kind with
+        | Ctx_switch { prev_tid } -> args [ ("prev_tid", Json.Int prev_tid) ]
+        | _ -> args []
+      in
+      base ~ph:"i" ~ts:e.ts (("s", Json.Str "t") :: extra)

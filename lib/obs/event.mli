@@ -1,0 +1,37 @@
+(** Structured trace events: transactions, GIL traffic, GC and scheduler
+    context switches, timestamped in virtual cycles. *)
+
+type kind =
+  | Txn_begin
+  | Txn_commit of { cycles : int; rs : int; ws : int; retries : int }
+  | Txn_abort of {
+      reason : string;
+      cycles : int;  (** cycles wasted inside the dead transaction *)
+      rs : int;
+      ws : int;
+      line : int;  (** conflicting cache line, -1 when not a conflict *)
+      code : string;
+      pc : int;
+      op : string;
+    }
+  | Gil_acquire
+  | Gil_release
+  | Gil_wait of { cycles : int }
+  | Gc_start
+  | Gc_end of { cycles : int }
+  | Ctx_switch of { prev_tid : int }
+
+type t = { ts : int; tid : int; ctx : int; kind : kind }
+
+val name : kind -> string
+val category : kind -> string
+
+val duration : kind -> int option
+(** Cycles for interval-closing events; the interval starts at
+    [ts - duration]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_chrome : t -> Json.t
+(** One Chrome trace-event object (phase "X" intervals, "i" instants);
+    1 virtual cycle renders as 1 ns. *)

@@ -1,0 +1,241 @@
+(* Minimal JSON: a value type, a printer, and a parser. The observability
+   layer emits machine-readable artifacts (Chrome traces, metrics dumps,
+   BENCH_results.json) and the tests / smoke script parse them back, so both
+   directions live here with no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ----------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer ?(indent = 0) buf v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          to_buffer ~indent:(indent + 2) buf item)
+        items;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          to_buffer ~indent:(indent + 2) buf item)
+        fields;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let to_channel oc v =
+  let buf = Buffer.create 4096 in
+  to_buffer buf v;
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc v)
+
+(* ---- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type parser_state = { s : string; mutable pos : int }
+
+let peek_char p = if p.pos < String.length p.s then Some p.s.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.s
+    && match p.s.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek_char p with
+  | Some c' when c' = c -> p.pos <- p.pos + 1
+  | Some c' -> parse_error "expected %c at %d, got %c" c p.pos c'
+  | None -> parse_error "expected %c at %d, got end of input" c p.pos
+
+let literal p word v =
+  let n = String.length word in
+  if p.pos + n <= String.length p.s && String.sub p.s p.pos n = word then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else parse_error "bad literal at %d" p.pos
+
+let parse_string_raw p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if p.pos >= String.length p.s then parse_error "unterminated string";
+    let c = p.s.[p.pos] in
+    p.pos <- p.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (if p.pos >= String.length p.s then parse_error "bad escape";
+         let e = p.s.[p.pos] in
+         p.pos <- p.pos + 1;
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+             if p.pos + 4 > String.length p.s then parse_error "bad \\u escape";
+             let hex = String.sub p.s p.pos 4 in
+             p.pos <- p.pos + 4;
+             let code = int_of_string ("0x" ^ hex) in
+             (* ASCII range only; enough for our own artifacts *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else Buffer.add_char buf '?'
+         | _ -> parse_error "bad escape \\%c" e);
+        go ()
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while p.pos < String.length p.s && is_num_char p.s.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  let text = String.sub p.s start (p.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_error "bad number %S at %d" text start)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek_char p with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> Str (parse_string_raw p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some '[' ->
+      expect p '[';
+      skip_ws p;
+      if peek_char p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := parse_value p :: !items;
+          skip_ws p;
+          match peek_char p with
+          | Some ',' -> p.pos <- p.pos + 1; go ()
+          | Some ']' -> p.pos <- p.pos + 1
+          | _ -> parse_error "expected , or ] at %d" p.pos
+        in
+        go ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      expect p '{';
+      skip_ws p;
+      if peek_char p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec go () =
+          skip_ws p;
+          let k = parse_string_raw p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          fields := (k, v) :: !fields;
+          skip_ws p;
+          match peek_char p with
+          | Some ',' -> p.pos <- p.pos + 1; go ()
+          | Some '}' -> p.pos <- p.pos + 1
+          | _ -> parse_error "expected , or } at %d" p.pos
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+  | Some c -> if is_number_start c then parse_number p else parse_error "unexpected %c at %d" c p.pos
+
+and is_number_start = function '0' .. '9' | '-' -> true | _ -> false
+
+let of_string s =
+  let p = { s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then parse_error "trailing garbage at %d" p.pos;
+  v
+
+(* ---- accessors (for tests and validation) -------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_list = function List items -> Some items | _ -> None

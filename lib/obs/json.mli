@@ -1,0 +1,28 @@
+(** Minimal JSON value type with a printer and a parser: the observability
+    layer's artifacts (Chrome traces, metrics dumps, BENCH_results.json) are
+    emitted and validated with no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent) JSON text. *)
+
+val to_channel : out_channel -> t -> unit
+val to_file : string -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parse of a complete JSON document. @raise Parse_error. *)
+
+val member : string -> t -> t option
+(** Field of an object, [None] for missing keys or non-objects. *)
+
+val to_list : t -> t list option

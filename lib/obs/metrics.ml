@@ -1,0 +1,132 @@
+(* The counters + histogram registry. Modules register a metric once (a
+   hashtable lookup) and then update it through the returned handle (an int
+   mutation / two array stores), so hot paths never re-resolve names.
+
+   Histograms use power-of-two buckets: bucket [i] counts observations [v]
+   with [2^(i-1) < v <= 2^i] (bucket 0 counts v <= 1). That is enough
+   resolution for cycle counts, retry counts and footprint sizes while
+   keeping observation cost flat. *)
+
+type counter = { c_name : string; mutable count : int }
+
+let n_buckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array;  (* n_buckets cells *)
+  mutable n : int;
+  mutable sum : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add t.tbl name (Counter c);
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | None ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.make n_buckets 0;
+          n = 0;
+          sum = 0;
+          max_v = min_int;
+          min_v = max_int;
+        }
+      in
+      Hashtbl.add t.tbl name (Histogram h);
+      h
+
+let incr c = c.count <- c.count + 1
+let add c v = c.count <- c.count + v
+
+(* Index of the smallest power-of-two bucket holding [v]. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and b = ref 1 in
+    while !b < v && !i < n_buckets - 1 do
+      b := !b lsl 1;
+      i := !i + 1
+    done;
+    !i
+  end
+
+let bucket_le i = if i >= n_buckets - 1 then max_int else 1 lsl i
+
+let observe h v =
+  let v = max 0 v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v > h.max_v then h.max_v <- v;
+  if v < h.min_v then h.min_v <- v
+
+let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
+
+(* Deterministic export order: sorted by name. *)
+let sorted t =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_json h =
+  let buckets =
+    Array.to_list h.buckets
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (i, n) ->
+           Json.Obj
+             [
+               ( "le",
+                 if bucket_le i = max_int then Json.Str "inf"
+                 else Json.Int (bucket_le i) );
+               ("n", Json.Int n);
+             ])
+  in
+  Json.Obj
+    [
+      ("type", Json.Str "histogram");
+      ("count", Json.Int h.n);
+      ("sum", Json.Int h.sum);
+      ("mean", Json.Float (mean h));
+      ("min", Json.Int (if h.n = 0 then 0 else h.min_v));
+      ("max", Json.Int (if h.n = 0 then 0 else h.max_v));
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json t : Json.t =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         match m with
+         | Counter c -> (name, Json.Int c.count)
+         | Histogram h -> (name, histogram_json h))
+       (sorted t))
+
+let pp fmt t =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Format.fprintf fmt "%-36s %d@." name c.count
+      | Histogram h ->
+          Format.fprintf fmt "%-36s n=%d mean=%.1f min=%d max=%d@." name h.n
+            (mean h)
+            (if h.n = 0 then 0 else h.min_v)
+            (if h.n = 0 then 0 else h.max_v))
+    (sorted t)

@@ -1,0 +1,49 @@
+(** The counters + histogram registry. Register once (by name, idempotent),
+    then update through the returned handle so hot paths never re-resolve.
+
+    Histograms bucket by powers of two: bucket [i] counts observations [v]
+    with [2^(i-1) < v <= 2^i] (bucket 0 counts [v <= 1]). *)
+
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Existing handle, or a fresh zero counter registered under the name.
+    @raise Invalid_argument if the name is registered as a histogram. *)
+
+val histogram : t -> string -> histogram
+(** @raise Invalid_argument if the name is registered as a counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val observe : histogram -> int -> unit
+(** Negative observations clamp to 0. *)
+
+val bucket_of : int -> int
+(** Bucket index an observation lands in. *)
+
+val bucket_le : int -> int
+(** Inclusive upper bound of a bucket ([max_int] for the last). *)
+
+val mean : histogram -> float
+
+val sorted : t -> (string * metric) list
+(** All metrics, name-sorted (the deterministic export order). *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(* Fixed-capacity ring buffer. The trace sink records into one per guest
+   thread so a long run keeps the most recent window of events at constant
+   memory and constant per-event cost (one array store, two int updates). *)
+
+type 'a t = {
+  buf : 'a option array;
+  capacity : int;
+  mutable next : int;  (* slot the next push writes *)
+  mutable total : int;  (* pushes ever, including overwritten ones *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; capacity; next = 0; total = 0 }
+
+let capacity t = t.capacity
+let total t = t.total
+let length t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let push t v =
+  t.buf.(t.next) <- Some v;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+(* Oldest-first iteration over the retained window. *)
+let iter f t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  for i = 0 to n - 1 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some v -> f v
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc

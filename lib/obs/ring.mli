@@ -1,0 +1,26 @@
+(** Fixed-capacity ring buffer: constant-memory event windows for the trace
+    sink. Pushing past capacity overwrites the oldest element. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument when capacity is not positive. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently retained. *)
+
+val total : 'a t -> int
+(** Elements ever pushed, including overwritten ones. *)
+
+val dropped : 'a t -> int
+(** [total - capacity] when positive: how many were overwritten. *)
+
+val push : 'a t -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)

@@ -1,0 +1,34 @@
+(** The event-trace sink: a fixed-capacity ring of {!Event.t} per guest
+    thread. A disabled sink costs one bool check per instrumentation site.
+
+    Export with {!to_chrome}: the result is Chrome trace-event JSON that
+    opens directly in Perfetto / chrome://tracing. *)
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] is per thread (default {!default_capacity}); the sink records
+    the most recent window per thread beyond it. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> Event.t -> unit
+(** No-op when disabled. *)
+
+val events : t -> Event.t list
+(** Retained events across all threads, timestamp-sorted. *)
+
+val total : t -> int
+(** Events ever emitted (including dropped ones). *)
+
+val dropped : t -> int
+(** Events overwritten by the per-thread rings. *)
+
+val to_chrome : t -> Json.t
+(** Chrome trace-event document ({"traceEvents": [...], ...}). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable event listing (the [--trace] compatibility output). *)

@@ -37,7 +37,25 @@ type t = {
   mutable lazy_slots : int array;
       (** ordinal -> slot address, rebuilt after each mark phase *)
   mutable lazy_claims : int;
+  (* observability: installed by the runner; None costs one branch per GC *)
+  mutable tracer : Obs.Trace.t option;
+  mutable gc_pause_hist : Obs.Metrics.histogram option;
 }
+
+let note_gc_pause h (th : Vmthread.t) ~start_clock ~cost =
+  (match h.gc_pause_hist with Some hist -> Obs.Metrics.observe hist cost | None -> ());
+  match h.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.emit tr
+        { Obs.Event.ts = start_clock; tid = th.tid; ctx = th.ctx; kind = Gc_start };
+      Obs.Trace.emit tr
+        {
+          Obs.Event.ts = start_clock + cost;
+          tid = th.tid;
+          ctx = th.ctx;
+          kind = Gc_end { cycles = cost };
+        }
 
 let g_read h ~ctx addr = Htm.read h.htm ~ctx addr
 let g_write h ~ctx addr v = Htm.write h.htm ~ctx addr v
@@ -146,6 +164,8 @@ let create store htm (opts : Options.t) classes =
       lazy_cursor = cell ();
       lazy_slots = [||];
       lazy_claims = 0;
+      tracer = None;
+      gc_pause_hist = None;
     }
   in
   if not opts.ephemeral_alloc then begin
@@ -289,6 +309,7 @@ let run_gc h (th : Vmthread.t) =
   let costs = (Htm.machine h.htm).costs in
   let cost = h.total_slots * costs.cyc_gc_per_slot in
   h.gc_cycles_total <- h.gc_cycles_total + cost;
+  note_gc_pause h th ~start_clock:th.clock ~cost;
   th.clock <- th.clock + cost;
   cost
 
@@ -400,6 +421,7 @@ let run_mark_phase h (th : Vmthread.t) =
   let costs = (Htm.machine h.htm).costs in
   let cost = marked * costs.cyc_gc_per_slot in
   h.gc_cycles_total <- h.gc_cycles_total + cost;
+  note_gc_pause h th ~start_clock:th.clock ~cost;
   th.clock <- th.clock + cost;
   cost
 

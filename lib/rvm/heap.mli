@@ -26,6 +26,10 @@ type t = {
   lazy_cursor : int;  (** shared sweep-cursor cell (lazy-sweep mode) *)
   mutable lazy_slots : int array;
   mutable lazy_claims : int;
+  mutable tracer : Obs.Trace.t option;
+      (** when set, GC pauses emit [Gc_start]/[Gc_end] trace events *)
+  mutable gc_pause_hist : Obs.Metrics.histogram option;
+      (** when set, every GC pause cost (cycles) is observed here *)
 }
 
 val create :

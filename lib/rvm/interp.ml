@@ -183,8 +183,11 @@ let dispatch vm (th : Vmthread.t) ~sym ~argc ~block ~cache_slot =
           | _ -> 2 * k.id
         in
         match guard_cell with
-        | VInt g when g = quick_guard -> decode_meth (rd vm th (cache + 1))
+        | VInt g when g = quick_guard ->
+            Obs.Metrics.incr vm.Vm.m_cache_hits;
+            decode_meth (rd vm th (cache + 1))
         | _ ->
+            Obs.Metrics.incr vm.Vm.m_cache_misses;
             let m, guard, _ = resolve vm th recv sym in
             (match m with
             | Some m' ->

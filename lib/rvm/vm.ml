@@ -56,6 +56,11 @@ and t = {
   prng : Prng.t;
   out : Buffer.t;
   mutable main_obj : int;
+  (* observability: per-VM metrics registry plus pre-resolved handles for
+     the interpreter's hottest counters (no hashtable lookup on hit paths) *)
+  metrics : Obs.Metrics.t;
+  m_cache_hits : Obs.Metrics.counter;
+  m_cache_misses : Obs.Metrics.counter;
 }
 
 let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
@@ -88,6 +93,8 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
   let c_mutex = mk ?super:sup "Mutex" Klass.K_mutex in
   let c_condvar = mk ?super:sup "ConditionVariable" Klass.K_condvar in
   let heap = Heap.create store htm opts classes in
+  let metrics = Obs.Metrics.create () in
+  heap.Heap.gc_pause_hist <- Some (Obs.Metrics.histogram metrics "gc.pause_cycles");
   let cell init =
     let a = Store.reserve_aligned store 1 in
     Store.set store a init;
@@ -136,6 +143,9 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
       prng = Prng.create opts.seed;
       out = Buffer.create 256;
       main_obj = -1;
+      metrics;
+      m_cache_hits = Obs.Metrics.counter metrics "interp.method_cache_hits";
+      m_cache_misses = Obs.Metrics.counter metrics "interp.method_cache_misses";
     }
   in
   vm

@@ -53,6 +53,10 @@ and t = {
   prng : Htm_sim.Prng.t;
   out : Buffer.t;
   mutable main_obj : int;
+  metrics : Obs.Metrics.t;
+      (** per-VM metrics registry; the runner folds it into run results *)
+  m_cache_hits : Obs.Metrics.counter;  (** inline method-cache hits *)
+  m_cache_misses : Obs.Metrics.counter;
 }
 
 val create :

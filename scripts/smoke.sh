@@ -1,0 +1,12 @@
+#!/bin/sh
+# Smoke pass: build, full test suite, a quick figure regeneration, and a
+# validation that the BENCH_results.json artifact is complete and parseable.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+BENCH_SIZE=test dune exec bench/main.exe -- figures
+dune exec bench/main.exe -- validate BENCH_results.json
+
+echo "smoke: OK"

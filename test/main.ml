@@ -27,4 +27,5 @@ let () =
       ("netsim", Test_netsim.suite);
       ("servers", Test_servers.suite);
       ("workloads", Test_workloads.suite);
+      ("obs", Test_obs.suite);
     ]
