@@ -25,10 +25,18 @@ let size () =
   | Some s -> Workloads.Size.of_string s
   | None -> Workloads.Size.S
 
-let time name f =
+(* Host wall time per figure, collected into the results file's "host"
+   object. Host times (and the "jobs" count) live OUTSIDE the "figures"
+   member: "figures" is byte-identical across BENCH_JOBS settings, the
+   host section is what legitimately varies. *)
+let host_times : (string * J.t) list ref = ref []
+
+let time key name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Format.fprintf fmt "@.[%s took %.1fs]@." name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.fprintf fmt "@.[%s took %.1fs]@." name dt;
+  host_times := (key, J.Float dt) :: !host_times;
   r
 
 (* ---- JSON series for BENCH_results.json ---- *)
@@ -95,18 +103,32 @@ let pair_series_json ~variant pairs =
            ])
        pairs)
 
+(* FNV-1a over the serialized "figures" member. The smoke script runs the
+   sweep under BENCH_JOBS=1 and BENCH_JOBS=4 and compares these digests:
+   equality is the determinism acceptance check. *)
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
 let figures () =
   let size = size () in
   let figs = ref [] in
   let add name j = figs := (name, j) :: !figs in
   add "fig4"
-    (time "Figure 4" (fun () ->
+    (time "fig4" "Figure 4" (fun () ->
          J.List (List.map panel_json (Harness.Figures.fig4 ~size fmt))));
   add "fig5"
-    (time "Figure 5" (fun () ->
+    (time "fig5" "Figure 5" (fun () ->
          J.List (List.map panel_json (Harness.Figures.fig5 ~size fmt))));
   add "fig6a"
-    (time "Figure 6a" (fun () ->
+    (time "fig6a" "Figure 6a" (fun () ->
          J.List
            (List.map
               (fun (pt : Harness.Figures.fig6a_point) ->
@@ -117,12 +139,12 @@ let figures () =
                     ("success_pct", J.Float pt.success_pct);
                   ])
               (Harness.Figures.fig6a fmt))));
-  add "fig6b" (time "Figure 6b" (fun () -> panel_json (Harness.Figures.fig6b fmt)));
+  add "fig6b" (time "fig6b" "Figure 6b" (fun () -> panel_json (Harness.Figures.fig6b fmt)));
   add "fig7"
-    (time "Figure 7" (fun () ->
+    (time "fig7" "Figure 7" (fun () ->
          J.List (List.map panel_json (Harness.Figures.fig7 ~size fmt))));
   add "fig8"
-    (time "Figure 8" (fun () ->
+    (time "fig8" "Figure 8" (fun () ->
          J.List
            (List.map
               (fun ((workload, machine), series) ->
@@ -142,7 +164,7 @@ let figures () =
                   ])
               (Harness.Figures.fig8 ~size fmt))));
   add "fig9"
-    (time "Figure 9" (fun () ->
+    (time "fig9" "Figure 9" (fun () ->
          J.List
            (List.map
               (fun (bench, series) ->
@@ -171,7 +193,7 @@ let figures () =
                   ])
               (Harness.Figures.fig9 ~size fmt))));
   add "ablation"
-    (time "Section 5.4 ablations" (fun () ->
+    (time "ablation" "Section 5.4 ablations" (fun () ->
          J.List
            (List.map
               (fun (bench, gil, dyn, orig_yield, no_removal) ->
@@ -185,18 +207,18 @@ let figures () =
                   ])
               (Harness.Figures.ablation ~size fmt))));
   add "overhead"
-    (time "Section 5.6 overhead" (fun () ->
+    (time "overhead" "Section 5.6 overhead" (fun () ->
          J.List
            (List.map
               (fun (bench, pct) ->
                 J.Obj [ ("bench", J.Str bench); ("overhead_pct", J.Float pct) ])
               (Harness.Figures.overhead ~size fmt))));
   add "future_work"
-    (time "Section 5.6 future work (lazy sweep)" (fun () ->
+    (time "future_work" "Section 5.6 future work (lazy sweep)" (fun () ->
          pair_series_json ~variant:"lazy_sweep"
            (Harness.Figures.future_work ~size fmt)));
   add "refcount"
-    (time "Section 7 (CPython-style refcounting)" (fun () ->
+    (time "refcount" "Section 7 (CPython-style refcounting)" (fun () ->
          pair_series_json ~variant:"refcounted"
            (Harness.Figures.refcount ~size fmt)));
   let doc =
@@ -204,10 +226,14 @@ let figures () =
       [
         ("producer", J.Str "bench/main.exe");
         ("size", J.Str (Workloads.Size.to_string size));
+        ("jobs", J.Int (Harness.Pool.default_jobs ()));
         ("figures", J.Obj (List.rev !figs));
+        ("host", J.Obj (List.rev !host_times));
       ]
   in
   J.to_file results_file doc;
+  Format.fprintf fmt "@.figures digest: %s@."
+    (fnv64 (J.to_string (J.Obj (List.rev !figs))));
   Format.fprintf fmt "@.results -> %s@." results_file
 
 (* ---- validate: parse-check a results file (used by the smoke script) ---- *)
@@ -232,7 +258,11 @@ let validate path =
       match J.member "figures" doc with
       | Some (J.Obj figs) when figs <> [] ->
           Format.fprintf fmt "%s: ok (%d figure series)@." path
-            (List.length figs)
+            (List.length figs);
+          (* digest of the simulated data only — host times and the jobs
+             count sit outside "figures" and may legitimately differ *)
+          Format.fprintf fmt "figures digest: %s@."
+            (fnv64 (J.to_string (J.Obj figs)))
       | _ ->
           Format.eprintf "%s: parsed, but no \"figures\" object@." path;
           exit 1)
@@ -368,10 +398,166 @@ let tracing_overhead_check () =
   in
   go 3
 
+(* A faithful replica of the line-table representation the engine used
+   before the flat-array rewrite: one heap record per line in an
+   [(int, line) Hashtbl.t], plus per-transaction undo/touched association
+   lists. It does the same bookkeeping per access as the old write path —
+   lookup-or-insert, mark, record the touched line, log the old value. *)
+module Hashtbl_replica = struct
+  type line = { mutable writer : int; mutable last_writer : int }
+
+  type t = {
+    lines : (int, line) Hashtbl.t;
+    cells : int array;
+    line_cells : int;
+    mutable undo : (int * int) list;
+    mutable touched : int list;
+  }
+
+  let create ~line_cells n =
+    {
+      lines = Hashtbl.create 256;
+      cells = Array.make n 0;
+      line_cells;
+      undo = [];
+      touched = [];
+    }
+
+  let tbegin t =
+    t.undo <- [];
+    t.touched <- []
+
+  let write t addr v =
+    let id = addr / t.line_cells in
+    let l =
+      match Hashtbl.find_opt t.lines id with
+      | Some l -> l
+      | None ->
+          let l = { writer = -1; last_writer = -1 } in
+          Hashtbl.add t.lines id l;
+          l
+    in
+    if l.writer <> 0 then begin
+      l.writer <- 0;
+      t.touched <- id :: t.touched
+    end;
+    t.undo <- (addr, t.cells.(addr)) :: t.undo;
+    t.cells.(addr) <- v
+
+  let tend t =
+    List.iter
+      (fun id ->
+        let l = Hashtbl.find t.lines id in
+        l.writer <- -1;
+        l.last_writer <- 0)
+      t.touched;
+    t.undo <- [];
+    t.touched <- []
+end
+
+(* The same begin / 64 sparse writes / commit loop against the real engine
+   and against the replica, engines hoisted out so both measure steady
+   state. *)
+let engine_loops () =
+  let machine = Htm_sim.Machine.xeon_e3 in
+  let store =
+    Htm_sim.Store.create ~dummy:0 ~line_cells:machine.line_cells 4096
+  in
+  let htm = Htm_sim.Htm.create machine store in
+  Htm_sim.Htm.set_occupied htm 0 true;
+  let region = Htm_sim.Store.reserve_aligned store 1024 in
+  let flat () =
+    for _ = 1 to 100 do
+      Htm_sim.Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+      for i = 0 to 63 do
+        Htm_sim.Htm.write htm ~ctx:0 (region + (i * 8)) i
+      done;
+      Htm_sim.Htm.tend htm ~ctx:0
+    done
+  in
+  let replica_t = Hashtbl_replica.create ~line_cells:machine.line_cells 4096 in
+  let replica () =
+    for _ = 1 to 100 do
+      Hashtbl_replica.tbegin replica_t;
+      for i = 0 to 63 do
+        Hashtbl_replica.write replica_t (region + (i * 8)) i
+      done;
+      Hashtbl_replica.tend replica_t
+    done
+  in
+  (flat, replica)
+
+(* Acceptance gate for the flat-array line tables: the real engine must
+   beat the Hashtbl replica on the same loop, even though the replica does
+   none of the engine's conflict detection, capacity or stats work.
+   Re-measured before failing, like the tracing check. *)
+let flat_vs_hashtbl_check () =
+  Format.fprintf fmt
+    "@.=== flat line tables vs the previous Hashtbl representation ===@.";
+  let flat_loop, replica_loop = engine_loops () in
+  let rec go attempts =
+    let flat =
+      estimate (Test.make ~name:"htm:flat-engine" (Staged.stage flat_loop))
+    in
+    let replica =
+      estimate
+        (Test.make ~name:"htm:hashtbl-replica" (Staged.stage replica_loop))
+    in
+    Format.fprintf fmt "flat/hashtbl ratio: %.2fx faster@." (replica /. flat);
+    if flat >= replica then
+      if attempts > 1 then go (attempts - 1)
+      else begin
+        Format.eprintf "FAIL: flat line tables no faster than the Hashtbl replica@.";
+        exit 1
+      end
+  in
+  go 3
+
+(* Acceptance gate for the scratch-array transaction state: once the line
+   tables and scratch arrays are warm, a transactional access must not
+   allocate. The budget absorbs the boxed floats [Gc.minor_words] itself
+   returns. *)
+let zero_alloc_check () =
+  Format.fprintf fmt "@.=== steady-state allocation per transactional access ===@.";
+  let machine = Htm_sim.Machine.zec12 in
+  let store =
+    Htm_sim.Store.create ~dummy:0 ~line_cells:machine.line_cells 4096
+  in
+  let htm = Htm_sim.Htm.create machine store in
+  Htm_sim.Htm.set_occupied htm 0 true;
+  let region = Htm_sim.Store.reserve_aligned store 1024 in
+  let txns = 2_000 and writes = 64 in
+  let loop () =
+    for _ = 1 to txns do
+      Htm_sim.Htm.tbegin htm ~ctx:0 ~rollback:(fun _ -> ());
+      for i = 0 to writes - 1 do
+        Htm_sim.Htm.write htm ~ctx:0 (region + (i * 8)) i
+      done;
+      for i = 0 to writes - 1 do
+        ignore (Htm_sim.Htm.read htm ~ctx:0 (region + (i * 8)))
+      done;
+      Htm_sim.Htm.tend htm ~ctx:0
+    done
+  in
+  loop ();
+  (* warm: scratch arrays grown *)
+  let w0 = Gc.minor_words () in
+  loop ();
+  let w1 = Gc.minor_words () in
+  let accesses = float_of_int (txns * writes * 2) in
+  let per_access = (w1 -. w0) /. accesses in
+  Format.fprintf fmt "%.5f minor words per access (budget 0.01)@." per_access;
+  if per_access > 0.01 then begin
+    Format.eprintf "FAIL: transactional accesses allocate in steady state@.";
+    exit 1
+  end
+
 let micro () =
   Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
   List.iter (fun test -> ignore (estimate test)) micro_tests;
-  tracing_overhead_check ()
+  tracing_overhead_check ();
+  flat_vs_hashtbl_check ();
+  zero_alloc_check ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

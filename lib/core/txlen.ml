@@ -38,12 +38,14 @@ type entry = {
 type t = {
   mode : mode;
   params : params;
-  entries : (int, entry) Hashtbl.t;
+  entries : (int * int, entry) Hashtbl.t;
+      (** keyed on the (code uid, pc) pair: packing both into one int
+          silently aliased entries once pc outgrew the packed field *)
 }
 
 let create ?(params = default_params) mode = { mode; params; entries = Hashtbl.create 256 }
 
-let key (code : Rvm.Value.code) pc = (code.uid lsl 20) lor pc
+let key (code : Rvm.Value.code) pc = (code.uid, pc)
 
 let entry t k =
   match Hashtbl.find_opt t.entries k with

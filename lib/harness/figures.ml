@@ -21,6 +21,12 @@ let wl name =
   | Some w -> w
   | None -> invalid_arg ("unknown workload " ^ name)
 
+(* Fan independent experiment points over the worker pool (sized by
+   BENCH_JOBS, default 1). Results return in submission order and every
+   point owns its whole simulator state, so the data is identical to a
+   sequential run — printing happens after the join, on the caller. *)
+let pmap f xs = Pool.map_list f xs
+
 (* Normalised throughput relative to 1-thread GIL on the same machine and
    workload: the y-axis of Figures 4, 5, 6(b) and 7. *)
 type panel = {
@@ -30,6 +36,8 @@ type panel = {
   cells : (string * int, float) Hashtbl.t;  (** (scheme, threads) -> y *)
   aborts : (string * int, float) Hashtbl.t;
   outcomes : (string * int, Exp.outcome) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+      (** the points' registries, merged in (scheme, threads) grid order *)
 }
 
 let run_panel ?(schemes = schemes_fig5) ?(size = Workloads.Size.S) ~machine
@@ -53,23 +61,29 @@ let run_panel ?(schemes = schemes_fig5) ?(size = Workloads.Size.S) ~machine
       cells = Hashtbl.create 64;
       aborts = Hashtbl.create 64;
       outcomes = Hashtbl.create 64;
+      metrics = Obs.Metrics.create ();
     }
   in
-  List.iter
-    (fun scheme ->
-      List.iter
-        (fun threads ->
-          let o =
-            if scheme = Core.Scheme.Gil_only && threads = 1 then base
-            else
-              Exp.run (Exp.point ~workload ~machine ~scheme ~threads ~size ())
-          in
-          let key = (Core.Scheme.to_string scheme, threads) in
-          Hashtbl.replace panel.cells key (o.throughput /. base_thr);
-          Hashtbl.replace panel.aborts key o.abort_ratio;
-          Hashtbl.replace panel.outcomes key o)
-        threads_list)
-    schemes;
+  let combos =
+    List.concat_map
+      (fun scheme -> List.map (fun threads -> (scheme, threads)) threads_list)
+      schemes
+  in
+  let outs =
+    pmap
+      (fun (scheme, threads) ->
+        if scheme = Core.Scheme.Gil_only && threads = 1 then base
+        else Exp.run (Exp.point ~workload ~machine ~scheme ~threads ~size ()))
+      combos
+  in
+  List.iter2
+    (fun (scheme, threads) (o : Exp.outcome) ->
+      let key = (Core.Scheme.to_string scheme, threads) in
+      Hashtbl.replace panel.cells key (o.throughput /. base_thr);
+      Hashtbl.replace panel.aborts key o.abort_ratio;
+      Hashtbl.replace panel.outcomes key o;
+      Obs.Metrics.merge panel.metrics o.result.Core.Runner.metrics)
+    combos outs;
   panel
 
 let print_panel fmt panel ~schemes ~threads_list =
@@ -226,22 +240,38 @@ let fig7 ?(size = Workloads.Size.S) fmt =
 (* ---- Figure 8: abort ratios and cycle breakdowns --------------------------- *)
 
 let fig8 ?(size = Workloads.Size.S) fmt =
+  let combos =
+    List.concat_map
+      (fun machine ->
+        List.concat_map
+          (fun name ->
+            List.map
+              (fun threads -> (machine, name, threads))
+              (thread_counts machine))
+          Workloads.Workload.npb_names)
+      [ Machine.zec12; Machine.xeon_e3 ]
+  in
+  let outs =
+    pmap
+      (fun (machine, name, threads) ->
+        Exp.run
+          (Exp.point ~workload:(wl name) ~machine
+             ~scheme:Core.Scheme.Htm_dynamic ~threads ~size ()))
+      combos
+  in
+  let flat = List.combine combos outs in
   let results =
     List.concat_map
       (fun machine ->
-        let threads_list = thread_counts machine in
         List.map
           (fun name ->
             let outs =
-              List.map
-                (fun threads ->
-                  let o =
-                    Exp.run
-                      (Exp.point ~workload:(wl name) ~machine
-                         ~scheme:Core.Scheme.Htm_dynamic ~threads ~size ())
-                  in
-                  (threads, o))
-                threads_list
+              List.filter_map
+                (fun ((m, n, threads), o) ->
+                  if m.Machine.name = machine.Machine.name && n = name then
+                    Some (threads, o)
+                  else None)
+                flat
             in
             ((machine.Machine.name, name), outs))
           Workloads.Workload.npb_names)
@@ -310,34 +340,45 @@ let fig9 ?(size = Workloads.Size.S) fmt =
       ("Java/X5670", Core.Scheme.Free_parallel, Machine.xeon_x5670);
     ]
   in
+  let combos =
+    List.concat_map
+      (fun (label, scheme, machine) ->
+        List.map
+          (fun name -> (label, scheme, machine, name))
+          Workloads.Workload.npb_names)
+      modes
+  in
+  let series_rows =
+    pmap
+      (fun (_, scheme, machine, name) ->
+        let base =
+          Exp.run
+            (Exp.point ~workload:(wl name) ~machine ~scheme ~threads:1 ~size ())
+        in
+        List.map
+          (fun threads ->
+            let o =
+              if threads = 1 then base
+              else
+                Exp.run
+                  (Exp.point ~workload:(wl name) ~machine ~scheme ~threads
+                     ~size ())
+            in
+            ( threads,
+              float_of_int base.Exp.wall_cycles
+              /. float_of_int (max 1 o.Exp.wall_cycles) ))
+          threads_list)
+      combos
+  in
+  let flat = List.combine combos series_rows in
   let all =
     List.map
-      (fun (label, scheme, machine) ->
+      (fun (label, _, _) ->
         let rows =
-          List.map
-            (fun name ->
-              let base =
-                Exp.run
-                  (Exp.point ~workload:(wl name) ~machine ~scheme ~threads:1
-                     ~size ())
-              in
-              let series =
-                List.map
-                  (fun threads ->
-                    let o =
-                      if threads = 1 then base
-                      else
-                        Exp.run
-                          (Exp.point ~workload:(wl name) ~machine ~scheme
-                             ~threads ~size ())
-                    in
-                    ( threads,
-                      float_of_int base.Exp.wall_cycles
-                      /. float_of_int (max 1 o.Exp.wall_cycles) ))
-                  threads_list
-              in
-              (name, series))
-            Workloads.Workload.npb_names
+          List.filter_map
+            (fun ((l, _, _, name), series) ->
+              if l = label then Some (name, series) else None)
+            flat
         in
         Report.series_table fmt
           ~title:(Printf.sprintf "Figure 9: scalability of %s (1 = 1 thread)" label)
@@ -369,39 +410,47 @@ let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =
   let machine = Machine.zec12 in
   Format.fprintf fmt "%-8s %14s %14s %14s %14s@." "bench" "GIL" "HTM-dyn"
     "orig-yields" "no-removal";
-  List.map
-    (fun name ->
-      let workload = wl name in
-      let base =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads:1
-             ~size ())
-      in
-      let rel o = float_of_int base.Exp.wall_cycles /. float_of_int o.Exp.wall_cycles in
-      let gil =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads
-             ~size ())
-      in
-      let dyn =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
-             ~size ())
-      in
-      let orig_yields =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
-             ~size ~yield_points:Core.Yield_points.Original ())
-      in
-      let no_removal =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic ~threads
-             ~size ~opts:Rvm.Options.cruby_baseline ())
-      in
-      Format.fprintf fmt "%-8s %14.2f %14.2f %14.2f %14.2f@." name (rel gil)
-        (rel dyn) (rel orig_yields) (rel no_removal);
-      (name, rel gil, rel dyn, rel orig_yields, rel no_removal))
-    Workloads.Workload.npb_names
+  let rows =
+    pmap
+      (fun name ->
+        let workload = wl name in
+        let base =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only
+               ~threads:1 ~size ())
+        in
+        let rel o =
+          float_of_int base.Exp.wall_cycles /. float_of_int o.Exp.wall_cycles
+        in
+        let gil =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads
+               ~size ())
+        in
+        let dyn =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads ~size ())
+        in
+        let orig_yields =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads ~size ~yield_points:Core.Yield_points.Original ())
+        in
+        let no_removal =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads ~size ~opts:Rvm.Options.cruby_baseline ())
+        in
+        (name, rel gil, rel dyn, rel orig_yields, rel no_removal))
+      Workloads.Workload.npb_names
+  in
+  List.iter
+    (fun (name, gil, dyn, orig_yields, no_removal) ->
+      Format.fprintf fmt "%-8s %14.2f %14.2f %14.2f %14.2f@." name gil dyn
+        orig_yields no_removal)
+    rows;
+  rows
 
 (* ---- Section 5.6 future work: thread-local lazy sweeping --------------------- *)
 
@@ -415,23 +464,29 @@ let future_work ?(size = Workloads.Size.S) ?(threads = 12) fmt =
        threads);
   Format.fprintf fmt "%-8s %14s %14s %12s %12s@." "bench" "eager sweep"
     "lazy sweep" "abort%(eager)" "abort%(lazy)";
-  List.map
-    (fun name ->
-      let workload = wl name in
-      let machine = Machine.zec12 in
-      let run opts =
-        Exp.run
-          (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
-             ~threads ~size ())
-      in
-      let eager = run Rvm.Options.default in
-      let lzy = run { Rvm.Options.default with lazy_sweep = true } in
+  let rows =
+    pmap
+      (fun name ->
+        let workload = wl name in
+        let machine = Machine.zec12 in
+        let run opts =
+          Exp.run
+            (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads ~size ())
+        in
+        let eager = run Rvm.Options.default in
+        let lzy = run { Rvm.Options.default with lazy_sweep = true } in
+        (name, eager, lzy))
+      Workloads.Workload.npb_names
+  in
+  List.iter
+    (fun (name, eager, lzy) ->
       Format.fprintf fmt "%-8s %14d %14d %12.2f %12.2f@." name
         eager.Exp.wall_cycles lzy.Exp.wall_cycles
         (100.0 *. eager.Exp.abort_ratio)
-        (100.0 *. lzy.Exp.abort_ratio);
-      (name, eager, lzy))
-    Workloads.Workload.npb_names
+        (100.0 *. lzy.Exp.abort_ratio))
+    rows;
+  rows
 
 (* ---- Section 7: would this work for Python? ----------------------------------- *)
 
@@ -446,23 +501,29 @@ let refcount ?(size = Workloads.Size.S) ?(threads = 8) fmt =
        threads);
   Format.fprintf fmt "%-8s %12s %12s %14s %14s@." "bench" "ruby-style"
     "refcounted" "abort%(ruby)" "abort%(rc)";
-  List.map
-    (fun name ->
-      let workload = wl name in
-      let machine = Machine.zec12 in
-      let run opts =
-        Exp.run
-          (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
-             ~threads ~size ())
-      in
-      let plain = run Rvm.Options.default in
-      let rc = run { Rvm.Options.default with refcount_writes = true } in
+  let rows =
+    pmap
+      (fun name ->
+        let workload = wl name in
+        let machine = Machine.zec12 in
+        let run opts =
+          Exp.run
+            (Exp.point ~opts ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads ~size ())
+        in
+        let plain = run Rvm.Options.default in
+        let rc = run { Rvm.Options.default with refcount_writes = true } in
+        (name, plain, rc))
+      Workloads.Workload.npb_names
+  in
+  List.iter
+    (fun (name, plain, rc) ->
       Format.fprintf fmt "%-8s %12d %12d %14.2f %14.2f@." name
         plain.Exp.wall_cycles rc.Exp.wall_cycles
         (100.0 *. plain.Exp.abort_ratio)
-        (100.0 *. rc.Exp.abort_ratio);
-      (name, plain, rc))
-    Workloads.Workload.npb_names
+        (100.0 *. rc.Exp.abort_ratio))
+    rows;
+  rows
 
 (* ---- Section 5.6: single-thread overhead ------------------------------------- *)
 
@@ -470,25 +531,29 @@ let overhead ?(size = Workloads.Size.S) fmt =
   Report.header fmt
     "Section 5.6: single-thread overhead of HTM-dynamic vs GIL (zEC12)";
   Format.fprintf fmt "%-8s %12s@." "bench" "overhead(%)";
-  List.map
-    (fun name ->
-      let workload = wl name in
-      let machine = Machine.zec12 in
-      let gil =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only ~threads:1
-             ~size ())
-      in
-      let dyn =
-        Exp.run
-          (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
-             ~threads:1 ~size ())
-      in
-      let ov =
-        100.0
-        *. (float_of_int dyn.Exp.wall_cycles /. float_of_int gil.Exp.wall_cycles
-           -. 1.0)
-      in
-      Format.fprintf fmt "%-8s %12.1f@." name ov;
-      (name, ov))
-    Workloads.Workload.npb_names
+  let rows =
+    pmap
+      (fun name ->
+        let workload = wl name in
+        let machine = Machine.zec12 in
+        let gil =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Gil_only
+               ~threads:1 ~size ())
+        in
+        let dyn =
+          Exp.run
+            (Exp.point ~workload ~machine ~scheme:Core.Scheme.Htm_dynamic
+               ~threads:1 ~size ())
+        in
+        let ov =
+          100.0
+          *. (float_of_int dyn.Exp.wall_cycles
+              /. float_of_int gil.Exp.wall_cycles
+             -. 1.0)
+        in
+        (name, ov))
+      Workloads.Workload.npb_names
+  in
+  List.iter (fun (name, ov) -> Format.fprintf fmt "%-8s %12.1f@." name ov) rows;
+  rows

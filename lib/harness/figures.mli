@@ -14,6 +14,9 @@ type panel = {
       (** (scheme, threads) -> throughput normalised to 1-thread GIL *)
   aborts : (string * int, float) Hashtbl.t;
   outcomes : (string * int, Exp.outcome) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+      (** the points' registries, merged in (scheme, threads) grid order —
+          deterministic regardless of the worker count *)
 }
 
 val run_panel :

@@ -1,0 +1,140 @@
+(* A small domain worker pool for the embarrassingly-parallel figure
+   sweeps. Each experiment point builds its own Store/Htm/Prng/Obs sinks, so
+   task isolation is per-task state; the only cross-task state in the whole
+   stack — symbol interning and code uids — is domain-local and reset per
+   session (see [Rvm.Sym]), which is what makes [map] return results
+   bit-identical to a sequential run regardless of the worker count.
+
+   The submitting thread participates in draining the queue, so a pool of
+   [jobs = 1] spawns no domains at all and degenerates to an ordinary
+   sequential [List.map] in submission order. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (** a task was queued, or the pool is shutting down *)
+  finished : Condition.t;  (** a batch completed a task *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else
+        match Queue.take_opt t.tasks with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            Some task
+        | None ->
+            Condition.wait t.work t.mutex;
+            wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+        task ();
+        next ()
+  in
+  next ()
+
+let create jobs =
+  let jobs = max 1 (min jobs 64) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Run [f] over [xs]; results come back in input order. Tasks run on the
+   workers and on the calling thread; a task that raises poisons the batch
+   and the first (by input position) exception is re-raised at the join. *)
+let map t f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let results : _ option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let remaining = ref n in
+    let run i () =
+      (try results.(i) <- Some (f xs.(i))
+       with e -> errors.(i) <- Some e);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (run i) t.tasks
+    done;
+    Condition.broadcast t.work;
+    (* participate: drain the queue from the submitting thread too *)
+    let rec drain () =
+      match Queue.take_opt t.tasks with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    while !remaining > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iteri (fun _ e -> match e with Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end
+
+(* ---- the global pool ----------------------------------------------------- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 64
+      | _ -> invalid_arg (Printf.sprintf "BENCH_JOBS=%S: expected a positive integer" s))
+  | None -> 1
+
+let global_pool : t option ref = ref None
+
+let global () =
+  match !global_pool with
+  | Some p -> p
+  | None ->
+      let p = create (default_jobs ()) in
+      global_pool := Some p;
+      p
+
+let set_global_jobs n =
+  (match !global_pool with Some p -> shutdown p | None -> ());
+  global_pool := Some (create n)
+
+let map_list f xs = map (global ()) f xs

@@ -1,0 +1,37 @@
+(** A small domain worker pool ([Domain] + [Mutex] + [Condition]) for the
+    embarrassingly-parallel figure sweeps. Each experiment point owns its
+    Store/Htm/Prng/Obs sinks and the VM's domain-local interning state is
+    reset per session, so {!map} returns results bit-identical to a
+    sequential run regardless of the worker count — only host wall time
+    changes. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [jobs - 1] worker domains (clamped to 1..64); the
+    submitting thread is the remaining lane, so [create 1] spawns none and
+    runs everything inline. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Fan the list out over the pool; results return in input order. If tasks
+    raise, the first (by input position) exception is re-raised after the
+    whole batch has drained. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must not be used after. *)
+
+val default_jobs : unit -> int
+(** The [BENCH_JOBS] environment variable (default 1, clamped to 64).
+    @raise Invalid_argument if it is set but not a positive integer. *)
+
+val global : unit -> t
+(** The lazily-created global pool, sized by {!default_jobs}. *)
+
+val set_global_jobs : int -> unit
+(** Replace the global pool with one of the given size (shutting down the
+    previous one). For tests that compare worker counts. *)
+
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+(** {!map} on the global pool. *)

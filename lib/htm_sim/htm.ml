@@ -7,18 +7,19 @@
    (the simulation interleaves whole bytecodes), so its transaction can be
    rolled back immediately: undo log replayed, its registers restored via the
    rollback closure, and a pending-abort flag left for its scheme to handle
-   at its next step. *)
+   at its next step.
+
+   Per-line metadata lives in dense flat arrays indexed by line id (line ids
+   are [addr / line_cells] over a bump-allocated store, so they are dense by
+   construction). The arrays grow in lockstep with the store via its
+   [set_on_grow] hook, which keeps the hot path free of bounds checks, hash
+   lookups and allocation: a steady-state transactional access touches only
+   unboxed int arrays and the per-context scratch logs. *)
 
 exception Abort_now of Txn.abort_reason
 (** Raised when the *current* context's transaction dies mid-instruction
     (capacity, explicit abort, predictor kill). The interpreter unwinds to
     the instruction boundary; guest state has already been rolled back. *)
-
-type line = {
-  mutable readers : int;  (** bitset of ctx ids with the line in a read set *)
-  mutable writer : int;  (** ctx id with the line in a write set, or -1 *)
-  mutable last_writer : int;  (** for the coherence cost model, or -1 *)
-}
 
 type mode =
   | Htm_mode  (** transactions enabled *)
@@ -30,7 +31,15 @@ type 'a t = {
   machine : Machine.t;
   store : 'a Store.t;
   mode : mode;
-  lines : (int, line) Hashtbl.t;
+  (* flat per-line metadata, indexed by line id; always sized to cover the
+     store's full capacity (see [grow_line_tables]) *)
+  mutable readers : int array;  (** bitset of ctx ids with the line in a read set *)
+  mutable writers : int array;  (** ctx id with the line in a write set, or -1 *)
+  mutable last_writers : int array;  (** for the coherence cost model, or -1 *)
+  mutable conflicts : int array;
+      (** per line: number of conflict aborts it caused (for the abort-cause
+          investigations of Section 5.6) *)
+  mutable n_lines : int;  (** the tables cover line ids below this *)
   txns : 'a Txn.t array;
   mutable active : int;  (** number of live transactions *)
   occupied : bool array;  (** ctx hosts a live software thread *)
@@ -41,28 +50,47 @@ type 'a t = {
       (** extra cycles accrued during the current instruction (coherence
           transfers); drained by the runner *)
   mutable step_accesses : int;  (** accesses during the current instruction *)
-  conflict_lines : (int, int) Hashtbl.t;
-      (** line id -> number of conflict aborts it caused (for the abort-cause
-          investigations of Section 5.6) *)
 }
+
+let grow_line_tables t cap_cells =
+  let n = Store.line_of t.store (max 1 cap_cells - 1) + 1 in
+  if n > t.n_lines then begin
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 t.n_lines;
+      b
+    in
+    t.readers <- grow t.readers 0;
+    t.writers <- grow t.writers (-1);
+    t.last_writers <- grow t.last_writers (-1);
+    t.conflicts <- grow t.conflicts 0;
+    t.n_lines <- n
+  end
 
 let create ?(mode = Htm_mode) ?(seed = 42) machine store =
   let n = max 1 (Machine.n_ctx machine) in
-  {
-    machine;
-    store;
-    mode;
-    lines = Hashtbl.create 4096;
-    txns = Array.init n Txn.create;
-    active = 0;
-    occupied = Array.make n false;
-    suspicion = Array.make n 0.0;
-    prng = Prng.create seed;
-    stats = Stats.create ();
-    step_extra_cycles = 0;
-    step_accesses = 0;
-    conflict_lines = Hashtbl.create 256;
-  }
+  let t =
+    {
+      machine;
+      store;
+      mode;
+      readers = [||];
+      writers = [||];
+      last_writers = [||];
+      conflicts = [||];
+      n_lines = 0;
+      txns = Array.init n (Txn.create ~dummy:(Store.dummy store));
+      active = 0;
+      occupied = Array.make n false;
+      suspicion = Array.make n 0.0;
+      prng = Prng.create seed;
+      stats = Stats.create ();
+      step_extra_cycles = 0;
+      step_accesses = 0;
+    }
+  in
+  Store.set_on_grow store (grow_line_tables t);
+  t
 
 let stats t = t.stats
 let store t = t.store
@@ -84,38 +112,36 @@ let drain_step_cost t =
   t.step_accesses <- 0;
   (c, a)
 
-let line_for t id =
-  match Hashtbl.find_opt t.lines id with
-  | Some l -> l
-  | None ->
-      let l = { readers = 0; writer = -1; last_writer = -1 } in
-      Hashtbl.add t.lines id l;
-      l
-
-(* Remove every mark this transaction left in the line table. *)
+(* Remove every mark this transaction left in the line tables. *)
 let clear_marks t (txn : 'a Txn.t) =
   let mask = lnot (1 lsl txn.ctx) in
-  List.iter
-    (fun id ->
-      match Hashtbl.find_opt t.lines id with
-      | None -> ()
-      | Some l ->
-          l.readers <- l.readers land mask;
-          if l.writer = txn.ctx then l.writer <- -1)
-    txn.lines;
-  txn.lines <- []
+  let lines = txn.lines in
+  for i = 0 to txn.lines_len - 1 do
+    let id = Array.unsafe_get lines i in
+    let r = Array.unsafe_get t.readers id in
+    if r land mask <> r then Array.unsafe_set t.readers id (r land mask);
+    if Array.unsafe_get t.writers id = txn.ctx then
+      Array.unsafe_set t.writers id (-1)
+  done;
+  txn.lines_len <- 0
 
 let finish_txn t (txn : 'a Txn.t) =
   txn.active <- false;
-  txn.undo <- [];
+  txn.undo_len <- 0;
   t.active <- t.active - 1
 
 (* Abort [txn]: restore memory, clear footprint marks, restore the owning
    thread's registers, leave the reason for its scheme. [line] is the cache
    line whose conflict killed the transaction (-1 for capacity / explicit
-   aborts); attribution hooks read it from the rollback closure. *)
+   aborts); attribution hooks read it from the rollback closure. The undo
+   log is replayed newest-first so the oldest entry's value — the state
+   before the transaction's first write to that address — lands last. *)
 let abort_txn ?(line = -1) t (txn : 'a Txn.t) reason =
-  List.iter (fun (addr, v) -> Store.set_unsafe t.store addr v) txn.undo;
+  for i = txn.undo_len - 1 downto 0 do
+    Store.set_unsafe t.store
+      (Array.unsafe_get txn.undo_addrs i)
+      (Array.unsafe_get txn.undo_vals i)
+  done;
   clear_marks t txn;
   finish_txn t txn;
   Stats.record_abort t.stats reason;
@@ -128,13 +154,19 @@ let abort_txn ?(line = -1) t (txn : 'a Txn.t) reason =
 let pending_abort t ctx = t.txns.(ctx).pending_abort
 let clear_pending_abort t ctx = t.txns.(ctx).pending_abort <- None
 
-(* Effective capacity for a context: SMT siblings share the L1/store buffers,
-   halving the footprint budget when both are occupied (Section 5.4). *)
-let effective_limits t ctx =
+(* SMT siblings share the L1/store buffers, halving the footprint budget
+   when both are occupied (Section 5.4). Mirrors [Machine.sibling_ctx] but
+   stays option- and tuple-free: tbegin runs on the hot path, which must
+   not allocate. *)
+let[@inline] smt_capacity_shared t ctx =
   let m = t.machine in
-  match Machine.sibling_ctx m ctx with
-  | Some s when t.occupied.(s) -> (m.rs_lines / 2, m.ws_lines / 2)
-  | _ -> (m.rs_lines, m.ws_lines)
+  m.Machine.smt >= 2
+  &&
+  let other =
+    if ctx < m.Machine.n_cores then ctx + m.Machine.n_cores
+    else ctx - m.Machine.n_cores
+  in
+  other < Array.length t.occupied && t.occupied.(other)
 
 let suspicion_decay_per_attempt = 0.99925
 
@@ -142,10 +174,13 @@ let tbegin t ~ctx ~rollback =
   if t.mode <> Htm_mode then invalid_arg "Htm.tbegin: transactions disabled";
   let txn = t.txns.(ctx) in
   if txn.active then invalid_arg "Htm.tbegin: nested transaction";
-  let rs_limit, ws_limit = effective_limits t ctx in
+  let m = t.machine in
+  let shared = smt_capacity_shared t ctx in
+  let rs_limit = if shared then m.Machine.rs_lines / 2 else m.Machine.rs_lines in
+  let ws_limit = if shared then m.Machine.ws_lines / 2 else m.Machine.ws_lines in
   txn.active <- true;
-  txn.undo <- [];
-  txn.lines <- [];
+  txn.undo_len <- 0;
+  txn.lines_len <- 0;
   txn.rs <- 0;
   txn.ws <- 0;
   txn.rs_limit <- rs_limit;
@@ -176,30 +211,33 @@ let tabort t ~ctx reason =
   abort_txn t txn reason;
   raise (Abort_now reason)
 
-let note_conflict t id =
-  Hashtbl.replace t.conflict_lines id
-    (1 + Option.value (Hashtbl.find_opt t.conflict_lines id) ~default:0)
+let[@inline] note_conflict t id =
+  Array.unsafe_set t.conflicts id (Array.unsafe_get t.conflicts id + 1)
 
-(* Abort every transaction other than [ctx]'s that has a mark on [l]. *)
-let abort_conflicting t l ~ctx ~id =
-  if l.writer >= 0 && l.writer <> ctx then begin
+(* Abort every transaction other than [ctx]'s that has a mark on [l]. The
+   reader bitset is re-read after each victim abort because [clear_marks]
+   mutates it. *)
+let abort_conflicting t ~ctx ~id =
+  let w = Array.unsafe_get t.writers id in
+  if w >= 0 && w <> ctx then begin
     note_conflict t id;
-    abort_txn ~line:id t t.txns.(l.writer) Conflict
+    abort_txn ~line:id t t.txns.(w) Conflict
   end;
-  if l.readers land lnot (1 lsl ctx) <> 0 then
+  if Array.unsafe_get t.readers id land lnot (1 lsl ctx) <> 0 then
     for i = 0 to Array.length t.txns - 1 do
-      if i <> ctx && l.readers land (1 lsl i) <> 0 then begin
+      if i <> ctx && Array.unsafe_get t.readers id land (1 lsl i) <> 0 then begin
         note_conflict t id;
         abort_txn ~line:id t t.txns.(i) Conflict
       end
     done
 
-let charge_coherence t l ~ctx ~is_write =
-  if l.last_writer >= 0 && l.last_writer <> ctx then begin
+let charge_coherence t ~ctx ~id ~is_write =
+  let lw = Array.unsafe_get t.last_writers id in
+  if lw >= 0 && lw <> ctx then begin
     t.step_extra_cycles <- t.step_extra_cycles + t.machine.costs.cyc_line_transfer;
     t.stats.coherence_transfers <- t.stats.coherence_transfers + 1
   end;
-  if is_write then l.last_writer <- ctx
+  if is_write then Array.unsafe_set t.last_writers id ctx
 
 let read t ~ctx addr =
   t.step_accesses <- t.step_accesses + 1;
@@ -207,20 +245,21 @@ let read t ~ctx addr =
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
     let id = Store.line_of t.store addr in
-    let l = line_for t id in
     (* A line we already wrote is in our store buffer; reading it is free of
        coherence interaction. *)
-    if l.writer <> ctx then begin
-      if l.writer >= 0 then begin
+    if Array.unsafe_get t.writers id <> ctx then begin
+      let w = Array.unsafe_get t.writers id in
+      if w >= 0 then begin
         note_conflict t id;
-        abort_txn ~line:id t t.txns.(l.writer) Conflict
+        abort_txn ~line:id t t.txns.(w) Conflict
       end;
       let bit = 1 lsl ctx in
-      if l.readers land bit = 0 then begin
+      let r = Array.unsafe_get t.readers id in
+      if r land bit = 0 then begin
         if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
-        l.readers <- l.readers lor bit;
+        Array.unsafe_set t.readers id (r lor bit);
         txn.rs <- txn.rs + 1;
-        txn.lines <- id :: txn.lines
+        Txn.push_line txn id
       end
     end;
     Store.get_unsafe t.store addr
@@ -229,15 +268,14 @@ let read t ~ctx addr =
     t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
     if t.active > 0 then begin
       let id = Store.line_of t.store addr in
-      let l = line_for t id in
-      if l.writer >= 0 && l.writer <> ctx then begin
+      let w = Array.unsafe_get t.writers id in
+      if w >= 0 && w <> ctx then begin
         note_conflict t id;
-        abort_txn ~line:id t t.txns.(l.writer) Conflict
+        abort_txn ~line:id t t.txns.(w) Conflict
       end
     end;
     if t.mode = Coherent then
-      charge_coherence t (line_for t (Store.line_of t.store addr)) ~ctx
-        ~is_write:false;
+      charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:false;
     Store.get_unsafe t.store addr
   end
 
@@ -247,9 +285,8 @@ let write t ~ctx addr v =
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
     let id = Store.line_of t.store addr in
-    let l = line_for t id in
-    if l.writer <> ctx then begin
-      abort_conflicting t l ~ctx ~id;
+    if Array.unsafe_get t.writers id <> ctx then begin
+      abort_conflicting t ~ctx ~id;
       if txn.ws >= txn.ws_limit then tabort t ~ctx Overflow_write;
       (* Haswell learning predictor: while suspicious after recent capacity
          aborts, transactions that grow past half the budget are killed
@@ -261,23 +298,21 @@ let write t ~ctx addr v =
         && txn.ws >= txn.ws_limit / 2
         && Prng.float t.prng < t.suspicion.(ctx)
       then tabort t ~ctx Eager;
-      l.writer <- ctx;
+      Array.unsafe_set t.writers id ctx;
       txn.ws <- txn.ws + 1;
-      txn.lines <- id :: txn.lines
+      Txn.push_line txn id
     end;
-    txn.undo <- (addr, Store.get_unsafe t.store addr) :: txn.undo;
+    Txn.push_undo txn addr (Store.get_unsafe t.store addr);
     Store.set_unsafe t.store addr v
   end
   else begin
     t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
     if t.active > 0 then begin
       let id = Store.line_of t.store addr in
-      let l = line_for t id in
-      abort_conflicting t l ~ctx ~id
+      abort_conflicting t ~ctx ~id
     end;
     if t.mode = Coherent then
-      charge_coherence t (line_for t (Store.line_of t.store addr)) ~ctx
-        ~is_write:true;
+      charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
     Store.set_unsafe t.store addr v
   end
 
@@ -290,26 +325,27 @@ let touch_read_range t ~ctx base len =
     for id = first to last do
       let txn = t.txns.(ctx) in
       if txn.active then begin
-        let l = line_for t id in
-        if l.writer <> ctx then begin
-          if l.writer >= 0 then begin
+        if Array.unsafe_get t.writers id <> ctx then begin
+          let w = Array.unsafe_get t.writers id in
+          if w >= 0 then begin
             note_conflict t id;
-            abort_txn ~line:id t t.txns.(l.writer) Conflict
+            abort_txn ~line:id t t.txns.(w) Conflict
           end;
           let bit = 1 lsl ctx in
-          if l.readers land bit = 0 then begin
+          let r = Array.unsafe_get t.readers id in
+          if r land bit = 0 then begin
             if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
-            l.readers <- l.readers lor bit;
+            Array.unsafe_set t.readers id (r lor bit);
             txn.rs <- txn.rs + 1;
-            txn.lines <- id :: txn.lines
+            Txn.push_line txn id
           end
         end
       end
       else if t.active > 0 then begin
-        let l = line_for t id in
-        if l.writer >= 0 && l.writer <> ctx then begin
+        let w = Array.unsafe_get t.writers id in
+        if w >= 0 && w <> ctx then begin
           note_conflict t id;
-          abort_txn ~line:id t t.txns.(l.writer) Conflict
+          abort_txn ~line:id t t.txns.(w) Conflict
         end
       end
     done;
@@ -331,10 +367,20 @@ let touch_write_range t ~ctx base len =
 
 let suspicion_level t ctx = t.suspicion.(ctx)
 
-(* The [n] lines responsible for the most conflict aborts. *)
+(* The [n] lines responsible for the most conflict aborts. Ties break on the
+   lower line id so the report is deterministic. *)
 let top_conflict_lines t n =
-  let all = Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.conflict_lines [] in
-  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  let all = ref [] in
+  for id = t.n_lines - 1 downto 0 do
+    let c = Array.unsafe_get t.conflicts id in
+    if c > 0 then all := (id, c) :: !all
+  done;
+  let sorted =
+    List.sort
+      (fun (ida, a) (idb, b) ->
+        if a <> b then compare b a else compare ida idb)
+      !all
+  in
   let rec take k = function
     | [] -> []
     | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest

@@ -4,22 +4,41 @@
    detection, rollback and false sharing are uniform.
 
    [reserve] hands out address ranges like sbrk; callers build their own
-   allocators (slot arena, malloc pools, frame stacks) on top. *)
+   allocators (slot arena, malloc pools, frame stacks) on top.
+
+   The HTM engine keeps per-line metadata in flat arrays sized from this
+   store's capacity; [set_on_grow] lets it grow those tables in lockstep so
+   its hot path never bounds-checks a line id. *)
 
 type 'a t = {
   dummy : 'a;
   mutable cells : 'a array;
   mutable brk : int;  (** first unreserved address *)
   line_cells : int;
+  mutable on_grow : int -> unit;
+      (** called with the new capacity (in cells) after the backing array
+          grows; single consumer (the HTM engine's line tables) *)
 }
 
 let create ~dummy ~line_cells initial =
   let initial = max line_cells initial in
-  { dummy; cells = Array.make initial dummy; brk = 0; line_cells }
+  {
+    dummy;
+    cells = Array.make initial dummy;
+    brk = 0;
+    line_cells;
+    on_grow = ignore;
+  }
 
 let capacity t = Array.length t.cells
 let brk t = t.brk
+let dummy t = t.dummy
 let line_of t addr = addr / t.line_cells
+
+let set_on_grow t f =
+  t.on_grow <- f;
+  (* sync the consumer with the current capacity immediately *)
+  f (Array.length t.cells)
 
 let ensure t n =
   if n > Array.length t.cells then begin
@@ -29,7 +48,8 @@ let ensure t n =
     done;
     let cells = Array.make !cap t.dummy in
     Array.blit t.cells 0 cells 0 (Array.length t.cells);
-    t.cells <- cells
+    t.cells <- cells;
+    t.on_grow !cap
   end
 
 (* Reserve [n] cells and return the base address. *)

@@ -15,6 +15,16 @@ val capacity : 'a t -> int
 val brk : 'a t -> int
 (** First unreserved address. *)
 
+val dummy : 'a t -> 'a
+(** The filler value unreserved cells read as. *)
+
+val set_on_grow : 'a t -> (int -> unit) -> unit
+(** Install the capacity-growth hook and invoke it immediately with the
+    current capacity (in cells). Single consumer: the HTM engine uses it to
+    grow its flat per-line metadata tables in lockstep with the store, so
+    its hot path never bounds-checks a line id. Installing a new hook
+    replaces the previous one. *)
+
 val line_of : 'a t -> int -> int
 (** Cache-line id of an address. *)
 

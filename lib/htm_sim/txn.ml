@@ -22,11 +22,20 @@ let reason_to_string = function
   | Explicit -> "explicit"
   | Eager -> "eager-predictor"
 
+(* The undo log and the tracked-line list are reusable scratch arrays owned
+   by the transaction, not consed lists: once they have grown to a
+   workload's footprint, steady-state transactional execution allocates
+   nothing per access. Old values linger in the scratch past [undo_len] /
+   [lines_len] until overwritten; that retention is bounded by the largest
+   footprint ever seen on the context. *)
 type 'a t = {
   ctx : int;
   mutable active : bool;
-  mutable undo : (int * 'a) list;  (** (addr, old value), newest first *)
-  mutable lines : int list;  (** line ids holding marks of ours *)
+  mutable undo_addrs : int array;  (** written addresses, oldest first *)
+  mutable undo_vals : 'a array;  (** old value per written address *)
+  mutable undo_len : int;
+  mutable lines : int array;  (** line ids holding marks of ours *)
+  mutable lines_len : int;
   mutable rs : int;  (** distinct lines read *)
   mutable ws : int;  (** distinct lines written *)
   mutable rs_limit : int;
@@ -42,12 +51,17 @@ type 'a t = {
           abort-site attribution; -1 otherwise *)
 }
 
-let create ctx =
+let scratch_initial = 64
+
+let create ~dummy ctx =
   {
     ctx;
     active = false;
-    undo = [];
-    lines = [];
+    undo_addrs = Array.make scratch_initial 0;
+    undo_vals = Array.make scratch_initial dummy;
+    undo_len = 0;
+    lines = Array.make scratch_initial 0;
+    lines_len = 0;
     rs = 0;
     ws = 0;
     rs_limit = 0;
@@ -56,3 +70,28 @@ let create ctx =
     pending_abort = None;
     abort_line = -1;
   }
+
+let[@inline] push_undo t addr v =
+  let n = t.undo_len in
+  if n = Array.length t.undo_addrs then begin
+    let m = 2 * n in
+    let addrs = Array.make m 0 in
+    Array.blit t.undo_addrs 0 addrs 0 n;
+    t.undo_addrs <- addrs;
+    let vals = Array.make m t.undo_vals.(0) in
+    Array.blit t.undo_vals 0 vals 0 n;
+    t.undo_vals <- vals
+  end;
+  Array.unsafe_set t.undo_addrs n addr;
+  Array.unsafe_set t.undo_vals n v;
+  t.undo_len <- n + 1
+
+let[@inline] push_line t id =
+  let n = t.lines_len in
+  if n = Array.length t.lines then begin
+    let lines = Array.make (2 * n) 0 in
+    Array.blit t.lines 0 lines 0 n;
+    t.lines <- lines
+  end;
+  Array.unsafe_set t.lines n id;
+  t.lines_len <- n + 1

@@ -16,8 +16,13 @@ val reason_to_string : abort_reason -> string
 type 'a t = {
   ctx : int;
   mutable active : bool;
-  mutable undo : (int * 'a) list;  (** (addr, old value), newest first *)
-  mutable lines : int list;  (** line-table entries holding marks of ours *)
+  mutable undo_addrs : int array;
+      (** written addresses, oldest first; valid below [undo_len] *)
+  mutable undo_vals : 'a array;  (** old value per written address *)
+  mutable undo_len : int;
+  mutable lines : int array;
+      (** line ids holding marks of ours; valid below [lines_len] *)
+  mutable lines_len : int;
   mutable rs : int;  (** distinct lines read *)
   mutable ws : int;  (** distinct lines written *)
   mutable rs_limit : int;
@@ -29,4 +34,13 @@ type 'a t = {
           abort-site attribution; -1 otherwise *)
 }
 
-val create : int -> 'a t
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy ctx]: [dummy] seeds the undo-value scratch array (the
+    store's filler value). *)
+
+val push_undo : 'a t -> int -> 'a -> unit
+(** Append an (address, old value) undo entry; amortised allocation-free
+    (the scratch doubles, then is reused forever). *)
+
+val push_line : 'a t -> int -> unit
+(** Track a line id carrying one of this transaction's marks. *)

@@ -80,6 +80,24 @@ let observe h v =
 
 let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
 
+(* Accumulate [src] into [dst]: counters and buckets sum, extrema combine.
+   Used to merge the per-task (hence per-domain) sinks of a parallel sweep
+   at the join — merge in a deterministic task order to keep exports
+   reproducible. *)
+let merge dst src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> add (counter dst name) c.count
+      | Histogram h ->
+          let d = histogram dst name in
+          Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets;
+          d.n <- d.n + h.n;
+          d.sum <- d.sum + h.sum;
+          if h.max_v > d.max_v then d.max_v <- h.max_v;
+          if h.min_v < d.min_v then d.min_v <- h.min_v)
+    src.tbl
+
 (* Deterministic export order: sorted by name. *)
 let sorted t =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []

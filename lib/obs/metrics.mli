@@ -42,6 +42,12 @@ val bucket_le : int -> int
 
 val mean : histogram -> float
 
+val merge : t -> t -> unit
+(** [merge dst src] accumulates [src] into [dst]: counters and histogram
+    buckets sum, extrema combine. Metrics missing from [dst] are registered.
+    Merging per-task sinks in a fixed task order keeps exports
+    deterministic regardless of worker count. *)
+
 val sorted : t -> (string * metric) list
 (** All metrics, name-sorted (the deterministic export order). *)
 

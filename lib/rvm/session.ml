@@ -7,6 +7,11 @@ open Htm_sim
 type t = { vm : Vm.t; program : Value.program; main : Vmthread.t }
 
 let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine ~source =
+  (* Reset the domain-local interning and uid state so everything this
+     session assigns is a pure function of its own program — required for
+     parallel sweeps to reproduce sequential results exactly. *)
+  Sym.reset ();
+  Value.reset_code_uids ();
   let vm = Vm.create ~opts ~htm_mode machine in
   Builtins.install vm;
   Vm.install_gc_hooks vm;

@@ -1,29 +1,65 @@
-(* Interned symbols. The table is global and append-only; symbol ids are
-   deterministic for a fixed program because interning happens in parse
-   order. *)
+(* Interned symbols. The interning state is domain-local (the parallel
+   figure harness runs one VM session per domain task), and [reset]
+   truncates it back to the pre-interned baseline below, so the ids a
+   session assigns are a pure function of its own program — independent of
+   which other sessions ran before it or on which domain. That invariant is
+   what makes parallel experiment sweeps bit-identical to sequential ones:
+   symbol ids feed guest hash buckets, so they must not depend on
+   scheduling. *)
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 256
-let names : string ref array ref = ref (Array.init 64 (fun _ -> ref ""))
-let count = ref 0
+type state = {
+  tbl : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
 
-let intern name =
-  match Hashtbl.find_opt table name with
+let make_state () =
+  { tbl = Hashtbl.create 256; names = Array.make 64 ""; count = 0 }
+
+let intern_in s name =
+  match Hashtbl.find_opt s.tbl name with
   | Some id -> id
   | None ->
-      let id = !count in
-      incr count;
-      if id >= Array.length !names then begin
-        let bigger = Array.init (2 * Array.length !names) (fun _ -> ref "") in
-        Array.blit !names 0 bigger 0 (Array.length !names);
-        names := bigger
+      let id = s.count in
+      s.count <- id + 1;
+      if id >= Array.length s.names then begin
+        let bigger = Array.make (2 * Array.length s.names) "" in
+        Array.blit s.names 0 bigger 0 (Array.length s.names);
+        s.names <- bigger
       end;
-      !names.(id) := name;
-      Hashtbl.add table name id;
+      s.names.(id) <- name;
+      Hashtbl.add s.tbl name id;
       id
 
+(* The names interned during module initialisation (the [s_*] constants),
+   snapshotted at the bottom of this file. Fresh domains replay it so the
+   constants hold the same ids everywhere. *)
+let baseline = ref [||]
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let s = make_state () in
+      Array.iter (fun n -> ignore (intern_in s n)) !baseline;
+      s)
+
+let state () = Domain.DLS.get dls_key
+
+let intern name = intern_in (state ()) name
+
 let name id =
-  if id < 0 || id >= !count then Printf.sprintf "<sym:%d>" id
-  else !(!names.(id))
+  let s = state () in
+  if id < 0 || id >= s.count then Printf.sprintf "<sym:%d>" id
+  else s.names.(id)
+
+let reset () =
+  let s = state () in
+  let base = Array.length !baseline in
+  if s.count > base then begin
+    for i = base to s.count - 1 do
+      Hashtbl.remove s.tbl s.names.(i)
+    done;
+    s.count <- base
+  end
 
 (* Pre-interned symbols used throughout the VM. *)
 let s_initialize = intern "initialize"
@@ -47,3 +83,7 @@ let s_times = intern "times"
 let s_new = intern "new"
 let s_call = intern "call"
 let s_to_s = intern "to_s"
+
+let () =
+  let s = state () in
+  baseline := Array.sub s.names 0 s.count

@@ -1,9 +1,16 @@
-(** Interned symbols (method and variable names). The table is global and
-    append-only; ids are deterministic for a fixed program because interning
-    happens in parse order. *)
+(** Interned symbols (method and variable names). The interning state is
+    domain-local, and {!reset} truncates it to the pre-interned baseline, so
+    the ids a VM session assigns are a pure function of its own program —
+    the invariant that keeps parallel experiment sweeps bit-identical to
+    sequential ones (symbol ids feed guest hash buckets). *)
 
 val intern : string -> int
 val name : int -> string
+
+val reset : unit -> unit
+(** Truncate the current domain's table back to the pre-interned [s_*]
+    baseline. Called by [Session.create]; ids handed out before the reset
+    (other than the baseline) must not be used afterwards. *)
 
 (** Pre-interned symbols used throughout the VM: *)
 

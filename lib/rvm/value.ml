@@ -100,11 +100,17 @@ type program = {
   n_caches : int;  (** inline-cache slots to reserve at load time *)
 }
 
-let code_uid_counter = ref 0
+(* Domain-local so parallel harness domains never race, reset per session so
+   uids are a pure function of the compiled program (they key the dynamic
+   transaction-length tables). *)
+let code_uid_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_code_uid () =
-  incr code_uid_counter;
-  !code_uid_counter
+  let r = Domain.DLS.get code_uid_key in
+  incr r;
+  !r
+
+let reset_code_uids () = Domain.DLS.get code_uid_key := 0
 
 let truthy = function VNil | VFalse -> false | _ -> true
 

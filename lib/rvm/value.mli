@@ -101,6 +101,11 @@ type program = {
 }
 
 val fresh_code_uid : unit -> int
+
+val reset_code_uids : unit -> unit
+(** Reset the (domain-local) uid counter; called by [Session.create] so
+    uids are a pure function of the compiled program. *)
+
 val truthy : t -> bool
 val type_name : t -> string
 val pp : Format.formatter -> t -> unit

@@ -104,22 +104,23 @@ let make_db () =
   db
 
 (* The request mix cycles deterministically per request (not per client) so
-   throughput comparisons across client counts measure the same workload. *)
-let make_request =
-  let counter = ref 0 in
-  fun _client ->
-    incr counter;
-    match !counter mod 3 with
-    | 0 -> "GET /books HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
-    | 1 ->
-        Printf.sprintf
-          "GET /books/%d HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
-          (17 + (!counter mod 40))
-    | _ -> "GET /missing HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+   throughput comparisons across client counts measure the same workload.
+   The counter lives per [make_io] — a module-level one would make each
+   run's request sequence depend on the runs before it in the process,
+   breaking the harness's any-worker-count reproducibility. *)
+let make_request counter _client =
+  incr counter;
+  match !counter mod 3 with
+  | 0 -> "GET /books HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+  | 1 ->
+      Printf.sprintf
+        "GET /books/%d HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+        (17 + (!counter mod 40))
+  | _ -> "GET /missing HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
 
 let make_io ~clients ~requests =
   Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
-    make_request
+    (make_request (ref 0))
 
 let setup io vm =
   Extensions.install_net vm io;

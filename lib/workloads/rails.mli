@@ -6,6 +6,10 @@
 
 val guest_source : string
 val make_db : unit -> Minidb.t
-val make_request : int -> string
+val make_request : int ref -> int -> string
+(** [make_request counter client]: the request mix cycles per request off
+    [counter], which each {!make_io} owns — keeping every run's request
+    sequence a pure function of its own configuration. *)
+
 val make_io : clients:int -> requests:int -> Netsim.t
 val setup : Netsim.t -> Rvm.Vm.t -> unit

@@ -1,12 +1,24 @@
 #!/bin/sh
-# Smoke pass: build, full test suite, a quick figure regeneration, and a
-# validation that the BENCH_results.json artifact is complete and parseable.
+# Smoke pass: build, full test suite, a quick figure regeneration under 1
+# and 4 worker domains, and a check that the two runs' "figures" members
+# are byte-identical (host wall times live outside that member and may
+# legitimately differ).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-BENCH_SIZE=test dune exec bench/main.exe -- figures
-dune exec bench/main.exe -- validate BENCH_results.json
+
+BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
+d1=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+
+BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+d4=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+
+if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
+  echo "smoke: FAIL: figures differ between BENCH_JOBS=1 ($d1) and BENCH_JOBS=4 ($d4)" >&2
+  exit 1
+fi
+echo "smoke: figures identical across worker counts (digest $d1)"
 
 echo "smoke: OK"

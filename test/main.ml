@@ -6,6 +6,9 @@ let () =
       ("store", Test_store.suite);
       ("compiler", Test_compiler.suite);
       ("htm-engine", Test_htm.suite);
+      ("htm-diff", Test_htm_diff.suite);
+      ("htm-fuzz", Test_htm_fuzz.suite);
+      ("pool", Test_pool.suite);
       ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("interp", Test_interp.suite);

@@ -1,0 +1,101 @@
+(* The domain worker pool, and the determinism contract behind it: a figure
+   sweep fanned over several domains must produce exactly the data a
+   sequential run produces. *)
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      let pool = Harness.Pool.create jobs in
+      let xs = List.init 50 (fun i -> i) in
+      let got = Harness.Pool.map pool (fun x -> x * x) xs in
+      Harness.Pool.shutdown pool;
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        (List.map (fun x -> x * x) xs)
+        got)
+    [ 1; 3 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let pool = Harness.Pool.create 3 in
+  let raised =
+    try
+      ignore
+        (Harness.Pool.map pool
+           (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+           [ 1; 3; 4; 5; 6 ]);
+      None
+    with Boom x -> Some x
+  in
+  Harness.Pool.shutdown pool;
+  (* first by input position, not by completion time *)
+  Alcotest.(check (option int)) "first failing task wins" (Some 4) raised
+
+let test_default_jobs_rejects_garbage () =
+  (* only exercised when the variable is unset, as in the test runner *)
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some _ -> ()
+  | None -> Alcotest.(check int) "default" 1 (Harness.Pool.default_jobs ())
+
+(* Symbol interning is domain-local and reset per session, so the ids a
+   program's symbols get are a pure function of the program — on any domain,
+   in any order. This is what makes guest hash-probe sequences (which hash
+   symbol ids) reproducible under parallel sweeps. *)
+let test_sym_ids_stable_across_domains () =
+  Rvm.Sym.reset ();
+  let a = Rvm.Sym.intern "pool_test_fresh_sym" in
+  Rvm.Sym.reset ();
+  let b = Rvm.Sym.intern "pool_test_fresh_sym" in
+  let c =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Rvm.Sym.reset ();
+           Rvm.Sym.intern "pool_test_fresh_sym"))
+  in
+  Rvm.Sym.reset ();
+  Alcotest.(check int) "reset makes interning reproducible" a b;
+  Alcotest.(check int) "fresh domains agree" a c
+
+let panel_fingerprint (p : Harness.Figures.panel) =
+  let dump tbl fmt_v =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun ((scheme, threads), v) ->
+           Printf.sprintf "%s/%d=%s" scheme threads (fmt_v v))
+    |> String.concat ";"
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "%s@%s base=%d" p.workload p.machine p.baseline_wall;
+      dump p.cells (Printf.sprintf "%.17g");
+      dump p.aborts (Printf.sprintf "%.17g");
+      Obs.Json.to_string (Obs.Metrics.to_json p.metrics);
+    ]
+
+(* The acceptance check in miniature: the same panel swept with 1 worker
+   and with 2 must be identical down to the merged metrics registry. *)
+let test_panel_identical_across_jobs () =
+  let run jobs =
+    Harness.Pool.set_global_jobs jobs;
+    Harness.Figures.run_panel
+      ~schemes:[ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic ]
+      ~size:Workloads.Size.Test ~machine:Htm_sim.Machine.zec12
+      ~threads_list:[ 1; 2 ] "while"
+  in
+  let seq = panel_fingerprint (run 1) in
+  let par = panel_fingerprint (run 2) in
+  Harness.Pool.set_global_jobs 1;
+  Alcotest.(check string) "BENCH_JOBS=1 and 2 agree byte-for-byte" seq par
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_order;
+    Alcotest.test_case "map re-raises the first exception" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs_rejects_garbage;
+    Alcotest.test_case "symbol ids stable across domains" `Quick
+      test_sym_ids_stable_across_domains;
+    Alcotest.test_case "panel identical across worker counts" `Quick
+      test_panel_identical_across_jobs;
+  ]
