@@ -12,6 +12,7 @@
      dune exec bench/main.exe                      # everything
      dune exec bench/main.exe -- figures           # figures + BENCH_results.json
      dune exec bench/main.exe -- micro             # only the Bechamel suite
+     dune exec bench/main.exe -- gates             # allocation gates only
      dune exec bench/main.exe -- validate [FILE]   # parse-check a results file
      BENCH_SIZE=test dune exec bench/main.exe      # quick pass *)
 
@@ -272,8 +273,8 @@ let validate path =
 open Bechamel
 open Toolkit
 
-let run_guest ?tracer scheme source () =
-  let cfg = Core.Runner.config ?tracer ~scheme Htm_sim.Machine.zec12 in
+let run_guest ?tracer ?sched scheme source () =
+  let cfg = Core.Runner.config ?tracer ?sched ~scheme Htm_sim.Machine.zec12 in
   ignore (Core.Runner.run_source cfg ~source)
 
 let micro_source =
@@ -341,6 +342,16 @@ let micro_tests =
     (* Figure 9 family: coherent (lock-based) execution mode *)
     Test.make ~name:"fig9:interp-fine-grained"
       (Staged.stage (run_guest Core.Scheme.Fine_grained mt_source));
+    (* Scheduler tentpole: the same multithreaded guest under the min-heap
+       run-ahead scheduler and under the reference linear scan *)
+    Test.make ~name:"sched:heap-runahead"
+      (Staged.stage
+         (run_guest ~sched:Core.Runner.Sched_heap Core.Scheme.Htm_dynamic
+            mt_source));
+    Test.make ~name:"sched:ref-scan"
+      (Staged.stage
+         (run_guest ~sched:Core.Runner.Sched_ref Core.Scheme.Htm_dynamic
+            mt_source));
   ]
 
 let estimate test =
@@ -552,18 +563,54 @@ let zero_alloc_check () =
     exit 1
   end
 
+(* Acceptance gate for the interpreter fast paths + run-ahead scheduler:
+   the marginal cost of one more interpreted instruction must be nearly
+   allocation-free. Comparing a long and a short run of the same int loop
+   cancels the fixed compile/boot allocations; what remains is the step
+   loop itself (small-int results are interned, step costs drain without
+   tupling, scheduling is a heap-root comparison). *)
+let step_alloc_check () =
+  Format.fprintf fmt "@.=== steady-state allocation per interpreted instruction ===@.";
+  let loop_source n =
+    Printf.sprintf "x = 0\ni = 0\nwhile i < %d\n  x += i\n  i += 1\nend\nputs x" n
+  in
+  let measure n =
+    let cfg = Core.Runner.config ~scheme:Core.Scheme.Gil_only Htm_sim.Machine.zec12 in
+    let w0 = Gc.minor_words () in
+    let r = Core.Runner.run_source cfg ~source:(loop_source n) in
+    (Gc.minor_words () -. w0, float_of_int r.Core.Runner.total_insns)
+  in
+  ignore (measure 1_000);
+  (* warm: intern table, code caches *)
+  let w_short, i_short = measure 1_000 in
+  let w_long, i_long = measure 200_000 in
+  let per_insn = (w_long -. w_short) /. (i_long -. i_short) in
+  Format.fprintf fmt "%.4f minor words per instruction (budget 0.5)@." per_insn;
+  if per_insn > 0.5 then begin
+    Format.eprintf "FAIL: interpreter step loop allocates in steady state@.";
+    exit 1
+  end
+
+(* The Gc-based gates alone, without the Bechamel suite: cheap enough for
+   the smoke script and CI to run on every push. *)
+let gates () =
+  zero_alloc_check ();
+  step_alloc_check ()
+
 let micro () =
   Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
   List.iter (fun test -> ignore (estimate test)) micro_tests;
   tracing_overhead_check ();
   flat_vs_hashtbl_check ();
-  zero_alloc_check ()
+  zero_alloc_check ();
+  step_alloc_check ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match what with
   | "figures" -> figures ()
   | "micro" -> micro ()
+  | "gates" -> gates ()
   | "validate" ->
       let path = if Array.length Sys.argv > 2 then Sys.argv.(2) else results_file in
       validate path

@@ -63,19 +63,19 @@ let take t (th : Rvm.Vmthread.t) =
   t.acquisitions <- t.acquisitions + 1;
   let costs = t.vm.Rvm.Vm.machine.costs in
   th.clock <- max th.clock t.free_since + costs.cyc_gil_acquire;
-  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx (acquired_cell t) (Rvm.Value.VInt 1);
-  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.VInt th.tid);
+  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx (acquired_cell t) (Rvm.Value.vint 1);
+  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.vint th.tid);
   (* the interpreter caches the running thread in globals (conflict #1) or
      in thread-local storage once the Section 4.4 fix is applied *)
   if t.vm.Rvm.Vm.opts.tls_current_thread then begin
     th.clock <- th.clock + costs.cyc_tls;
     Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx
       (th.struct_base + Rvm.Vmthread.st_tls_current)
-      (Rvm.Value.VInt th.tid)
+      (Rvm.Value.vint th.tid)
   end
   else
     Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_current_thread
-      (Rvm.Value.VInt th.tid);
+      (Rvm.Value.vint th.tid);
   th.holds_gil <- true;
   emit_event t th Obs.Event.Gil_acquire
 
@@ -85,8 +85,8 @@ let release t (th : Rvm.Vmthread.t) =
   t.owner <- -1;
   let costs = t.vm.Rvm.Vm.machine.costs in
   th.clock <- th.clock + costs.cyc_gil_release;
-  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx (acquired_cell t) (Rvm.Value.VInt 0);
-  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.VInt (-1));
+  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx (acquired_cell t) (Rvm.Value.vint 0);
+  Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.vint (-1));
   th.holds_gil <- false;
   t.free_since <- th.clock;
   emit_event t th Obs.Event.Gil_release;

@@ -2,9 +2,19 @@
 
    Each guest thread is pinned to one hardware context with its own cycle
    clock. The runner always steps the runnable thread with the smallest
-   clock, one bytecode at a time, which yields a deterministic,
+   (clock, tid), one bytecode at a time, which yields a deterministic,
    sequentially-consistent interleaving in which transactions genuinely
    overlap in virtual time.
+
+   Two schedulers realise that order. [Sched_heap] (the default) keeps the
+   runnable threads in an indexed binary min-heap and lets the chosen
+   thread *run ahead*: it executes instructions in a tight inner loop until
+   its clock passes the heap's smallest key or it blocks, so scheduling
+   work is O(1) per instruction instead of a linear rescan. [Sched_ref]
+   retains the per-instruction linear scan as an executable specification;
+   both produce the same (clock, tid)-minimal pick at every step, so their
+   interleavings — and the figures — are identical (asserted by the
+   differential test suite and the smoke script's digest comparison).
 
    The scheme logic (GIL yield protocol, TLE transaction begin/end/yield of
    Figures 1-2, dynamic length adjustment of Figure 3) lives here because it
@@ -13,6 +23,16 @@
 
 open Htm_sim
 module V = Rvm.Vmthread
+
+type sched_kind = Sched_heap | Sched_ref
+
+(* BENCH_SCHED=ref flips the process-wide default so the smoke script and
+   CI can regenerate figures under the reference scheduler without touching
+   every config call site. *)
+let default_sched_kind () =
+  match Sys.getenv_opt "BENCH_SCHED" with
+  | Some ("ref" | "REF" | "scan") -> Sched_ref
+  | _ -> Sched_heap
 
 type config = {
   machine : Machine.t;
@@ -24,12 +44,16 @@ type config = {
   tracer : Obs.Trace.t option;
       (** event-trace sink shared by the runner, the GIL and the heap; None
           (the default) keeps every instrumentation site at one branch *)
+  sched : sched_kind;
 }
 
 let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
-    ?tracer machine =
-  { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer }
+    ?tracer ?sched machine =
+  let sched =
+    match sched with Some s -> s | None -> default_sched_kind ()
+  in
+  { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer; sched }
 
 type breakdown = {
   mutable bd_txn_overhead : int;
@@ -67,8 +91,6 @@ type tle_state = {
   mutable transient_retry_counter : int;
   mutable gil_retry_counter : int;
   mutable first_retry : bool;
-  mutable window_key : (Rvm.Value.code * int) option;
-      (** yield point this window started at *)
   mutable acq_at_begin : int;
       (** GIL acquisition count when the transaction began: an abort is a
           GIL conflict if an acquisition happened since, even if the lock was
@@ -87,9 +109,13 @@ type t = {
   session : Rvm.Session.t;
   io : Netsim.t option;
   (* scheduling state *)
+  sched : Sched.t;  (** runnable-with-context threads, keyed by clock *)
+  mutable running_tid : int;
+      (** thread currently holding a run-ahead slice; kept out of the heap
+          while its clock advances, -1 between slices *)
   mutable free_ctx : int list;
-  mutable ctx_waiters : V.t list;
-  mutable active : V.t list;  (** unfinished threads, for fast scheduling *)
+  ctx_waiters : V.t Queue.t;
+  mutable ctx_queued : bool array;  (** tid is in [ctx_waiters] *)
   mutable outside : bool array;  (** needs transaction_begin / gil acquire *)
   mutable resume_gil : bool array;
       (** woken from a blocking operation: CRuby re-acquires the GIL after a
@@ -106,8 +132,8 @@ type t = {
   mutex_waiters : (int, V.t Queue.t) Hashtbl.t;
   cond_waiters : (int, (V.t * int) Queue.t) Hashtbl.t;
   join_waiters : (int, V.t list) Hashtbl.t;
-  mutable sleepers : (int * V.t) list;  (** (wake cycle, thread) *)
-  mutable accept_waiters : V.t list;
+  sleepq : Sched.t;  (** sleeping / io-waiting threads, keyed by wake cycle *)
+  accept_waiters : V.t Queue.t;
   mutable total_insns : int;
   prng : Prng.t;  (** scheduling-only randomness (retry backoff) *)
   breakdown : breakdown;
@@ -122,6 +148,10 @@ type t = {
   m_txn_rs : Obs.Metrics.histogram;  (** committed read-set lines *)
   m_txn_ws : Obs.Metrics.histogram;
   m_gil_wait : Obs.Metrics.histogram;  (** cycles parked waiting for the GIL *)
+  m_slice_insns : Obs.Metrics.histogram;
+      (** instructions executed per run-ahead slice *)
+  g_runnable_peak : Obs.Metrics.gauge;
+      (** high-watermark of simultaneously runnable threads *)
 }
 
 let max_threads = 64
@@ -131,7 +161,6 @@ let fresh_tle () =
     transient_retry_counter = transient_retry_max;
     gil_retry_counter = gil_retry_max;
     first_retry = true;
-    window_key = None;
     acq_at_begin = 0;
   }
 
@@ -201,6 +230,7 @@ let create ?(io : Netsim.t option) cfg ~source =
         in
         scan vm.Rvm.Vm.threads);
   let metrics = vm.Rvm.Vm.metrics in
+  let main = session.Rvm.Session.main in
   {
     cfg;
     vm;
@@ -208,9 +238,11 @@ let create ?(io : Netsim.t option) cfg ~source =
     txlen = Txlen.create ~params txlen_mode;
     session;
     io;
+    sched = Sched.create ~dummy:main;
+    running_tid = -1;
     free_ctx = List.init (Machine.n_ctx cfg.machine) (fun i -> i);
-    ctx_waiters = [];
-    active = [];
+    ctx_waiters = Queue.create ();
+    ctx_queued = Array.make max_threads false;
     outside = Array.make max_threads true;
     resume_gil = Array.make max_threads false;
     skip_yield = Array.make max_threads false;
@@ -219,8 +251,8 @@ let create ?(io : Netsim.t option) cfg ~source =
     mutex_waiters = Hashtbl.create 16;
     cond_waiters = Hashtbl.create 16;
     join_waiters = Hashtbl.create 16;
-    sleepers = [];
-    accept_waiters = [];
+    sleepq = Sched.create ~dummy:main;
+    accept_waiters = Queue.create ();
     total_insns = 0;
     prng = Prng.create 20140215;
     breakdown =
@@ -242,6 +274,8 @@ let create ?(io : Netsim.t option) cfg ~source =
     m_txn_rs = Obs.Metrics.histogram metrics "txn.read_set_lines";
     m_txn_ws = Obs.Metrics.histogram metrics "txn.write_set_lines";
     m_gil_wait = Obs.Metrics.histogram metrics "gil.wait_cycles";
+    m_slice_insns = Obs.Metrics.histogram metrics "sched.slice_insns";
+    g_runnable_peak = Obs.Metrics.gauge metrics "sched.runnable_peak";
   }
 
 let costs t = t.cfg.machine.costs
@@ -266,6 +300,7 @@ let ensure_tid t tid =
     t.outside <- grow_bool t.outside true;
     t.resume_gil <- grow_bool t.resume_gil false;
     t.skip_yield <- grow_bool t.skip_yield false;
+    t.ctx_queued <- grow_bool t.ctx_queued false;
     let tle = Array.init m (fun _ -> fresh_tle ()) in
     Array.blit t.tle 0 tle 0 n;
     t.tle <- tle;
@@ -275,6 +310,17 @@ let ensure_tid t tid =
   end
 
 (* ---- parking / waking --------------------------------------------------- *)
+
+(* Sync a thread's heap membership with its state after any scheduling
+   transition. The invariant the run-ahead loop relies on: the heap holds
+   exactly the runnable-with-context threads, keyed by their current clock
+   — except the thread of the slice in flight, which is compared against
+   the heap root directly. *)
+let sched_sync t (th : V.t) =
+  if th.tid <> t.running_tid then
+    if th.status = V.Runnable && th.ctx >= 0 then
+      Sched.push t.sched ~key:th.clock th
+    else Sched.remove t.sched th.tid
 
 (* A hardware context belongs to a thread only while it can run: parking
    releases it to the pool (a blocked pthread yields its CPU), waking
@@ -287,8 +333,11 @@ let grant_ctx t (th : V.t) =
       Htm.set_occupied t.vm.Rvm.Vm.htm ctx true;
       true
   | [] ->
-      if not (List.memq th t.ctx_waiters) then
-        t.ctx_waiters <- t.ctx_waiters @ [ th ];
+      ensure_tid t th.tid;
+      if not t.ctx_queued.(th.tid) then begin
+        t.ctx_queued.(th.tid) <- true;
+        Queue.add th t.ctx_waiters
+      end;
       false
 
 let release_ctx t (th : V.t) =
@@ -296,26 +345,29 @@ let release_ctx t (th : V.t) =
     Htm.set_occupied t.vm.Rvm.Vm.htm th.ctx false;
     t.free_ctx <- th.ctx :: t.free_ctx;
     th.ctx <- -1;
-    match t.ctx_waiters with
-    | w :: rest ->
-        t.ctx_waiters <- rest;
-        ignore (grant_ctx t w);
-        if w.status = V.Waiting_ctx then w.status <- V.Runnable;
-        w.clock <- max w.clock th.clock
-    | [] -> ()
+    if not (Queue.is_empty t.ctx_waiters) then begin
+      let w = Queue.pop t.ctx_waiters in
+      t.ctx_queued.(w.tid) <- false;
+      ignore (grant_ctx t w);
+      if w.status = V.Waiting_ctx then w.status <- V.Runnable;
+      w.clock <- max w.clock th.clock;
+      sched_sync t w
+    end
   end
 
 let park t (th : V.t) reason =
   th.status <- V.Blocked reason;
   t.park_clock.(th.tid) <- th.clock;
-  release_ctx t th
+  release_ctx t th;
+  sched_sync t th
 
 let wake t (th : V.t) ~at =
   th.clock <- max th.clock at;
   (match th.status with
   | V.Blocked _ -> th.status <- V.Runnable
   | V.Runnable | V.Waiting_ctx | V.Finished -> ());
-  if th.ctx < 0 then ignore (grant_ctx t th)
+  if th.ctx < 0 then ignore (grant_ctx t th);
+  sched_sync t th
 
 let wake_gil_waiter t (th : V.t) ~at =
   let waited = max 0 (at - t.park_clock.(th.tid)) in
@@ -374,20 +426,30 @@ let rollback_hook t (th : V.t) (reason : Txn.abort_reason) =
   emit t th
     (Obs.Event.Txn_abort
        { reason = reason_s; cycles = wasted; rs; ws; line; code; pc; op });
-  th.clock <- th.clock + (costs t).cyc_abort
+  th.clock <- th.clock + (costs t).cyc_abort;
+  (* a conflict victim can be any runnable thread: its clock just moved, so
+     its heap key is stale until re-synced (self-aborts are skipped by the
+     running-slice guard and re-synced at slice end) *)
+  sched_sync t th
 
 let set_yield_counter t (th : V.t) len =
   Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx
     (th.struct_base + V.st_yield_counter)
-    (Rvm.Value.VInt len)
+    (Rvm.Value.vint len)
 
 let read_yield_counter t (th : V.t) =
   match Htm.read t.vm.Rvm.Vm.htm ~ctx:th.ctx (th.struct_base + V.st_yield_counter) with
   | Rvm.Value.VInt n -> n
   | _ -> 1
 
-(* transaction_begin (Figure 1). Returns false if the thread parked. *)
-let rec transaction_begin t (th : V.t) ~key =
+(* transaction_begin (Figure 1). Returns false if the thread parked.
+
+   The window's starting yield point is always [th.code]/[th.pc]: begins run
+   before the instruction executes, and an abort's rollback restores the
+   registers to the begin-time snapshot — so no separate window key needs
+   storing (the previous tuple key allocated per window, which is
+   per-instruction work under length-1 windows). *)
+let rec transaction_begin t (th : V.t) =
   let vm = t.vm in
   let st = t.tle.(th.tid) in
   if Rvm.Vm.live_count vm <= 1 then begin
@@ -397,9 +459,8 @@ let rec transaction_begin t (th : V.t) ~key =
       Gil.take t.gil th;
       t.outside.(th.tid) <- false;
       t.skip_yield.(th.tid) <- true;
-      st.window_key <- Some key;
-      let code, pc = key in
-      set_yield_counter t th (Txlen.set_transaction_length t.txlen ~code ~pc);
+      set_yield_counter t th
+        (Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc);
       true
     end
     else begin
@@ -410,8 +471,7 @@ let rec transaction_begin t (th : V.t) ~key =
     end
   end
   else begin
-    let code, pc = key in
-    let len = Txlen.set_transaction_length t.txlen ~code ~pc in
+    let len = Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc in
     (* wait for the GIL to be released before starting (lines 6-8) *)
     if t.gil.owner <> -1 then begin
       Gil.enqueue_waiter t.gil th;
@@ -420,7 +480,6 @@ let rec transaction_begin t (th : V.t) ~key =
       false
     end
     else begin
-      st.window_key <- Some key;
       st.first_retry <- true;
       st.acq_at_begin <- t.gil.acquisitions;
       charge_txn_overhead t th (costs t).cyc_tbegin;
@@ -434,11 +493,11 @@ let rec transaction_begin t (th : V.t) ~key =
          if not t.cfg.machine.tls_fast then th.clock <- th.clock + (costs t).cyc_tls;
          Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx
            (th.struct_base + V.st_tls_current)
-           (Rvm.Value.VInt th.tid)
+           (Rvm.Value.vint th.tid)
        end
        else
          Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_current_thread
-           (Rvm.Value.VInt th.tid));
+           (Rvm.Value.vint th.tid));
       (* subscribe to the GIL (line 15); abort if it got acquired meanwhile *)
       (try
          if Gil.read_acquired t.gil th then
@@ -467,11 +526,10 @@ and handle_abort t (th : V.t) =
   in
   Htm.clear_pending_abort vm.Rvm.Vm.htm th.ctx;
   let st = t.tle.(th.tid) in
-  let key = match st.window_key with Some k -> k | None -> assert false in
+  (* rollback restored th.code/th.pc to the window's starting yield point *)
   if st.first_retry then begin
     st.first_retry <- false;
-    let code, pc = key in
-    Txlen.adjust_transaction_length t.txlen ~code ~pc
+    Txlen.adjust_transaction_length t.txlen ~code:th.code ~pc:th.pc
   end;
   let fallback_to_gil () =
     if t.gil.owner = -1 then begin
@@ -480,8 +538,8 @@ and handle_abort t (th : V.t) =
       t.skip_yield.(th.tid) <- true;
       reset_retries t th;
       (* window length is unchanged when reverting to the GIL *)
-      let code, pc = key in
-      set_yield_counter t th (Txlen.set_transaction_length t.txlen ~code ~pc)
+      set_yield_counter t th
+        (Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc)
     end
     else begin
       Gil.enqueue_waiter t.gil th;
@@ -501,7 +559,7 @@ and handle_abort t (th : V.t) =
         park t th (V.On_mutex (-2));
         t.outside.(th.tid) <- true
       end
-      else ignore (transaction_begin t th ~key)
+      else ignore (transaction_begin t th)
     end
     else fallback_to_gil ()
   end
@@ -514,7 +572,7 @@ and handle_abort t (th : V.t) =
          each other forever under requester-wins conflict resolution *)
       let attempt = transient_retry_max - st.transient_retry_counter in
       th.clock <- th.clock + Prng.int t.prng (256 lsl attempt);
-      ignore (transaction_begin t th ~key)
+      ignore (transaction_begin t th)
     end
     else fallback_to_gil ()
   end
@@ -555,7 +613,7 @@ let transaction_end t (th : V.t) =
   reset_retries t th
 
 (* transaction_yield (Figure 2 lines 8-16), called at yield points. *)
-let transaction_yield t (th : V.t) ~key =
+let transaction_yield t (th : V.t) =
   let vm = t.vm in
   th.clock <- th.clock + (costs t).cyc_yield_check;
   if not t.cfg.machine.tls_fast then th.clock <- th.clock + (costs t).cyc_tls;
@@ -565,7 +623,7 @@ let transaction_yield t (th : V.t) ~key =
     set_yield_counter t th c;
     if c <= 0 then begin
       transaction_end t th;
-      ignore (transaction_begin t th ~key);
+      ignore (transaction_begin t th);
       if th.status = V.Runnable then t.skip_yield.(th.tid) <- false
     end
   end
@@ -617,13 +675,15 @@ let on_block t (th : V.t) reason =
   | V.On_join tid ->
       Hashtbl.replace t.join_waiters tid
         (th :: Option.value (Hashtbl.find_opt t.join_waiters tid) ~default:[])
-  | V.On_sleep at | V.On_io at -> t.sleepers <- (at, th) :: t.sleepers
-  | V.On_accept _ -> t.accept_waiters <- t.accept_waiters @ [ th ]);
+  | V.On_sleep at | V.On_io at -> Sched.push t.sleepq ~key:at th
+  | V.On_accept _ -> Queue.add th t.accept_waiters);
   park t th reason
 
 (* Wakes requested by unlock/signal/broadcast builtins. *)
 let drain_wakes t (th : V.t) =
   let vm = t.vm in
+  if vm.Rvm.Vm.pending_wakes == [] then ()
+  else begin
   (* the current thread may have just finished and released its context;
      these writes are scheduler-side bookkeeping, any context works *)
   let wctx = if th.ctx >= 0 then th.ctx else 0 in
@@ -643,7 +703,7 @@ let drain_wakes t (th : V.t) =
                 | _ -> 0
               in
               Htm.write vm.Rvm.Vm.htm ~ctx:wctx (slot + Rvm.Layout.m_waiters)
-                (Rvm.Value.VInt (max 0 (waiters - 1)));
+                (Rvm.Value.vint (max 0 (waiters - 1)));
               wake t w ~at:th.clock
           | _ -> ())
       | Rvm.Vm.Wake_cond_one slot -> (
@@ -663,6 +723,7 @@ let drain_wakes t (th : V.t) =
               done
           | None -> ()))
     wakes
+  end
 
 (* ---- thread lifecycle --------------------------------------------------- *)
 
@@ -674,22 +735,22 @@ let assign_ctx t (th : V.t) =
   t.tle.(th.tid) <- fresh_tle ();
   if grant_ctx t th then begin
     th.status <- V.Runnable;
+    sched_sync t th;
     true
   end
   else false
 
 let drain_spawned t =
   let vm = t.vm in
-  let spawned = List.rev vm.Rvm.Vm.spawned in
-  vm.Rvm.Vm.spawned <- [];
-  List.iter
-    (fun th ->
-      t.active <- th :: t.active;
-      ignore (assign_ctx t th))
-    spawned
+  if vm.Rvm.Vm.spawned == [] then ()
+  else begin
+    let spawned = List.rev vm.Rvm.Vm.spawned in
+    vm.Rvm.Vm.spawned <- [];
+    List.iter (fun th -> ignore (assign_ctx t th)) spawned
+  end
 
 let on_thread_done t (th : V.t) =
-  t.active <- List.filter (fun (x : V.t) -> x.tid <> th.tid) t.active;
+  Sched.remove t.sched th.tid;
   (* close the window *)
   if Htm.in_txn t.vm.Rvm.Vm.htm th.ctx || Gil.held_by t.gil th then
     transaction_end t th;
@@ -699,7 +760,7 @@ let on_thread_done t (th : V.t) =
     | Rvm.Value.VInt n -> n
     | _ -> 1
   in
-  Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_live (Rvm.Value.VInt (live - 1));
+  Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_live (Rvm.Value.vint (live - 1));
   (* wake joiners *)
   (match Hashtbl.find_opt t.join_waiters th.tid with
   | Some ws ->
@@ -711,13 +772,20 @@ let on_thread_done t (th : V.t) =
 
 (* ---- time advance when everyone is blocked ------------------------------ *)
 
+(* Drain the acceptor queue, waking everyone at [at]. *)
+let wake_acceptors t ~at =
+  while not (Queue.is_empty t.accept_waiters) do
+    wake t (Queue.pop t.accept_waiters) ~at
+  done
+
 let advance_time t =
   let vm = t.vm in
-  (* earliest sleeper / io wake *)
-  let sleeper = List.fold_left (fun acc (at, _) -> min acc at) max_int t.sleepers in
+  (* earliest sleeper / io wake: the sleeper queue is sorted, so the
+     earliest deadline is its root instead of an O(n) fold *)
+  let sleeper = Sched.min_key t.sleepq in
   let arrival =
     match t.io with
-    | Some io when t.accept_waiters <> [] -> (
+    | Some io when not (Queue.is_empty t.accept_waiters) -> (
         match Netsim.next_arrival io with Some a -> a | None -> max_int)
     | _ -> max_int
   in
@@ -727,33 +795,39 @@ let advance_time t =
       (Stuck
          (Printf.sprintf "deadlock: no runnable threads (live=%d)"
             (Rvm.Vm.live_count vm)));
-  (* wake sleepers due *)
-  let due, rest = List.partition (fun (at, _) -> at <= target) t.sleepers in
-  t.sleepers <- rest;
-  List.iter (fun (at, th) -> wake t th ~at) due;
+  (* wake sleepers due, each at its own deadline *)
+  while Sched.min_key t.sleepq <= target do
+    let at = Sched.min_key t.sleepq in
+    match Sched.pop_min t.sleepq with
+    | Some th -> wake t th ~at
+    | None -> ()
+  done;
   (* deliver connections *)
   (match t.io with
   | Some io when arrival <= target ->
       ignore (Netsim.advance io ~now:target);
-      let ws = t.accept_waiters in
-      t.accept_waiters <- [];
-      List.iter (fun w -> wake t w ~at:target) ws
+      wake_acceptors t ~at:target
   | _ -> ())
 
 (* ---- the main loop ------------------------------------------------------ *)
 
-let pick_runnable t =
+(* The retained reference scheduler: a linear scan for the
+   (clock, tid)-minimal runnable thread, the executable specification the
+   heap scheduler is differentially tested against. *)
+let pick_runnable_ref t =
   let best = ref None in
   List.iter
     (fun (th : V.t) ->
       if th.status = V.Runnable && th.ctx >= 0 then
         match !best with
         | None -> best := Some th
-        | Some b -> if th.clock < b.V.clock then best := Some th)
-    t.active;
+        | Some b ->
+            if
+              th.clock < b.V.clock
+              || (th.clock = b.V.clock && th.tid > b.V.tid)
+            then best := Some th)
+    t.vm.Rvm.Vm.threads;
   !best
-
-let key_of (th : V.t) = (th.code, th.pc)
 
 (* Execute one scheduling step for [th]. *)
 let step_thread t (th : V.t) =
@@ -782,7 +856,7 @@ let step_thread t (th : V.t) =
                t.skip_yield.(th.tid) <- true
              end
            end
-           else ignore (transaction_begin t th ~key:(key_of th))
+           else ignore (transaction_begin t th)
        | Scheme.Fine_grained | Scheme.Free_parallel -> t.outside.(th.tid) <- false);
     if th.status <> V.Runnable then ()
     else begin
@@ -794,7 +868,7 @@ let step_thread t (th : V.t) =
       | Scheme.Htm_fixed _ | Scheme.Htm_dynamic ->
           if t.skip_yield.(th.tid) then t.skip_yield.(th.tid) <- false
           else if Yield_points.is_yield_point t.cfg.yield_points insn then
-            transaction_yield t th ~key:(th.code, th.pc)
+            transaction_yield t th
       | Scheme.Fine_grained | Scheme.Free_parallel -> ());
       if th.status <> V.Runnable then ()
       else begin
@@ -803,7 +877,9 @@ let step_thread t (th : V.t) =
         let in_txn_before = Htm.in_txn vm.Rvm.Vm.htm th.ctx in
         (try
            let r = Rvm.Interp.step vm th in
-           let extra, accesses = Htm.drain_step_cost vm.Rvm.Vm.htm in
+           let extra = Htm.step_extra_cycles vm.Rvm.Vm.htm
+           and accesses = Htm.step_accesses vm.Rvm.Vm.htm in
+           Htm.reset_step_cost vm.Rvm.Vm.htm;
            let cost =
              Rvm.Bytecode.base_cost (costs t) insn
              + (accesses * (costs t).cyc_mem)
@@ -825,10 +901,9 @@ let step_thread t (th : V.t) =
         | Htm.Abort_now _ ->
             (* engine rolled back and the rollback hook restored registers;
                retry policy runs on the next scheduling step *)
-            let _ = Htm.drain_step_cost vm.Rvm.Vm.htm in
-            ()
+            Htm.reset_step_cost vm.Rvm.Vm.htm
         | V.Block reason ->
-            let _ = Htm.drain_step_cost vm.Rvm.Vm.htm in
+            Htm.reset_step_cost vm.Rvm.Vm.htm;
             th.fp <- pre_fp;
             th.sp <- pre_sp;
             th.pc <- pre_pc;
@@ -840,36 +915,91 @@ let step_thread t (th : V.t) =
     end
   end
 
+(* Deliver connections that are due so blocked acceptors wake even while
+   other threads keep the cores busy. Runs before every instruction, same
+   as the reference scheduler's pre-step check. *)
+let deliver_io t (th : V.t) =
+  match t.io with
+  | Some io when not (Queue.is_empty t.accept_waiters) -> (
+      match Netsim.next_arrival io with
+      | Some at when at <= th.V.clock ->
+          ignore (Netsim.advance io ~now:th.V.clock);
+          wake_acceptors t ~at:th.V.clock
+      | _ -> ())
+  | _ -> ()
+
+(* A run-ahead slice: [th] was popped as the (clock, tid)-minimal runnable
+   thread; execute its instructions in a tight loop until its key passes
+   the heap's smallest (a newly-woken or spawned thread included — every
+   transition re-syncs the heap mid-step), it stops being runnable, or a
+   global stop condition trips. Equivalent to re-picking before every
+   instruction, without the scan. *)
+let run_slice t ~stop (main : V.t) (th : V.t) =
+  t.running_tid <- th.tid;
+  Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
+  let slice = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    deliver_io t th;
+    step_thread t th;
+    incr slice;
+    if
+      main.V.status = V.Finished
+      || th.status <> V.Runnable || th.ctx < 0
+      || t.total_insns >= t.cfg.max_insns
+      || stop ()
+    then continue_ := false
+    else begin
+      (* run ahead while this thread is still the scheduler's choice *)
+      let mk = Sched.min_key t.sched in
+      if mk < th.clock || (mk = th.clock && Sched.min_tid t.sched > th.tid)
+      then continue_ := false
+    end
+  done;
+  t.running_tid <- -1;
+  sched_sync t th;
+  Obs.Metrics.observe t.m_slice_insns !slice
+
 let run ?(stop = fun () -> false) t =
   t.stop <- stop;
   drain_spawned t;
   let vm = t.vm in
   let main = t.session.Rvm.Session.main in
-  let steps = ref 0 in
   (try
-     while
-       main.V.status <> V.Finished
-       && (not (stop ()))
-       && t.total_insns < t.cfg.max_insns
-     do
-       incr steps;
-       (match pick_runnable t with
-       | Some th ->
-           (* deliver connections that are due so blocked acceptors wake
-              even while other threads keep the cores busy *)
-           (match t.io with
-           | Some io when t.accept_waiters <> [] -> (
-               match Netsim.next_arrival io with
-               | Some at when at <= th.V.clock ->
-                   ignore (Netsim.advance io ~now:th.V.clock);
-                   let ws = t.accept_waiters in
-                   t.accept_waiters <- [];
-                   List.iter (fun w -> wake t w ~at:th.V.clock) ws
-               | _ -> ())
-           | _ -> ());
-           step_thread t th
-       | None -> advance_time t)
-     done
+     match t.cfg.sched with
+     | Sched_heap ->
+         let continue_run = ref true in
+         while !continue_run do
+           if
+             main.V.status = V.Finished
+             || stop ()
+             || t.total_insns >= t.cfg.max_insns
+           then continue_run := false
+           else
+             match Sched.pop_min t.sched with
+             | Some th -> run_slice t ~stop main th
+             | None -> advance_time t
+         done
+     | Sched_ref ->
+         while
+           main.V.status <> V.Finished
+           && (not (stop ()))
+           && t.total_insns < t.cfg.max_insns
+         do
+           match pick_runnable_ref t with
+           | Some th ->
+               (* mirror the slice protocol so the heap stays coherent: the
+                  stepped thread leaves the heap while its clock moves *)
+               t.running_tid <- th.tid;
+               Sched.remove t.sched th.tid;
+               Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
+               deliver_io t th;
+               step_thread t th;
+               t.running_tid <- -1;
+               sched_sync t th;
+               Obs.Metrics.observe t.m_slice_insns 1
+           | None -> advance_time t
+         done
    with Rvm.Value.Guest_error msg ->
      raise (Guest_failure (msg ^ "\n--- guest output ---\n" ^ Rvm.Vm.output vm)));
   if t.total_insns >= t.cfg.max_insns then

@@ -8,6 +8,18 @@
     the context, waking re-acquires one, so the simulated machine behaves
     like an OS scheduler when there are more guest threads than cores. *)
 
+type sched_kind =
+  | Sched_heap
+      (** indexed min-heap with run-ahead slices: O(1) scheduling work per
+          instruction (the default) *)
+  | Sched_ref
+      (** per-instruction linear scan, retained as the executable
+          specification the heap scheduler is differentially tested against *)
+
+val default_sched_kind : unit -> sched_kind
+(** [Sched_heap], unless the [BENCH_SCHED] environment variable is set to
+    ["ref"]/["REF"]/["scan"]. *)
+
 type config = {
   machine : Htm_sim.Machine.t;
   scheme : Scheme.kind;
@@ -18,6 +30,7 @@ type config = {
   tracer : Obs.Trace.t option;
       (** event-trace sink shared by the runner, the GIL and the heap; [None]
           (the default) keeps every instrumentation site at one branch *)
+  sched : sched_kind;
 }
 
 val config :
@@ -27,6 +40,7 @@ val config :
   ?txlen_params:Txlen.params ->
   ?max_insns:int ->
   ?tracer:Obs.Trace.t ->
+  ?sched:sched_kind ->
   Htm_sim.Machine.t ->
   config
 
@@ -73,9 +87,12 @@ type t = {
   txlen : Txlen.t;
   session : Rvm.Session.t;
   io : Netsim.t option;
+  sched : Sched.t;  (** runnable-with-context threads, keyed by clock *)
+  mutable running_tid : int;
+      (** thread currently holding a run-ahead slice, [-1] between slices *)
   mutable free_ctx : int list;
-  mutable ctx_waiters : Rvm.Vmthread.t list;
-  mutable active : Rvm.Vmthread.t list;
+  ctx_waiters : Rvm.Vmthread.t Queue.t;
+  mutable ctx_queued : bool array;
   mutable outside : bool array;
   mutable resume_gil : bool array;
   mutable skip_yield : bool array;
@@ -84,8 +101,8 @@ type t = {
   mutex_waiters : (int, Rvm.Vmthread.t Queue.t) Hashtbl.t;
   cond_waiters : (int, (Rvm.Vmthread.t * int) Queue.t) Hashtbl.t;
   join_waiters : (int, Rvm.Vmthread.t list) Hashtbl.t;
-  mutable sleepers : (int * Rvm.Vmthread.t) list;
-  mutable accept_waiters : Rvm.Vmthread.t list;
+  sleepq : Sched.t;  (** sleeping / io-waiting threads, keyed by wake cycle *)
+  accept_waiters : Rvm.Vmthread.t Queue.t;
   mutable total_insns : int;
   prng : Htm_sim.Prng.t;
   breakdown : breakdown;
@@ -99,13 +116,16 @@ type t = {
   m_txn_rs : Obs.Metrics.histogram;
   m_txn_ws : Obs.Metrics.histogram;
   m_gil_wait : Obs.Metrics.histogram;
+  m_slice_insns : Obs.Metrics.histogram;
+      (** instructions executed per run-ahead slice *)
+  g_runnable_peak : Obs.Metrics.gauge;
+      (** high-watermark of simultaneously runnable threads *)
 }
 
 and tle_state = {
   mutable transient_retry_counter : int;  (** TRANSIENT_RETRY_MAX = 3 *)
   mutable gil_retry_counter : int;  (** GIL_RETRY_MAX = 16 *)
   mutable first_retry : bool;
-  mutable window_key : (Rvm.Value.code * int) option;
   mutable acq_at_begin : int;
 }
 

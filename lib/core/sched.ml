@@ -1,0 +1,147 @@
+(* Indexed binary min-heap over guest threads, keyed (key, tid).
+
+   Three parallel arrays hold the heap (keys, tids, elements); [pos] maps a
+   tid to its heap index (-1 when absent) so membership tests, re-keying and
+   removal never search. The hot operations the runner leans on per
+   instruction — [min_key]/[min_tid] — are single array reads. *)
+
+type t = {
+  dummy : Rvm.Vmthread.t;
+  mutable keys : int array;
+  mutable tids : int array;
+  mutable elts : Rvm.Vmthread.t array;
+  mutable n : int;
+  mutable pos : int array;  (* tid -> heap index, -1 absent *)
+}
+
+let create ~dummy =
+  {
+    dummy;
+    keys = Array.make 16 max_int;
+    tids = Array.make 16 max_int;
+    elts = Array.make 16 dummy;
+    n = 0;
+    pos = Array.make 64 (-1);
+  }
+
+let size t = t.n
+let is_empty t = t.n = 0
+
+let ensure_pos t tid =
+  let n = Array.length t.pos in
+  if tid >= n then begin
+    let m = max (2 * n) (tid + 1) in
+    let p = Array.make m (-1) in
+    Array.blit t.pos 0 p 0 n;
+    t.pos <- p
+  end
+
+let ensure_cap t n =
+  if n > Array.length t.keys then begin
+    let m = max (2 * Array.length t.keys) n in
+    let grow a d =
+      let b = Array.make m d in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.keys <- grow t.keys max_int;
+    t.tids <- grow t.tids max_int;
+    t.elts <- grow t.elts t.dummy
+  end
+
+let mem t tid = tid < Array.length t.pos && t.pos.(tid) >= 0
+
+(* Key order with ties broken by DESCENDING tid, matching the retained
+   reference scan (which in turn matches the original prepend-ordered active
+   list: newest thread first).  tids are unique so the order is total. *)
+let less t i j =
+  t.keys.(i) < t.keys.(j)
+  || (t.keys.(i) = t.keys.(j) && t.tids.(i) > t.tids.(j))
+
+let swap t i j =
+  let k = t.keys.(i) and d = t.tids.(i) and e = t.elts.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.tids.(i) <- t.tids.(j);
+  t.elts.(i) <- t.elts.(j);
+  t.keys.(j) <- k;
+  t.tids.(j) <- d;
+  t.elts.(j) <- e;
+  t.pos.(t.tids.(i)) <- i;
+  t.pos.(t.tids.(j)) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.n then begin
+    let m = if l + 1 < t.n && less t (l + 1) l then l + 1 else l in
+    if less t m i then begin
+      swap t i m;
+      sift_down t m
+    end
+  end
+
+let push t ~key (th : Rvm.Vmthread.t) =
+  ensure_pos t th.tid;
+  let i = t.pos.(th.tid) in
+  if i >= 0 then begin
+    let old = t.keys.(i) in
+    if key <> old then begin
+      t.keys.(i) <- key;
+      if key < old then sift_up t i else sift_down t i
+    end
+  end
+  else begin
+    ensure_cap t (t.n + 1);
+    let i = t.n in
+    t.keys.(i) <- key;
+    t.tids.(i) <- th.tid;
+    t.elts.(i) <- th;
+    t.pos.(th.tid) <- i;
+    t.n <- t.n + 1;
+    sift_up t i
+  end
+
+let remove_at t i =
+  let tid = t.tids.(i) in
+  t.pos.(tid) <- -1;
+  t.n <- t.n - 1;
+  if i < t.n then begin
+    let last = t.n in
+    t.keys.(i) <- t.keys.(last);
+    t.tids.(i) <- t.tids.(last);
+    t.elts.(i) <- t.elts.(last);
+    t.pos.(t.tids.(i)) <- i;
+    t.elts.(last) <- t.dummy;
+    sift_down t i;
+    sift_up t i
+  end
+  else t.elts.(i) <- t.dummy
+
+let remove t tid =
+  if mem t tid then remove_at t t.pos.(tid)
+
+let min_key t = if t.n = 0 then max_int else t.keys.(0)
+let min_tid t = if t.n = 0 then max_int else t.tids.(0)
+
+let pop_min t =
+  if t.n = 0 then None
+  else begin
+    let th = t.elts.(0) in
+    remove_at t 0;
+    Some th
+  end
+
+let clear t =
+  for i = 0 to t.n - 1 do
+    t.pos.(t.tids.(i)) <- -1;
+    t.elts.(i) <- t.dummy
+  done;
+  t.n <- 0

@@ -1,0 +1,41 @@
+(** An indexed binary min-heap of guest threads, keyed on [(key, tid)].
+
+    The runner keeps every runnable-with-context thread here (keyed by its
+    virtual clock) so picking the next thread is a peek instead of a linear
+    scan, and reuses the same structure for the sleeper queue (keyed by
+    wake-up cycle). The [tid] tie-break makes the order total, so the
+    event-driven scheduler and the reference linear scan agree on every
+    pick and figures stay byte-identical between the two.
+
+    A position table indexed by [tid] makes membership O(1) and re-keying /
+    removal O(log n); each thread can appear at most once. All operations
+    are allocation-free except internal array growth. *)
+
+type t
+
+val create : dummy:Rvm.Vmthread.t -> t
+(** [dummy] fills unused array slots (never returned); any thread works. *)
+
+val size : t -> int
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Is the thread with this [tid] present? *)
+
+val push : t -> key:int -> Rvm.Vmthread.t -> unit
+(** Insert, or re-key if the thread is already present. *)
+
+val remove : t -> int -> unit
+(** Remove by [tid]; no-op if absent. *)
+
+val min_key : t -> int
+(** Key of the minimum element, [max_int] when empty (so comparisons
+    against a candidate key need no emptiness branch). *)
+
+val min_tid : t -> int
+(** Tid of the minimum element, [max_int] when empty. *)
+
+val pop_min : t -> Rvm.Vmthread.t option
+(** Remove and return the [(key, tid)]-smallest thread. *)
+
+val clear : t -> unit

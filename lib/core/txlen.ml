@@ -38,22 +38,55 @@ type entry = {
 type t = {
   mode : mode;
   params : params;
-  entries : (int * int, entry) Hashtbl.t;
-      (** keyed on the (code uid, pc) pair: packing both into one int
-          silently aliased entries once pc outgrew the packed field *)
+  mutable entries : entry array array;
+      (** [entries.(uid).(pc)]: code uids are small sequential ints and a
+          yield point's pc indexes that code's instruction array, so the
+          table is two direct array loads on the hot path (a transaction
+          windows can be one instruction long, making this per-instruction
+          work under HTM-1). Rows allocate lazily, sized to the code's
+          instruction count; [no_entry] marks untouched slots (compared
+          physically). An earlier Hashtbl keyed (uid, pc) allocated and
+          hashed a tuple per lookup; packing both into one int instead
+          silently aliased entries once pc outgrew the packed field. *)
 }
 
-let create ?(params = default_params) mode = { mode; params; entries = Hashtbl.create 256 }
+let no_entry = { length = 0; txn_counter = 0; abort_counter = 0 }
 
-let key (code : Rvm.Value.code) pc = (code.uid, pc)
+let create ?(params = default_params) mode =
+  { mode; params; entries = Array.make 64 [||] }
 
-let entry t k =
-  match Hashtbl.find_opt t.entries k with
-  | Some e -> e
-  | None ->
-      let e = { length = t.params.initial_length; txn_counter = 0; abort_counter = 0 } in
-      Hashtbl.add t.entries k e;
-      e
+let entry t (code : Rvm.Value.code) pc =
+  let uid = code.uid in
+  if uid >= Array.length t.entries then begin
+    let n = ref (Array.length t.entries) in
+    while uid >= !n do
+      n := !n * 2
+    done;
+    let bigger = Array.make !n [||] in
+    Array.blit t.entries 0 bigger 0 (Array.length t.entries);
+    t.entries <- bigger
+  end;
+  let row =
+    let row = Array.unsafe_get t.entries uid in
+    if pc < Array.length row then row
+    else begin
+      (* first touch sizes the row to the code's instruction count, the
+         right size for every in-VM pc; grow anyway if a caller probes
+         beyond it *)
+      let n = max (pc + 1) (max (2 * Array.length row) (Array.length code.insns)) in
+      let bigger = Array.make n no_entry in
+      Array.blit row 0 bigger 0 (Array.length row);
+      t.entries.(uid) <- bigger;
+      bigger
+    end
+  in
+  let e = row.(pc) in
+  if e != no_entry then e
+  else begin
+    let e = { length = t.params.initial_length; txn_counter = 0; abort_counter = 0 } in
+    row.(pc) <- e;
+    e
+  end
 
 (* set_transaction_length (Figure 3, lines 1-10): the length of the next
    transaction starting at this yield point. *)
@@ -61,7 +94,7 @@ let set_transaction_length t ~code ~pc =
   match t.mode with
   | Constant n -> n
   | Dynamic ->
-      let e = entry t (key code pc) in
+      let e = entry t code pc in
       if e.txn_counter < t.params.profiling_period then
         e.txn_counter <- e.txn_counter + 1;
       e.length
@@ -72,7 +105,7 @@ let adjust_transaction_length t ~code ~pc =
   match t.mode with
   | Constant _ -> ()
   | Dynamic ->
-      let e = entry t (key code pc) in
+      let e = entry t code pc in
       if e.length > 1 && e.txn_counter <= t.params.profiling_period then begin
         if e.abort_counter <= t.params.adjustment_threshold then
           e.abort_counter <- e.abort_counter + 1
@@ -88,13 +121,13 @@ let adjust_transaction_length t ~code ~pc =
    the paper reports 40% for 12-thread NPB on zEC12 (Section 5.5). *)
 let stats t =
   let total = ref 0 and at_one = ref 0 and sum = ref 0 in
-  Hashtbl.iter
-    (fun _ e ->
-      if e.txn_counter > 0 then begin
-        incr total;
-        sum := !sum + e.length;
-        if e.length = 1 then incr at_one
-      end)
+  Array.iter
+    (Array.iter (fun e ->
+         if e.txn_counter > 0 then begin
+           incr total;
+           sum := !sum + e.length;
+           if e.length = 1 then incr at_one
+         end))
     t.entries;
   let total = max 1 !total in
   ( float_of_int !at_one /. float_of_int total,

@@ -40,14 +40,20 @@ let run ?tracer (p : point) : outcome =
       let work =
         if p.workload.parallel_work then float_of_int p.threads else 1.0
       in
-      {
-        p;
-        wall_cycles = r.wall_cycles;
-        throughput = work *. 1e9 /. float_of_int (max 1 r.wall_cycles);
-        abort_ratio = Stats.abort_ratio r.htm_stats;
-        result = r;
-        output = r.output;
-      }
+      let o =
+        {
+          p;
+          wall_cycles = r.wall_cycles;
+          throughput = work *. 1e9 /. float_of_int (max 1 r.wall_cycles);
+          abort_ratio = Stats.abort_ratio r.htm_stats;
+          result = r;
+          output = r.output;
+        }
+      in
+      (* the outcome keeps no reference into the simulated store, so its
+         backing array can be recycled for the next point on this domain *)
+      Rvm.Vm.release t.Core.Runner.vm;
+      o
   | Workloads.Workload.Server ->
       let requests = p.workload.server_requests p.size in
       let io =
@@ -58,14 +64,18 @@ let run ?tracer (p : point) : outcome =
       let t = Core.Runner.create ~io cfg ~source in
       p.workload.setup (Some io) t.Core.Runner.vm;
       let r = Core.Runner.run ~stop:(fun () -> Netsim.done_all io) t in
-      {
-        p;
-        wall_cycles = r.wall_cycles;
-        throughput = Netsim.throughput io;
-        abort_ratio = Stats.abort_ratio r.htm_stats;
-        result = r;
-        output = r.output;
-      }
+      let o =
+        {
+          p;
+          wall_cycles = r.wall_cycles;
+          throughput = Netsim.throughput io;
+          abort_ratio = Stats.abort_ratio r.htm_stats;
+          result = r;
+          output = r.output;
+        }
+      in
+      Rvm.Vm.release t.Core.Runner.vm;
+      o
 
 (* The verification line a compute workload printed ("XX verify NNN"). *)
 let verify_line outcome =

@@ -112,6 +112,14 @@ let drain_step_cost t =
   t.step_accesses <- 0;
   (c, a)
 
+(* Split accessors so the runner's step loop never allocates the pair. *)
+let step_extra_cycles t = t.step_extra_cycles
+let step_accesses t = t.step_accesses
+
+let reset_step_cost t =
+  t.step_extra_cycles <- 0;
+  t.step_accesses <- 0
+
 (* Remove every mark this transaction left in the line tables. *)
 let clear_marks t (txn : 'a Txn.t) =
   let mask = lnot (1 lsl txn.ctx) in

@@ -48,7 +48,18 @@ val txn_footprint : 'a t -> int -> int * int
 
 val drain_step_cost : 'a t -> int * int
 (** [(extra_cycles, accesses)] accrued since the last drain; the runner
-    charges them to the current instruction. *)
+    charges them to the current instruction. Allocates the result pair —
+    the per-instruction step loop uses the three split accessors below
+    instead. *)
+
+val step_extra_cycles : 'a t -> int
+(** Extra cycles accrued since the last reset (allocation-free). *)
+
+val step_accesses : 'a t -> int
+(** Store accesses accrued since the last reset (allocation-free). *)
+
+val reset_step_cost : 'a t -> unit
+(** Zero both step-cost accumulators. *)
 
 val tbegin : 'a t -> ctx:int -> rollback:(Txn.abort_reason -> unit) -> unit
 val tend : 'a t -> ctx:int -> unit

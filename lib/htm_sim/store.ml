@@ -15,25 +15,40 @@ type 'a t = {
   mutable cells : 'a array;
   mutable brk : int;  (** first unreserved address *)
   line_cells : int;
+  line_shift : int;
+      (** log2 line_cells: line ids are computed on every simulated memory
+          access, so use a shift instead of a division *)
   mutable on_grow : int -> unit;
       (** called with the new capacity (in cells) after the backing array
           grows; single consumer (the HTM engine's line tables) *)
 }
 
-let create ~dummy ~line_cells initial =
+let create ?recycled ~dummy ~line_cells initial =
+  if line_cells <= 0 || line_cells land (line_cells - 1) <> 0 then
+    invalid_arg "Store.create: line_cells must be a power of two";
+  let line_shift =
+    let rec go s n = if n = 1 then s else go (s + 1) (n lsr 1) in
+    go 0 line_cells
+  in
   let initial = max line_cells initial in
-  {
-    dummy;
-    cells = Array.make initial dummy;
-    brk = 0;
-    line_cells;
-    on_grow = ignore;
-  }
+  (* A recycled backing ([retire]'s result) skips the Array.make — and with
+     it the mmap / kernel-zeroing / page-fault churn of a fresh multi-MB
+     array — at the cost of re-filling the prefix a previous owner dirtied.
+     [set] never writes at or above [brk], so cells >= dirty still hold the
+     dummy from their original allocation. *)
+  let cells =
+    match recycled with
+    | Some (arr, dirty) when Array.length arr >= initial ->
+        Array.fill arr 0 (min dirty (Array.length arr)) dummy;
+        arr
+    | _ -> Array.make initial dummy
+  in
+  { dummy; cells; brk = 0; line_cells; line_shift; on_grow = ignore }
 
 let capacity t = Array.length t.cells
 let brk t = t.brk
 let dummy t = t.dummy
-let line_of t addr = addr / t.line_cells
+let line_of t addr = addr lsr t.line_shift
 
 let set_on_grow t f =
   t.on_grow <- f;
@@ -80,3 +95,13 @@ let set t addr v =
 (* Unchecked accessors for the interpreter's hot path. *)
 let get_unsafe t addr = Array.unsafe_get t.cells addr
 let set_unsafe t addr v = Array.unsafe_set t.cells addr v
+
+(* Hand the backing array back for reuse by a later [create ~recycled] and
+   neuter the store: any subsequent access through it is a bug and raises.
+   The returned [dirty] bound is the high-water [brk] — the only prefix a
+   new owner must re-initialise. *)
+let retire t =
+  let cells = t.cells and dirty = t.brk in
+  t.cells <- Array.make t.line_cells t.dummy;
+  t.brk <- 0;
+  (cells, dirty)

@@ -5,9 +5,11 @@
 
 type 'a t
 
-val create : dummy:'a -> line_cells:int -> int -> 'a t
+val create : ?recycled:'a array * int -> dummy:'a -> line_cells:int -> int -> 'a t
 (** [create ~dummy ~line_cells initial] makes a store whose unreserved cells
-    read as [dummy]. *)
+    read as [dummy]. [?recycled] is a backing array from {!retire} — it is
+    reused (its dirty prefix re-filled with [dummy]) instead of allocating a
+    fresh array, provided it is at least [initial] cells long. *)
 
 val capacity : 'a t -> int
 (** Currently allocated backing capacity, in cells. *)
@@ -46,3 +48,8 @@ val get_unsafe : 'a t -> int -> 'a
 
 val set_unsafe : 'a t -> int -> 'a -> unit
 (** Unchecked write for the interpreter's hot path. *)
+
+val retire : 'a t -> 'a array * int
+(** Hand the backing array back for a later [create ~recycled] and neuter
+    the store (subsequent accesses raise). Returns [(cells, dirty)]: only
+    cells below [dirty] were ever written. *)

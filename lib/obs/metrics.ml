@@ -20,25 +20,44 @@ type histogram = {
   mutable min_v : int;
 }
 
-type metric = Counter of counter | Histogram of histogram
+type gauge = { g_name : string; mutable value : int }
+
+type metric = Counter of counter | Histogram of histogram | Gauge of gauge
 
 type t = { tbl : (string, metric) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 64 }
 
+let kind_of = function
+  | Counter _ -> "a counter"
+  | Histogram _ -> "a histogram"
+  | Gauge _ -> "a gauge"
+
 let counter t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (Counter c) -> c
-  | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | Some m -> invalid_arg ("Metrics.counter: " ^ name ^ " is " ^ kind_of m)
   | None ->
       let c = { c_name = name; count = 0 } in
       Hashtbl.add t.tbl name (Counter c);
       c
 
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g
+  | Some m -> invalid_arg ("Metrics.gauge: " ^ name ^ " is " ^ kind_of m)
+  | None ->
+      let g = { g_name = name; value = 0 } in
+      Hashtbl.add t.tbl name (Gauge g);
+      g
+
+let set g v = g.value <- v
+let gauge_max g v = if v > g.value then g.value <- v
+
 let histogram t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (Histogram h) -> h
-  | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | Some m -> invalid_arg ("Metrics.histogram: " ^ name ^ " is " ^ kind_of m)
   | None ->
       let h =
         {
@@ -89,6 +108,10 @@ let merge dst src =
     (fun name m ->
       match m with
       | Counter c -> add (counter dst name) c.count
+      | Gauge g ->
+          (* gauges are instantaneous readings (mostly high-watermarks);
+             across tasks the maximum is the meaningful aggregate *)
+          gauge_max (gauge dst name) g.value
       | Histogram h ->
           let d = histogram dst name in
           Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets;
@@ -134,6 +157,10 @@ let to_json t : Json.t =
        (fun (name, m) ->
          match m with
          | Counter c -> (name, Json.Int c.count)
+         | Gauge g ->
+             ( name,
+               Json.Obj
+                 [ ("type", Json.Str "gauge"); ("value", Json.Int g.value) ] )
          | Histogram h -> (name, histogram_json h))
        (sorted t))
 
@@ -142,6 +169,7 @@ let pp fmt t =
     (fun (name, m) ->
       match m with
       | Counter c -> Format.fprintf fmt "%-36s %d@." name c.count
+      | Gauge g -> Format.fprintf fmt "%-36s %d (gauge)@." name g.value
       | Histogram h ->
           Format.fprintf fmt "%-36s n=%d mean=%.1f min=%d max=%d@." name h.n
             (mean h)

@@ -15,7 +15,9 @@ type histogram = {
   mutable min_v : int;
 }
 
-type metric = Counter of counter | Histogram of histogram
+type gauge = { g_name : string; mutable value : int }
+
+type metric = Counter of counter | Histogram of histogram | Gauge of gauge
 
 type t
 
@@ -28,8 +30,17 @@ val counter : t -> string -> counter
 val histogram : t -> string -> histogram
 (** @raise Invalid_argument if the name is registered as a counter. *)
 
+val gauge : t -> string -> gauge
+(** Existing handle, or a fresh zero gauge registered under the name.
+    @raise Invalid_argument if the name holds another metric kind. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
+
+val set : gauge -> int -> unit
+
+val gauge_max : gauge -> int -> unit
+(** Raise the gauge to [v] if larger: a high-watermark update. *)
 
 val observe : histogram -> int -> unit
 (** Negative observations clamp to 0. *)
@@ -44,7 +55,8 @@ val mean : histogram -> float
 
 val merge : t -> t -> unit
 (** [merge dst src] accumulates [src] into [dst]: counters and histogram
-    buckets sum, extrema combine. Metrics missing from [dst] are registered.
+    buckets sum, extrema combine, gauges take the maximum (they are
+    high-watermark readings). Metrics missing from [dst] are registered.
     Merging per-task sinks in a fixed task order keeps exports
     deterministic regardless of worker count. *)
 

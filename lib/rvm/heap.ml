@@ -32,6 +32,11 @@ type t = {
   mutable refills : int;
   mutable global_pops : int;
   mutable live_after_gc : int;
+  mutable slot_buf : int array;
+      (** reusable scratch for free-slot address runs (arena linking, sweep);
+          grown to the largest run seen, never shrunk — keeps the per-GC and
+          per-boot work out of caml_make_vect, which otherwise dominates the
+          host profile of a figure sweep *)
   (* lazy-sweep state (Section 5.6's proposed thread-local sweeping) *)
   lazy_cursor : int;  (** store cell: next slot ordinal to sweep *)
   mutable lazy_slots : int array;
@@ -64,7 +69,8 @@ let int_of = function
   | Value.VInt i -> i
   | v -> Value.guest_error "heap: expected int cell, got %s" (Value.to_string v)
 
-(* Link [slots] (address order) into the global free list, in front of the
+(* Link the first [n] slots of [arr] (address order) into the global free
+   list, in front of the
    current head. The list carries two structures at once:
    - a plain slot chain through cell +1 (original CRuby allocation);
    - a segment overlay for bulk refills: every [free_list_refill]-th slot is
@@ -77,17 +83,15 @@ let header_for_alloc h class_id =
   if h.opts.lazy_sweep then Layout.with_mark (Layout.header_of_class class_id)
   else Layout.header_of_class class_id
 
-let link_free_slots h slots =
+let link_free_slots h arr n =
   let seg_base = max 4 h.opts.free_list_refill in
   let old_head = int_of (Store.get h.store h.g_free_head) in
-  let arr = Array.of_list slots in
-  let n = Array.length arr in
   if n > 0 then begin
     for i = 0 to n - 1 do
       let slot = arr.(i) in
       Store.set h.store slot Layout.free_header;
       Store.set h.store (slot + 1)
-        (Value.VInt (if i + 1 < n then arr.(i + 1) else old_head))
+        (Value.vint (if i + 1 < n then arr.(i + 1) else old_head))
     done;
     (* Segment lengths vary around the nominal bulk size so that threads
        allocating at identical rates do not exhaust their local lists in
@@ -100,22 +104,29 @@ let link_free_slots h slots =
       let len = max 1 len in
       let slot = arr.(!i) in
       let next_seg = if !i + len < n then arr.(!i + len) else old_head in
-      Store.set h.store (slot + 2) (Value.VInt next_seg);
-      Store.set h.store (slot + 3) (Value.VInt len);
+      Store.set h.store (slot + 2) (Value.vint next_seg);
+      Store.set h.store (slot + 3) (Value.vint len);
       i := !i + len;
       incr k
     done;
-    Store.set h.store h.g_free_head (Value.VInt arr.(0))
+    Store.set h.store h.g_free_head (Value.vint arr.(0))
   end;
   let c = int_of (Store.get h.store h.g_free_count) in
-  Store.set h.store h.g_free_count (Value.VInt (c + n))
+  Store.set h.store h.g_free_count (Value.vint (c + n))
+
+let slot_buf h n =
+  if Array.length h.slot_buf < n then h.slot_buf <- Array.make n 0;
+  h.slot_buf
 
 let add_arena h n_slots =
   let base = Store.reserve_aligned h.store (n_slots * Layout.slot_cells) in
   h.arenas <- (base, n_slots) :: h.arenas;
   h.total_slots <- h.total_slots + n_slots;
-  link_free_slots h
-    (List.init n_slots (fun i -> base + (i * Layout.slot_cells)))
+  let buf = slot_buf h n_slots in
+  for i = 0 to n_slots - 1 do
+    buf.(i) <- base + (i * Layout.slot_cells)
+  done;
+  link_free_slots h buf n_slots
 
 (* Rebuild the ordinal -> slot address map the lazy sweeper walks, and
    reset the shared cursor. Called at boot and after every mark phase,
@@ -132,12 +143,12 @@ let rebuild_lazy_order h =
       done)
     (List.rev h.arenas);
   h.lazy_slots <- arr;
-  Store.set h.store h.lazy_cursor (Value.VInt 0)
+  Store.set h.store h.lazy_cursor (Value.vint 0)
 
 let create store htm (opts : Options.t) classes =
   let cell () =
     let a = Store.reserve_aligned store 1 in
-    Store.set store a (Value.VInt 0);
+    Store.set store a (Value.vint 0);
     a
   in
   let h =
@@ -161,6 +172,7 @@ let create store htm (opts : Options.t) classes =
       refills = 0;
       global_pops = 0;
       live_after_gc = 0;
+      slot_buf = [||];
       lazy_cursor = cell ();
       lazy_slots = [||];
       lazy_claims = 0;
@@ -183,14 +195,14 @@ let malloc_global h ~ctx n =
   let ptr = int_of (g_read h ~ctx h.g_malloc_ptr) in
   let endp = int_of (g_read h ~ctx h.g_malloc_end) in
   if ptr + n <= endp then begin
-    g_write h ~ctx h.g_malloc_ptr (Value.VInt (ptr + n));
+    g_write h ~ctx h.g_malloc_ptr (Value.vint (ptr + n));
     ptr
   end
   else begin
     (* model mmap of a fresh region *)
     let base = Store.reserve_aligned h.store (max malloc_arena_chunk n) in
-    g_write h ~ctx h.g_malloc_ptr (Value.VInt (base + n));
-    g_write h ~ctx h.g_malloc_end (Value.VInt (base + max malloc_arena_chunk n));
+    g_write h ~ctx h.g_malloc_ptr (Value.vint (base + n));
+    g_write h ~ctx h.g_malloc_end (Value.vint (base + max malloc_arena_chunk n));
     base
   end
 
@@ -202,13 +214,13 @@ let malloc h (th : Vmthread.t) n =
     let ptr = int_of (g_read h ~ctx p) in
     let endp = int_of (g_read h ~ctx e) in
     if ptr + n <= endp then begin
-      g_write h ~ctx p (Value.VInt (ptr + n));
+      g_write h ~ctx p (Value.vint (ptr + n));
       ptr
     end
     else begin
       let base = malloc_global h ~ctx h.opts.malloc_chunk in
-      g_write h ~ctx p (Value.VInt (base + n));
-      g_write h ~ctx e (Value.VInt (base + h.opts.malloc_chunk));
+      g_write h ~ctx p (Value.vint (base + n));
+      g_write h ~ctx e (Value.vint (base + h.opts.malloc_chunk));
       base
     end
   end
@@ -272,28 +284,31 @@ let gc_mark h roots_fn =
    lists are invalidated by the caller before sweeping. *)
 let gc_sweep h =
   let store = h.store in
-  let free = ref [] in
+  (* [h.arenas] is newest-first; walk oldest-first so the scratch buffer
+     fills in ascending address order, exactly the order the old
+     prepend-a-list construction produced *)
+  let buf = slot_buf h h.total_slots in
   let n_free = ref 0 in
   List.iter
     (fun (base, n_slots) ->
-      for i = n_slots - 1 downto 0 do
+      for i = 0 to n_slots - 1 do
         let slot = base + (i * Layout.slot_cells) in
         let hd = Store.get store slot in
         if Layout.is_free_header hd then begin
-          free := slot :: !free;
+          buf.(!n_free) <- slot;
           incr n_free
         end
         else if Layout.is_marked hd then Store.set store slot (Layout.without_mark hd)
         else begin
           Store.set store slot Layout.free_header;
-          free := slot :: !free;
+          buf.(!n_free) <- slot;
           incr n_free
         end
       done)
-    h.arenas;
-  Store.set store h.g_free_head (Value.VInt 0);
-  Store.set store h.g_free_count (Value.VInt 0);
-  link_free_slots h !free;
+    (List.rev h.arenas);
+  Store.set store h.g_free_head (Value.vint 0);
+  Store.set store h.g_free_count (Value.vint 0);
+  link_free_slots h buf !n_free;
   !n_free
 
 (* Run a full collection on behalf of [th]; returns the cycle cost. The
@@ -323,9 +338,9 @@ let pop_global h ~ctx =
   if head = 0 then None
   else begin
     let next = int_of (g_read h ~ctx (head + 1)) in
-    g_write h ~ctx h.g_free_head (Value.VInt next);
+    g_write h ~ctx h.g_free_head (Value.vint next);
     let c = int_of (g_read h ~ctx h.g_free_count) in
-    g_write h ~ctx h.g_free_count (Value.VInt (c - 1));
+    g_write h ~ctx h.g_free_count (Value.vint (c - 1));
     Some head
   end
 
@@ -340,11 +355,11 @@ let refill_local h (th : Vmthread.t) =
   else begin
     let next_seg = int_of (g_read h ~ctx (head + 2)) in
     let count = int_of (g_read h ~ctx (head + 3)) in
-    g_write h ~ctx h.g_free_head (Value.VInt next_seg);
+    g_write h ~ctx h.g_free_head (Value.vint next_seg);
     let c = int_of (g_read h ~ctx h.g_free_count) in
-    g_write h ~ctx h.g_free_count (Value.VInt (c - count));
-    g_write h ~ctx (th.struct_base + Vmthread.st_free_head) (Value.VInt head);
-    g_write h ~ctx (th.struct_base + Vmthread.st_free_count) (Value.VInt count);
+    g_write h ~ctx h.g_free_count (Value.vint (c - count));
+    g_write h ~ctx (th.struct_base + Vmthread.st_free_head) (Value.vint head);
+    g_write h ~ctx (th.struct_base + Vmthread.st_free_count) (Value.vint count);
     true
   end
 
@@ -361,8 +376,8 @@ let pop_local h (th : Vmthread.t) =
     if head = 0 then None
     else begin
       let next = int_of (g_read h ~ctx (head + 1)) in
-      g_write h ~ctx lh (Value.VInt next);
-      g_write h ~ctx lc (Value.VInt (c - 1));
+      g_write h ~ctx lh (Value.vint next);
+      g_write h ~ctx lc (Value.vint (c - 1));
       Some head
     end
   end
@@ -382,13 +397,13 @@ let lazy_refill h (th : Vmthread.t) =
   else begin
     h.lazy_claims <- h.lazy_claims + 1;
     let stop = min total (ord + lazy_chunk) in
-    g_write h ~ctx h.lazy_cursor (Value.VInt stop);
+    g_write h ~ctx h.lazy_cursor (Value.vint stop);
     let head = ref 0 and count = ref 0 in
     for i = stop - 1 downto ord do
       let slot = h.lazy_slots.(i) in
       let hd = g_read h ~ctx slot in
       if Layout.is_free_header hd then begin
-        g_write h ~ctx (slot + 1) (Value.VInt !head);
+        g_write h ~ctx (slot + 1) (Value.vint !head);
         head := slot;
         incr count
       end
@@ -396,13 +411,13 @@ let lazy_refill h (th : Vmthread.t) =
       else begin
         (* unmarked live object: garbage since the last mark phase *)
         g_write h ~ctx slot Layout.free_header;
-        g_write h ~ctx (slot + 1) (Value.VInt !head);
+        g_write h ~ctx (slot + 1) (Value.vint !head);
         head := slot;
         incr count
       end
     done;
-    g_write h ~ctx (th.struct_base + Vmthread.st_free_head) (Value.VInt !head);
-    g_write h ~ctx (th.struct_base + Vmthread.st_free_count) (Value.VInt !count);
+    g_write h ~ctx (th.struct_base + Vmthread.st_free_head) (Value.vint !head);
+    g_write h ~ctx (th.struct_base + Vmthread.st_free_count) (Value.vint !count);
     (* a fully live chunk yields nothing; the caller claims the next one *)
     true
   end
@@ -434,7 +449,7 @@ let rec alloc_slot h (th : Vmthread.t) ~class_id =
     (* JRuby keeps shared object-space accounting; the JVM does not *)
     if h.opts.alloc_coherence_counter then begin
       let c = int_of (g_read h ~ctx h.g_free_count) in
-      g_write h ~ctx h.g_free_count (Value.VInt (c + 1))
+      g_write h ~ctx h.g_free_count (Value.vint (c + 1))
     end;
     g_write h ~ctx slot (Layout.header_of_class class_id);
     for f = 1 to Layout.n_fields do
@@ -503,10 +518,10 @@ let alloc_box h (th : Vmthread.t) ~float_class_id v =
       g_write h ~ctx slot v;
       let counter_cell = th.struct_base + Vmthread.st_spare in
       let n = match g_read h ~ctx counter_cell with Value.VInt n -> n | _ -> 0 in
-      g_write h ~ctx counter_cell (Value.VInt (n + 1));
+      g_write h ~ctx counter_cell (Value.vint (n + 1));
       if (n + 1) mod 64 = 0 then begin
         let c = int_of (g_read h ~ctx h.g_free_count) in
-        g_write h ~ctx h.g_free_count (Value.VInt (c + 64))
+        g_write h ~ctx h.g_free_count (Value.vint (c + 64))
       end
     end
   end

@@ -23,6 +23,8 @@ type t = {
   mutable refills : int;
   mutable global_pops : int;
   mutable live_after_gc : int;
+  mutable slot_buf : int array;
+      (** reusable scratch for free-slot address runs (arena linking, sweep) *)
   lazy_cursor : int;  (** shared sweep-cursor cell (lazy-sweep mode) *)
   mutable lazy_slots : int array;
   mutable lazy_claims : int;

@@ -61,17 +61,17 @@ let push_frame vm (th : Vmthread.t) ~(code : code) ~self ~block ~defining_fp
   (match block with
   | None ->
       wr vm th (base + Vmthread.f_block_code) VNil;
-      wr vm th (base + Vmthread.f_block_fp) (VInt (-1));
+      wr vm th (base + Vmthread.f_block_fp) (vint (-1));
       wr vm th (base + Vmthread.f_block_self) VNil
   | Some (bcode, bfp, bself) ->
       wr vm th (base + Vmthread.f_block_code) (VCode bcode);
-      wr vm th (base + Vmthread.f_block_fp) (VInt bfp);
+      wr vm th (base + Vmthread.f_block_fp) (vint bfp);
       wr vm th (base + Vmthread.f_block_self) bself);
-  wr vm th (base + Vmthread.f_caller_fp) (VInt th.fp);
-  wr vm th (base + Vmthread.f_caller_pc) (VInt (th.pc + 1));
-  wr vm th (base + Vmthread.f_caller_sp) (VInt caller_sp);
-  wr vm th (base + Vmthread.f_defining_fp) (VInt defining_fp);
-  wr vm th (base + Vmthread.f_flags) (VInt flags);
+  wr vm th (base + Vmthread.f_caller_fp) (vint th.fp);
+  wr vm th (base + Vmthread.f_caller_pc) (vint (th.pc + 1));
+  wr vm th (base + Vmthread.f_caller_sp) (vint caller_sp);
+  wr vm th (base + Vmthread.f_defining_fp) (vint defining_fp);
+  wr vm th (base + Vmthread.f_flags) (vint flags);
   let locals = base + Vmthread.frame_hdr in
   let n_copy = min argc code.arity in
   for i = 0 to n_copy - 1 do
@@ -160,7 +160,7 @@ let refcount_touch vm th recv =
   | VRef a when vm.Vm.opts.refcount_writes -> (
       let hd = rd vm th a in
       match hd with
-      | VInt h when h >= 0 -> wr vm th a (VInt (h lxor Layout.header_meta_bit))
+      | VInt h when h >= 0 -> wr vm th a (vint (h lxor Layout.header_meta_bit))
       | _ -> ())
   | _ -> ()
 
@@ -195,7 +195,7 @@ let dispatch vm (th : Vmthread.t) ~sym ~argc ~block ~cache_slot =
                 (* Section 4.4: fill-once method caches avoid transactional
                    cache-line ping-pong at polymorphic sites *)
                 if not (vm.Vm.opts.cache_fill_once && already_filled) then begin
-                  wr vm th cache (VInt guard);
+                  wr vm th cache (vint guard);
                   wr vm th (cache + 1) (encode_meth m')
                 end
             | None -> ());
@@ -253,13 +253,13 @@ let arith vm th sym finsn =
       th.sp <- th.sp - 2;
       let v =
         match finsn with
-        | Opt_plus -> VInt (x + y)
-        | Opt_minus -> VInt (x - y)
-        | Opt_mult -> VInt (x * y)
-        | Opt_div -> VInt (ruby_div_int x y)
-        | Opt_mod -> VInt (ruby_mod_int x y)
+        | Opt_plus -> vint (x + y)
+        | Opt_minus -> vint (x - y)
+        | Opt_mult -> vint (x * y)
+        | Opt_div -> vint (ruby_div_int x y)
+        | Opt_mod -> vint (ruby_mod_int x y)
         | Opt_pow ->
-            if y >= 0 then VInt (int_pow x y 1)
+            if y >= 0 then vint (int_pow x y 1)
             else begin
               let f = float_of_int x ** float_of_int y in
               box vm th (VFloat f);
@@ -293,6 +293,22 @@ let arith vm th sym finsn =
 
 let compare_fast vm th finsn =
   let b = peek vm th 0 and a = peek vm th 1 in
+  match (a, b) with
+  | VInt x, VInt y ->
+      (* int-int dominates the loop workloads: compare without boxing
+         floats or allocating options *)
+      th.sp <- th.sp - 2;
+      let r =
+        match finsn with
+        | Opt_lt -> x < y
+        | Opt_le -> x <= y
+        | Opt_gt -> x > y
+        | Opt_ge -> x >= y
+        | _ -> assert false
+      in
+      push vm th (if r then VTrue else VFalse);
+      th.pc <- th.pc + 1
+  | _ -> (
   let num = function VInt i -> Some (float_of_int i) | VFloat f -> Some f | _ -> None in
   match (num a, num b) with
   | Some x, Some y ->
@@ -332,7 +348,7 @@ let compare_fast vm th finsn =
         push vm th (if r then VTrue else VFalse);
         th.pc <- th.pc + 1
       end
-      else dispatch vm th ~sym ~argc:1 ~block:None ~cache_slot:None
+      else dispatch vm th ~sym ~argc:1 ~block:None ~cache_slot:None)
 
 let equality vm th ~negate =
   let b = peek vm th 0 and a = peek vm th 1 in
@@ -362,6 +378,13 @@ let equality vm th ~negate =
   | _ -> direct (a = b)
 
 (* ---- the main step ------------------------------------------------------ *)
+
+(* Frame base [depth] lexical levels up. Top-level (not a closure inside
+   [step]): Getlocal/Setlocal run on every other instruction and must not
+   allocate. *)
+let rec local_base vm th fp d =
+  if d = 0 then fp
+  else local_base vm th (int_cell vm th (fp + Vmthread.f_defining_fp)) (d - 1)
 
 let rec step vm (th : Vmthread.t) : step_result =
   let insn = th.code.insns.(th.pc) in
@@ -393,18 +416,12 @@ let rec step vm (th : Vmthread.t) : step_result =
       th.pc <- th.pc + 1;
       continue_ ()
   | Getlocal (idx, depth) ->
-      let rec base fp d =
-        if d = 0 then fp else base (int_cell vm th (fp + Vmthread.f_defining_fp)) (d - 1)
-      in
-      let fp = base th.fp depth in
+      let fp = local_base vm th th.fp depth in
       push vm th (rd vm th (fp + Vmthread.frame_hdr + idx));
       th.pc <- th.pc + 1;
       continue_ ()
   | Setlocal (idx, depth) ->
-      let rec base fp d =
-        if d = 0 then fp else base (int_cell vm th (fp + Vmthread.f_defining_fp)) (d - 1)
-      in
-      let fp = base th.fp depth in
+      let fp = local_base vm th th.fp depth in
       let v = pop vm th in
       wr vm th (fp + Vmthread.frame_hdr + idx) v;
       th.pc <- th.pc + 1;
@@ -426,8 +443,8 @@ let rec step vm (th : Vmthread.t) : step_result =
             | _ -> (
                 match Klass.ivar_index k sym with
                 | Some i ->
-                    wr vm th cache (VInt guard);
-                    wr vm th (cache + 1) (VInt i);
+                    wr vm th cache (vint guard);
+                    wr vm th (cache + 1) (vint i);
                     Some i
                 | None -> None)
           in
@@ -453,8 +470,8 @@ let rec step vm (th : Vmthread.t) : step_result =
             | Options.Table_equality -> k.ivar_tbl_id
           in
           let cache = Vm.cache_addr vm slot in
-          wr vm th cache (VInt guard);
-          wr vm th (cache + 1) (VInt idx);
+          wr vm th cache (vint guard);
+          wr vm th (cache + 1) (vint idx);
           let v = pop vm th in
           wr vm th (a + idx) v
       | _ -> guest_error "instance variable assignment on %s" (type_name self));
@@ -584,7 +601,7 @@ let rec step vm (th : Vmthread.t) : step_result =
   | Opt_neg ->
       let v = pop vm th in
       (match v with
-      | VInt i -> push vm th (VInt (-i))
+      | VInt i -> push vm th (vint (-i))
       | VFloat f ->
           box vm th (VFloat (-.f));
           push vm th (VFloat (-.f))
@@ -621,7 +638,7 @@ let rec step vm (th : Vmthread.t) : step_result =
       if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit;
       let k = Vm.class_of vm (frame_self vm th th.fp) in
       Klass.define_method k sym (Klass.Bytecode code);
-      wr vm th k.mtbl_base (VInt sym);
+      wr vm th k.mtbl_base (vint sym);
       push vm th (VSym sym);
       th.pc <- th.pc + 1;
       continue_ ()
@@ -665,13 +682,13 @@ and new_instance vm th (site : send_site) =
       finish_value (VRef (Objects.new_range vm th ~lo ~hi ~excl:false))
   | Klass.K_mutex ->
       let slot = Objects.new_plain vm th target in
-      wr vm th (slot + Layout.m_locked) (VInt 0);
-      wr vm th (slot + Layout.m_owner) (VInt (-1));
-      wr vm th (slot + Layout.m_waiters) (VInt 0);
+      wr vm th (slot + Layout.m_locked) (vint 0);
+      wr vm th (slot + Layout.m_owner) (vint (-1));
+      wr vm th (slot + Layout.m_waiters) (vint 0);
       finish_value (VRef slot)
   | Klass.K_condvar ->
       let slot = Objects.new_plain vm th target in
-      wr vm th (slot + Layout.c_waiters) (VInt 0);
+      wr vm th (slot + Layout.c_waiters) (vint 0);
       finish_value (VRef slot)
   | _ -> (
       let slot = Objects.new_plain vm th target in
@@ -713,20 +730,20 @@ and new_thread_insn vm th (site : send_site) =
   in
   let obj = Heap.alloc_slot vm.Vm.heap th ~class_id:vm.Vm.c_thread.id in
   let nt = Vm.new_thread vm ~code:bcode ~obj in
-  wr vm th (obj + Layout.t_tid) (VInt nt.tid);
+  wr vm th (obj + Layout.t_tid) (vint nt.tid);
   (* build the new thread's first frame (spawner does the work) *)
   let base = nt.stack_base in
   let self = frame_self vm th th.fp in
   wr vm th (base + Vmthread.f_code) (VCode bcode);
   wr vm th (base + Vmthread.f_self) self;
   wr vm th (base + Vmthread.f_block_code) VNil;
-  wr vm th (base + Vmthread.f_block_fp) (VInt (-1));
+  wr vm th (base + Vmthread.f_block_fp) (vint (-1));
   wr vm th (base + Vmthread.f_block_self) VNil;
-  wr vm th (base + Vmthread.f_caller_fp) (VInt (-1));
-  wr vm th (base + Vmthread.f_caller_pc) (VInt 0);
-  wr vm th (base + Vmthread.f_caller_sp) (VInt base);
-  wr vm th (base + Vmthread.f_defining_fp) (VInt th.fp);
-  wr vm th (base + Vmthread.f_flags) (VInt Vmthread.flag_block);
+  wr vm th (base + Vmthread.f_caller_fp) (vint (-1));
+  wr vm th (base + Vmthread.f_caller_pc) (vint 0);
+  wr vm th (base + Vmthread.f_caller_sp) (vint base);
+  wr vm th (base + Vmthread.f_defining_fp) (vint th.fp);
+  wr vm th (base + Vmthread.f_flags) (vint Vmthread.flag_block);
   let locals = base + Vmthread.frame_hdr in
   let n_copy = min argc bcode.arity in
   for i = 0 to n_copy - 1 do
@@ -742,7 +759,7 @@ and new_thread_insn vm th (site : send_site) =
   th.sp <- th.sp - argc;
   (* one more live thread *)
   let live = int_cell vm th vm.Vm.g_live in
-  wr vm th vm.Vm.g_live (VInt (live + 1));
+  wr vm th vm.Vm.g_live (vint (live + 1));
   push vm th (VRef obj);
   th.pc <- th.pc + 1;
   Continue
@@ -817,7 +834,7 @@ and defclass vm th (cd : class_def) =
       Klass.define_method k sym (Klass.Bytecode getter);
       Klass.define_method k (Sym.intern (Sym.name sym ^ "=")) (Klass.Bytecode setter))
     cd.cd_attrs;
-  wr vm th k.mtbl_base (VInt cd.cd_name);
+  wr vm th k.mtbl_base (vint cd.cd_name);
   Vm.bind_class_const vm k;
   push vm th (rd vm th (Vm.const_cell vm cd.cd_name));
   th.pc <- th.pc + 1;
@@ -885,7 +902,7 @@ and opt_ltlt vm th =
       (match b with
       | VInt y ->
           th.sp <- th.sp - 2;
-          push vm th (VInt (x lsl y));
+          push vm th (vint (x lsl y));
           th.pc <- th.pc + 1
       | _ -> guest_error "bad shift amount");
       Continue

@@ -47,7 +47,7 @@ let c_waiters = 1
 (* Reified class object *)
 let k_class_id = 1
 
-let header_of_class class_id = Value.VInt (class_id * 2)
+let header_of_class class_id = Value.vint (class_id * 2)
 let free_header = Value.VInt (-1)
 
 (* Bits 24+ of a live header are scratch: the CPython-style refcount mode

@@ -19,9 +19,9 @@ let new_array vm th ~len ~fill =
   let slot = Heap.alloc_slot vm.Vm.heap th ~class_id:vm.Vm.c_array.id in
   let cap = max 4 len in
   let data = Heap.malloc vm.Vm.heap th cap in
-  wr vm th (slot + Layout.a_len) (VInt len);
-  wr vm th (slot + Layout.a_cap) (VInt cap);
-  wr vm th (slot + Layout.a_data) (VInt data);
+  wr vm th (slot + Layout.a_len) (vint len);
+  wr vm th (slot + Layout.a_cap) (vint cap);
+  wr vm th (slot + Layout.a_data) (vint data);
   (* initialise contents; write one cell each so footprint is realistic *)
   for i = 0 to len - 1 do
     wr vm th (data + i) fill
@@ -47,8 +47,8 @@ let array_grow vm th slot want =
     for i = 0 to len - 1 do
       wr vm th (ndata + i) (rd vm th (data + i))
     done;
-    wr vm th (slot + Layout.a_cap) (VInt ncap);
-    wr vm th (slot + Layout.a_data) (VInt ndata)
+    wr vm th (slot + Layout.a_cap) (vint ncap);
+    wr vm th (slot + Layout.a_data) (vint ndata)
   end
 
 let array_set vm th slot i v =
@@ -61,7 +61,7 @@ let array_set vm th slot i v =
     for j = len to i - 1 do
       wr vm th (data + j) VNil
     done;
-    wr vm th (slot + Layout.a_len) (VInt (i + 1))
+    wr vm th (slot + Layout.a_len) (vint (i + 1))
   end;
   wr vm th (array_data vm th slot + i) v
 
@@ -69,14 +69,14 @@ let array_push vm th slot v =
   let len = array_len vm th slot in
   array_grow vm th slot (len + 1);
   wr vm th (array_data vm th slot + len) v;
-  wr vm th (slot + Layout.a_len) (VInt (len + 1))
+  wr vm th (slot + Layout.a_len) (vint (len + 1))
 
 let array_pop vm th slot =
   let len = array_len vm th slot in
   if len = 0 then VNil
   else begin
     let v = rd vm th (array_data vm th slot + len - 1) in
-    wr vm th (slot + Layout.a_len) (VInt (len - 1));
+    wr vm th (slot + Layout.a_len) (vint (len - 1));
     v
   end
 
@@ -89,7 +89,7 @@ let array_shift vm th slot =
     for i = 0 to len - 2 do
       wr vm th (data + i) (rd vm th (data + i + 1))
     done;
-    wr vm th (slot + Layout.a_len) (VInt (len - 1));
+    wr vm th (slot + Layout.a_len) (vint (len - 1));
     v
   end
 
@@ -100,10 +100,10 @@ let new_string vm th s =
   let len = String.length s in
   let cells = Layout.string_region_cells len in
   let data = Heap.malloc vm.Vm.heap th cells in
-  wr vm th (slot + Layout.s_len) (VInt len);
+  wr vm th (slot + Layout.s_len) (vint len);
   wr vm th (slot + Layout.s_str) (VStrData s);
-  wr vm th (slot + Layout.s_data) (VInt data);
-  wr vm th (slot + Layout.s_cap) (VInt cells);
+  wr vm th (slot + Layout.s_data) (vint data);
+  wr vm th (slot + Layout.s_cap) (vint cells);
   Htm.touch_write_range vm.Vm.htm ~ctx:th.ctx data cells;
   slot
 
@@ -122,10 +122,10 @@ let string_set_content vm th slot s =
   let cap = int_field vm th (slot + Layout.s_cap) in
   if cells > cap then begin
     let data = Heap.malloc vm.Vm.heap th (max cells (2 * cap)) in
-    wr vm th (slot + Layout.s_data) (VInt data);
-    wr vm th (slot + Layout.s_cap) (VInt (max cells (2 * cap)))
+    wr vm th (slot + Layout.s_data) (vint data);
+    wr vm th (slot + Layout.s_cap) (vint (max cells (2 * cap)))
   end;
-  wr vm th (slot + Layout.s_len) (VInt len);
+  wr vm th (slot + Layout.s_len) (vint len);
   wr vm th (slot + Layout.s_str) (VStrData s);
   let data = int_field vm th (slot + Layout.s_data) in
   Htm.touch_write_range vm.Vm.htm ~ctx:th.ctx data cells
@@ -162,9 +162,9 @@ let new_hash vm th ~cap =
   let slot = Heap.alloc_slot vm.Vm.heap th ~class_id:vm.Vm.c_hash.id in
   let cap = max 8 cap in
   let data = Heap.malloc vm.Vm.heap th (2 * cap) in
-  wr vm th (slot + Layout.h_count) (VInt 0);
-  wr vm th (slot + Layout.h_cap) (VInt cap);
-  wr vm th (slot + Layout.h_data) (VInt data);
+  wr vm th (slot + Layout.h_count) (vint 0);
+  wr vm th (slot + Layout.h_cap) (vint cap);
+  wr vm th (slot + Layout.h_data) (vint data);
   for i = 0 to (2 * cap) - 1 do
     wr vm th (data + i) VNil
   done;
@@ -189,7 +189,7 @@ let rec hash_set vm th slot key v =
       | VNil ->
           wr vm th kcell key;
           wr vm th (kcell + 1) v;
-          wr vm th (slot + Layout.h_count) (VInt (count + 1))
+          wr vm th (slot + Layout.h_count) (vint (count + 1))
       | k when keys_equal vm th k key -> wr vm th (kcell + 1) v
       | _ -> probe ((i + 1) mod cap) (steps + 1)
     in
@@ -209,9 +209,9 @@ and hash_rehash vm th slot ncap =
   for i = 0 to (2 * ncap) - 1 do
     wr vm th (ndata + i) VNil
   done;
-  wr vm th (slot + Layout.h_cap) (VInt ncap);
-  wr vm th (slot + Layout.h_data) (VInt ndata);
-  wr vm th (slot + Layout.h_count) (VInt 0);
+  wr vm th (slot + Layout.h_cap) (vint ncap);
+  wr vm th (slot + Layout.h_data) (vint ndata);
+  wr vm th (slot + Layout.h_count) (vint 0);
   List.iter (fun (k, v) -> hash_set vm th slot k v) !pairs
 
 let hash_get vm th slot key =

@@ -100,6 +100,26 @@ type program = {
   n_caches : int;  (** inline-cache slots to reserve at load time *)
 }
 
+(* CPython-style small-int interning. [VInt] is an immutable one-field
+   block, so sharing one allocation per value is unobservable to guests;
+   the table turns the interpreter's hottest allocation sites (arithmetic
+   results, loop counters, frame-header and length cells) into array reads.
+   Immutable blocks are freely shared across domains in OCaml 5, so one
+   global table serves every harness worker. The range covers loop
+   counters / array indices at paper-size inputs; out-of-range ints fall
+   back to a fresh box. *)
+let small_int_min = -256
+let small_int_max = 65535
+
+let small_ints =
+  Array.init (small_int_max - small_int_min + 1) (fun i ->
+      VInt (small_int_min + i))
+
+let vint n =
+  if n >= small_int_min && n <= small_int_max then
+    Array.unsafe_get small_ints (n - small_int_min)
+  else VInt n
+
 (* Domain-local so parallel harness domains never race, reset per session so
    uids are a pure function of the compiled program (they key the dynamic
    transaction-length tables). *)

@@ -100,6 +100,18 @@ type program = {
   n_caches : int;  (** inline-cache slots to reserve at load time *)
 }
 
+val small_int_min : int
+val small_int_max : int
+
+val vint : int -> t
+(** [VInt n], served from a preallocated intern table for
+    [small_int_min <= n <= small_int_max] (CPython-style small-int caching,
+    sized to cover hot loop counters and array indices) and freshly boxed
+    outside it. Only immutable immediate integers are interned — never
+    [VRef]/[VFloat]/string data — so sharing is unobservable to guests.
+    Interpreter and runner hot paths construct ints through this instead of
+    [VInt] to keep the per-instruction step loop allocation-free. *)
+
 val fresh_code_uid : unit -> int
 
 val reset_code_uids : unit -> unit

@@ -63,8 +63,38 @@ and t = {
   m_cache_misses : Obs.Metrics.counter;
 }
 
+(* Domain-local cache of one retired store backing. A figure sweep boots a
+   fresh VM per experiment point, and the dominant host cost of a point is
+   allocating and faulting in the ~25 MB cell array; recycling one backing
+   per domain (points run sequentially within a domain) turns that into a
+   partial [Array.fill]. Purely a host-side optimisation: addresses come
+   from the bump pointer either way. *)
+let cells_pool : (Value.t array * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let release vm =
+  let pool = Domain.DLS.get cells_pool in
+  pool := Some (Store.retire vm.store)
+
 let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
-  let store = Store.create ~dummy:Value.VNil ~line_cells:machine.Machine.line_cells (1 lsl 16) in
+  (* Pre-size the store past the boot arena (heap_slots * slot_cells cells)
+     plus headroom for stacks and one heap growth, so the backing array is
+     allocated once instead of going through the make_vect + blit doubling
+     chain on every experiment point. *)
+  let initial_cells =
+    if opts.Options.ephemeral_alloc then 1 lsl 16
+    else (1 lsl 16) + (2 * opts.Options.heap_slots * Layout.slot_cells)
+  in
+  let recycled =
+    let pool = Domain.DLS.get cells_pool in
+    let r = !pool in
+    pool := None;
+    r
+  in
+  let store =
+    Store.create ?recycled ~dummy:Value.VNil
+      ~line_cells:machine.Machine.line_cells initial_cells
+  in
   (* address 0 is reserved so 0 can mean "null" in free lists *)
   ignore (Store.reserve store 1);
   let htm = Htm.create ~mode:htm_mode machine store in
@@ -72,7 +102,7 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
   let mk ?super name kind =
     let mtbl_base = Store.reserve_aligned store Klass.mtbl_cells in
     for i = 0 to Klass.mtbl_cells - 1 do
-      Store.set store (mtbl_base + i) (Value.VInt 0)
+      Store.set store (mtbl_base + i) (Value.vint 0)
     done;
     Klass.add_class classes ~name ~kind ~super ~mtbl_base
   in
@@ -125,10 +155,10 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
       c_thread;
       c_mutex;
       c_condvar;
-      g_gil = cell (Value.VInt 0);
-      g_gil_owner = cell (Value.VInt (-1));
-      g_current_thread = cell (Value.VInt (-1));
-      g_live = cell (Value.VInt 0);
+      g_gil = cell (Value.vint 0);
+      g_gil_owner = cell (Value.vint (-1));
+      g_current_thread = cell (Value.vint (-1));
+      g_live = cell (Value.vint 0);
       consts = Hashtbl.create 32;
       gvars = Hashtbl.create 8;
       cvars = Hashtbl.create 8;
@@ -173,7 +203,7 @@ let defsp vm k name fn =
 let define_class vm ?super ~kind name =
   let mtbl_base = Store.reserve_aligned vm.store Klass.mtbl_cells in
   for i = 0 to Klass.mtbl_cells - 1 do
-    Store.set vm.store (mtbl_base + i) (Value.VInt 0)
+    Store.set vm.store (mtbl_base + i) (Value.vint 0)
   done;
   let super = Some (Option.value super ~default:vm.c_object) in
   Klass.add_class vm.classes ~name ~kind ~super ~mtbl_base
@@ -226,7 +256,7 @@ let class_object vm (k : Klass.t) =
     for f = 1 to Layout.n_fields do
       Store.set vm.store (slot + f) Value.VNil
     done;
-    Store.set vm.store (slot + Layout.k_class_id) (Value.VInt k.id);
+    Store.set vm.store (slot + Layout.k_class_id) (Value.vint k.id);
     k.class_obj <- slot;
     slot
   end
@@ -250,7 +280,7 @@ let new_thread vm ~code ~obj =
     else Store.reserve vm.store Vmthread.struct_cells
   in
   for i = 0 to Vmthread.struct_cells - 1 do
-    Store.set vm.store (struct_base + i) (Value.VInt 0)
+    Store.set vm.store (struct_base + i) (Value.vint 0)
   done;
   let tid = vm.n_threads in
   vm.n_threads <- tid + 1;
@@ -303,8 +333,8 @@ let install_gc_hooks vm =
     (fun () ->
       List.iter
         (fun (th : Vmthread.t) ->
-          Store.set vm.store (th.struct_base + Vmthread.st_free_head) (Value.VInt 0);
-          Store.set vm.store (th.struct_base + Vmthread.st_free_count) (Value.VInt 0))
+          Store.set vm.store (th.struct_base + Vmthread.st_free_head) (Value.vint 0);
+          Store.set vm.store (th.struct_base + Vmthread.st_free_count) (Value.vint 0))
         vm.threads)
 
 (* Reserve the inline-cache region once the program is known. *)
@@ -312,7 +342,7 @@ let load_program vm (prog : Value.program) =
   let n = max 1 prog.n_caches in
   let base = Store.reserve_aligned vm.store (2 * n) in
   for i = 0 to (2 * n) - 1 do
-    Store.set vm.store (base + i) (Value.VInt (-1))
+    Store.set vm.store (base + i) (Value.vint (-1))
   done;
   vm.cache_base <- base;
   vm.n_caches <- n

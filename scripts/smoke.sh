@@ -1,13 +1,18 @@
 #!/bin/sh
-# Smoke pass: build, full test suite, a quick figure regeneration under 1
-# and 4 worker domains, and a check that the two runs' "figures" members
-# are byte-identical (host wall times live outside that member and may
+# Smoke pass: build, full test suite, the Gc allocation gates, a quick
+# figure regeneration under 1 and 4 worker domains and under both
+# schedulers, and checks that every run's "figures" member is
+# byte-identical (host wall times live outside that member and may
 # legitimately differ).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+
+# allocation gates: transactional accesses and the interpreter step loop
+# must stay allocation-free in steady state
+dune exec bench/main.exe -- gates
 
 BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
 d1=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
@@ -20,5 +25,16 @@ if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
   exit 1
 fi
 echo "smoke: figures identical across worker counts (digest $d1)"
+
+# the event-driven scheduler must reproduce the reference linear scan's
+# interleaving exactly: regenerate under BENCH_SCHED=ref and compare
+BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+dref=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+
+if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
+  echo "smoke: FAIL: figures differ between heap ($d1) and reference ($dref) schedulers" >&2
+  exit 1
+fi
+echo "smoke: figures identical across schedulers (digest $dref)"
 
 echo "smoke: OK"

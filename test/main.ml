@@ -22,6 +22,7 @@ let () =
       ("txlen", Test_txlen.suite);
       ("schemes", Test_schemes.suite);
       ("runner", Test_runner.suite);
+      ("sched", Test_sched.suite);
       ("lazy-sweep", Test_lazy_sweep.suite);
       ("extensions", Test_extensions.suite);
       ("shapes", Test_shapes.suite);

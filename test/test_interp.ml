@@ -342,9 +342,55 @@ p :sym|};
   check "print" "abc\n" {|print "a", "b", "c"
 puts ""|}
 
+(* The CPython-style small-int intern table behind [Value.vint]. *)
+let test_small_int_interning () =
+  (* cached range returns the same box every time — physical equality *)
+  Alcotest.(check bool) "0 interned" true (Rvm.Value.vint 0 == Rvm.Value.vint 0);
+  Alcotest.(check bool) "min boundary interned" true
+    (Rvm.Value.vint Rvm.Value.small_int_min == Rvm.Value.vint Rvm.Value.small_int_min);
+  Alcotest.(check bool) "max boundary interned" true
+    (Rvm.Value.vint Rvm.Value.small_int_max == Rvm.Value.vint Rvm.Value.small_int_max);
+  (* structural correctness across the whole range, boundaries included *)
+  List.iter
+    (fun n ->
+      match Rvm.Value.vint n with
+      | Rvm.Value.VInt v -> Alcotest.(check int) (string_of_int n) n v
+      | _ -> Alcotest.fail "vint did not build a VInt")
+    [
+      Rvm.Value.small_int_min - 1; Rvm.Value.small_int_min; -1; 0; 1; 255;
+      Rvm.Value.small_int_max; Rvm.Value.small_int_max + 1; max_int; min_int;
+    ];
+  (* outside the range: fresh boxes, still correct *)
+  let big = Rvm.Value.small_int_max + 1 in
+  Alcotest.(check bool) "outside range not interned" false
+    (Rvm.Value.vint big == Rvm.Value.vint big);
+  Alcotest.(check bool) "outside range equal" true
+    (Rvm.Value.vint big = Rvm.Value.vint big)
+
+(* Sharing interned ints must be unobservable to guests: mutating a
+   container cell that held an interned value cannot leak anywhere else,
+   because mutation rebinds cells rather than mutating int boxes. *)
+let test_interning_unobservable () =
+  check "container mutation does not alias" "7\n1\n1\n"
+    {|a = [1, 1]
+b = [1]
+a[0] = 7
+puts a[0]
+puts a[1]
+puts b[0]|};
+  check "arithmetic on shared small ints" "3\n2\n1\n"
+    {|x = 1
+y = x + 1
+z = y + 1
+puts z
+puts y
+puts x|}
+
 let suite =
   [
     Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "small-int interning" `Quick test_small_int_interning;
+    Alcotest.test_case "interning unobservable" `Quick test_interning_unobservable;
     Alcotest.test_case "strings" `Quick test_strings;
     Alcotest.test_case "arrays" `Quick test_arrays;
     Alcotest.test_case "hashes" `Quick test_hashes;

@@ -75,6 +75,35 @@ let test_registry_handles () =
   | J.Obj [ ("a", J.Obj _); ("c", J.Int 6) ] -> ()
   | j -> Alcotest.failf "unexpected metrics JSON %s" (J.to_string j)
 
+(* Gauges: high-watermark readings, merged by maximum. *)
+let test_gauges () =
+  let m = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.set g 5;
+  Obs.Metrics.gauge_max g 3;
+  Alcotest.(check int) "gauge_max keeps high-watermark" 5 g.Obs.Metrics.value;
+  Obs.Metrics.gauge_max g 9;
+  Alcotest.(check int) "gauge_max raises" 9 g.Obs.Metrics.value;
+  (* same name -> same handle; kind clashes rejected *)
+  Obs.Metrics.set (Obs.Metrics.gauge m "g") 2;
+  Alcotest.(check int) "set through second handle" 2 g.Obs.Metrics.value;
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics.counter: g is a gauge") (fun () ->
+      ignore (Obs.Metrics.counter m "g"));
+  (* merge takes the maximum across sinks *)
+  Obs.Metrics.set g 4;
+  let dst = Obs.Metrics.create () in
+  Obs.Metrics.set (Obs.Metrics.gauge dst "g") 7;
+  Obs.Metrics.merge dst m;
+  Alcotest.(check int) "merge keeps max" 7 (Obs.Metrics.gauge dst "g").Obs.Metrics.value;
+  Obs.Metrics.set g 11;
+  Obs.Metrics.merge dst m;
+  Alcotest.(check int) "merge raises to src" 11
+    (Obs.Metrics.gauge dst "g").Obs.Metrics.value;
+  match Obs.Metrics.to_json m with
+  | J.Obj [ ("g", J.Obj [ ("type", J.Str "gauge"); ("value", J.Int 11) ]) ] -> ()
+  | j -> Alcotest.failf "unexpected gauge JSON %s" (J.to_string j)
+
 (* ---- JSON printer / parser ---- *)
 
 let test_json_roundtrip () =
@@ -309,6 +338,7 @@ let suite =
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
     Alcotest.test_case "registry handles" `Quick test_registry_handles;
+    Alcotest.test_case "gauges" `Quick test_gauges;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "chrome trace wellformed" `Quick
       test_chrome_trace_wellformed;
