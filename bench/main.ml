@@ -222,6 +222,29 @@ let figures () =
     (time "refcount" "Section 7 (CPython-style refcounting)" (fun () ->
          pair_series_json ~variant:"refcounted"
            (Harness.Figures.refcount ~size fmt)));
+  (* The hybrid-TM panel lives OUTSIDE "figures" with its own digest: the
+     "figures" member (and its digest) stays byte-identical to runs that
+     predate the STM subsystem. *)
+  let hybrid =
+    time "hybrid" "Hybrid TM (STM fallback)" (fun () ->
+        J.List
+          (List.map
+             (fun (p : Harness.Figures.panel) ->
+               let fb name =
+                 (Obs.Metrics.counter p.Harness.Figures.metrics name)
+                   .Obs.Metrics.count
+               in
+               match panel_json p with
+               | J.Obj fields ->
+                   J.Obj
+                     (fields
+                     @ [
+                         ("fallback_gil", J.Int (fb "fallback.gil"));
+                         ("fallback_stm", J.Int (fb "fallback.stm"));
+                       ])
+               | j -> j)
+             (Harness.Figures.fig_hybrid ~size fmt)))
+  in
   let doc =
     J.Obj
       [
@@ -229,12 +252,14 @@ let figures () =
         ("size", J.Str (Workloads.Size.to_string size));
         ("jobs", J.Int (Harness.Pool.default_jobs ()));
         ("figures", J.Obj (List.rev !figs));
+        ("hybrid", hybrid);
         ("host", J.Obj (List.rev !host_times));
       ]
   in
   J.to_file results_file doc;
   Format.fprintf fmt "@.figures digest: %s@."
     (fnv64 (J.to_string (J.Obj (List.rev !figs))));
+  Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string hybrid));
   Format.fprintf fmt "@.results -> %s@." results_file
 
 (* ---- validate: parse-check a results file (used by the smoke script) ---- *)
@@ -263,7 +288,10 @@ let validate path =
           (* digest of the simulated data only — host times and the jobs
              count sit outside "figures" and may legitimately differ *)
           Format.fprintf fmt "figures digest: %s@."
-            (fnv64 (J.to_string (J.Obj figs)))
+            (fnv64 (J.to_string (J.Obj figs)));
+          (match J.member "hybrid" doc with
+          | Some h -> Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string h))
+          | None -> ())
       | _ ->
           Format.eprintf "%s: parsed, but no \"figures\" object@." path;
           exit 1)
@@ -591,10 +619,53 @@ let step_alloc_check () =
     exit 1
   end
 
+(* Acceptance gate for the STM engine's flat redo/read-set state: once the
+   generation-stamped tables are warm, a software-transactional access
+   (begin / read / write / validate / commit loop) must not allocate. Uses
+   an int store so no values box. *)
+let stm_alloc_check () =
+  Format.fprintf fmt
+    "@.=== steady-state allocation per software-transactional access ===@.";
+  let machine = Htm_sim.Machine.zec12 in
+  let store =
+    Htm_sim.Store.create ~dummy:0 ~line_cells:machine.line_cells 4096
+  in
+  let htm = Htm_sim.Htm.create machine store in
+  Htm_sim.Htm.set_occupied htm 0 true;
+  let stm = Stm.create ~mk_clock:(fun n -> n) htm in
+  let region = Htm_sim.Store.reserve_aligned store 1024 in
+  let txns = 2_000 and writes = 64 in
+  let loop () =
+    for _ = 1 to txns do
+      Stm.begin_ stm ~ctx:0 ~rollback:(fun _ -> ());
+      for i = 0 to writes - 1 do
+        Htm_sim.Htm.write htm ~ctx:0 (region + (i * 8)) i
+      done;
+      for i = 0 to writes - 1 do
+        ignore (Htm_sim.Htm.read htm ~ctx:0 (region + (i * 8)))
+      done;
+      assert (Stm.validate stm ~ctx:0 < 0);
+      Stm.commit stm ~ctx:0
+    done
+  in
+  loop ();
+  (* warm: redo log, write table and read set grown *)
+  let w0 = Gc.minor_words () in
+  loop ();
+  let w1 = Gc.minor_words () in
+  let accesses = float_of_int (txns * writes * 2) in
+  let per_access = (w1 -. w0) /. accesses in
+  Format.fprintf fmt "%.5f minor words per access (budget 0.01)@." per_access;
+  if per_access > 0.01 then begin
+    Format.eprintf "FAIL: software-transactional accesses allocate in steady state@.";
+    exit 1
+  end
+
 (* The Gc-based gates alone, without the Bechamel suite: cheap enough for
    the smoke script and CI to run on every push. *)
 let gates () =
   zero_alloc_check ();
+  stm_alloc_check ();
   step_alloc_check ()
 
 let micro () =
@@ -603,6 +674,7 @@ let micro () =
   tracing_overhead_check ();
   flat_vs_hashtbl_check ();
   zero_alloc_check ();
+  stm_alloc_check ();
   step_alloc_check ()
 
 let () =

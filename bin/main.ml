@@ -17,7 +17,8 @@ let machine_arg =
 let scheme_arg =
   let doc =
     "Synchronisation scheme: gil, htm-1, htm-16, htm-256, htm-dynamic, \
-     fine-grained, free-parallel."
+     hybrid (HTM with software-transaction fallback), stm, fine-grained, \
+     free-parallel."
   in
   Arg.(value & opt string "htm-dynamic" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
@@ -96,6 +97,11 @@ let metrics_document (r : Core.Runner.result) =
           (List.map
              (fun (k, v) -> (k, Obs.Json.Int v))
              (Htm_sim.Stats.to_assoc r.htm_stats)) );
+      ( "stm",
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Obs.Json.Int v))
+             (Stm.stats_to_assoc r.stm_stats)) );
       ("metrics", Obs.Metrics.to_json r.metrics);
       ("abort_sites", Obs.Sites.to_json r.abort_sites);
       ( "breakdown",
@@ -163,6 +169,14 @@ let print_outcome ~quiet (o : Harness.Exp.outcome) =
   Format.printf "  HTM                 %a@." Htm_sim.Stats.pp r.htm_stats;
   Format.printf "  GIL acquisitions    %d@." r.gil_acquisitions;
   Format.printf "  GC runs             %d (allocations %d)@." r.gc_runs r.allocs;
+  if Core.Scheme.uses_stm o.p.scheme then begin
+    let s = r.stm_stats in
+    Format.printf
+      "  STM                 %d begins, %d commits (%d read-only), %d aborts \
+       (%d validation)@."
+      s.Stm.begins s.Stm.commits s.Stm.read_only_commits (Stm.stats_aborts s)
+      s.Stm.aborts_validation
+  end;
   if o.p.scheme = Core.Scheme.Htm_dynamic then
     Format.printf "  adjusted lengths    mean %.1f, %.0f%% of points at 1@."
       r.txlen_mean (100.0 *. r.txlen_at_one);
@@ -248,7 +262,7 @@ let exec_cmd =
 let fig_cmd =
   let which_arg =
     let doc =
-      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 ablation overhead \
+      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid ablation overhead \
        future-work refcount all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
@@ -268,6 +282,7 @@ let fig_cmd =
       | "fig7" -> ignore (Harness.Figures.fig7 ~size fmt)
       | "fig8" -> ignore (Harness.Figures.fig8 ~size fmt)
       | "fig9" -> ignore (Harness.Figures.fig9 ~size fmt)
+      | "hybrid" -> ignore (Harness.Figures.fig_hybrid ~size fmt)
       | "ablation" -> ignore (Harness.Figures.ablation ~size fmt)
       | "overhead" -> ignore (Harness.Figures.overhead ~size fmt)
       | "future-work" -> ignore (Harness.Figures.future_work ~size fmt)
@@ -279,8 +294,8 @@ let fig_cmd =
     if which = "all" then
       List.iter doit
         [
-          "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "ablation";
-          "overhead"; "future-work"; "refcount";
+          "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "hybrid";
+          "ablation"; "overhead"; "future-work"; "refcount";
         ]
     else doit which
   in

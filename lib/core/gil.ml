@@ -63,6 +63,10 @@ let take t (th : Rvm.Vmthread.t) =
   t.acquisitions <- t.acquisitions + 1;
   let costs = t.vm.Rvm.Vm.machine.costs in
   th.clock <- max th.clock t.free_since + costs.cyc_gil_acquire;
+  (* software transactions live across an acquisition can never commit (the
+     scheme's lock-dirty check refuses them) and must not run as zombies
+     while the holder mutates the store around the engine (GC) *)
+  Htm.abort_all_software ~except:th.ctx t.vm.Rvm.Vm.htm Htm_sim.Txn.Conflict;
   Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx (acquired_cell t) (Rvm.Value.vint 1);
   Htm.write t.vm.Rvm.Vm.htm ~ctx:th.ctx t.vm.Rvm.Vm.g_gil_owner (Rvm.Value.vint th.tid);
   (* the interpreter caches the running thread in globals (conflict #1) or

@@ -70,6 +70,7 @@ type result = {
   output : string;
   main_value : Rvm.Value.t;
   htm_stats : Stats.t;
+  stm_stats : Stm.stats;  (** all-zero unless the scheme uses the STM *)
   breakdown : breakdown;
   gil_acquisitions : int;
   gc_runs : int;
@@ -96,6 +97,14 @@ type tle_state = {
           GIL conflict if an acquisition happened since, even if the lock was
           already released again by the time this thread gets to run its
           abort handler (on real hardware the handler runs immediately) *)
+  mutable stm_retry_counter : int;
+      (** software retries left for the current window; -1 = no STM window
+          open (the budget is looked up per site at the first software begin) *)
+  mutable stm_retry_init : int;
+  mutable stm_site_uid : int;
+      (** the (code uid, pc) the software window opened at, for rewarding /
+          punishing the per-site retry budget after rollback moved th.pc *)
+  mutable stm_site_pc : int;
 }
 
 let transient_retry_max = 3
@@ -105,6 +114,11 @@ type t = {
   cfg : config;
   vm : Rvm.Vm.t;
   gil : Gil.t;
+  stm : Rvm.Value.t Stm.t option;
+      (** the software fallback engine; [Some] exactly for schemes with
+          [Scheme.uses_stm] (creating it reserves the commit-clock cell, so
+          the store layout of every other scheme is untouched) *)
+  stm_budget : Stm.Budget.t;
   txlen : Txlen.t;
   session : Rvm.Session.t;
   io : Netsim.t option;
@@ -126,6 +140,11 @@ type t = {
           counts as already passed, so don't fire it again before the
           instruction executes (otherwise a length-1 window could never
           get past its own starting bytecode) *)
+  mutable stm_mode : bool array;
+      (** (Hybrid only) this thread's next windows run as software
+          transactions — set on a persistent/capacity/retry-exhausted
+          hardware abort, cleared when a software window commits or the
+          thread falls all the way back to the GIL *)
   mutable tle : tle_state array;
   mutable park_clock : int array;
   (* wait queues *)
@@ -148,6 +167,10 @@ type t = {
   m_txn_rs : Obs.Metrics.histogram;  (** committed read-set lines *)
   m_txn_ws : Obs.Metrics.histogram;
   m_gil_wait : Obs.Metrics.histogram;  (** cycles parked waiting for the GIL *)
+  m_stm_committed : Obs.Metrics.histogram;
+      (** cycles per committed software transaction *)
+  m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
+  m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
   m_slice_insns : Obs.Metrics.histogram;
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;
@@ -162,6 +185,10 @@ let fresh_tle () =
     gil_retry_counter = gil_retry_max;
     first_retry = true;
     acq_at_begin = 0;
+    stm_retry_counter = -1;
+    stm_retry_init = 0;
+    stm_site_uid = 0;
+    stm_site_pc = 0;
   }
 
 let create ?(io : Netsim.t option) cfg ~source =
@@ -188,6 +215,14 @@ let create ?(io : Netsim.t option) cfg ~source =
   let gil = Gil.create vm in
   gil.Gil.tracer <- cfg.tracer;
   vm.Rvm.Vm.heap.Rvm.Heap.tracer <- cfg.tracer;
+  (* the software fallback engine: created (and its commit-clock cell
+     reserved) only for the schemes that can use it, so every other
+     scheme's store layout — and therefore its figures — is untouched *)
+  let stm =
+    if Scheme.uses_stm cfg.scheme then
+      Some (Stm.create ~mk_clock:(fun n -> Rvm.Value.vint n) vm.Rvm.Vm.htm)
+    else None
+  in
   let sites = Obs.Sites.create () in
   (* Name the shared regions of Section 4.4 / 5.5 by cache line, walking the
      live VM at report time (threads and arenas appear as the run goes). *)
@@ -197,6 +232,11 @@ let create ?(io : Netsim.t option) cfg ~source =
       let heap = vm.Rvm.Vm.heap in
       if line = lof vm.Rvm.Vm.g_gil then Some "GIL word"
       else if line = lof vm.Rvm.Vm.g_gil_owner then Some "GIL owner word"
+      else if
+        match stm with
+        | Some s -> line = lof (Stm.clock_cell s)
+        | None -> false
+      then Some "STM commit clock"
       else if line = lof vm.Rvm.Vm.g_current_thread then
         Some "current-thread global"
       else if line = lof vm.Rvm.Vm.g_live then Some "live-thread count"
@@ -235,6 +275,8 @@ let create ?(io : Netsim.t option) cfg ~source =
     cfg;
     vm;
     gil;
+    stm;
+    stm_budget = Stm.Budget.create ();
     txlen = Txlen.create ~params txlen_mode;
     session;
     io;
@@ -246,6 +288,7 @@ let create ?(io : Netsim.t option) cfg ~source =
     outside = Array.make max_threads true;
     resume_gil = Array.make max_threads false;
     skip_yield = Array.make max_threads false;
+    stm_mode = Array.make max_threads false;
     tle = Array.init max_threads (fun _ -> fresh_tle ());
     park_clock = Array.make max_threads 0;
     mutex_waiters = Hashtbl.create 16;
@@ -274,6 +317,9 @@ let create ?(io : Netsim.t option) cfg ~source =
     m_txn_rs = Obs.Metrics.histogram metrics "txn.read_set_lines";
     m_txn_ws = Obs.Metrics.histogram metrics "txn.write_set_lines";
     m_gil_wait = Obs.Metrics.histogram metrics "gil.wait_cycles";
+    m_stm_committed = Obs.Metrics.histogram metrics "stm.committed_cycles";
+    m_fb_gil = Obs.Metrics.counter metrics "fallback.gil";
+    m_fb_stm = Obs.Metrics.counter metrics "fallback.stm";
     m_slice_insns = Obs.Metrics.histogram metrics "sched.slice_insns";
     g_runnable_peak = Obs.Metrics.gauge metrics "sched.runnable_peak";
   }
@@ -300,6 +346,7 @@ let ensure_tid t tid =
     t.outside <- grow_bool t.outside true;
     t.resume_gil <- grow_bool t.resume_gil false;
     t.skip_yield <- grow_bool t.skip_yield false;
+    t.stm_mode <- grow_bool t.stm_mode false;
     t.ctx_queued <- grow_bool t.ctx_queued false;
     let tle = Array.init m (fun _ -> fresh_tle ()) in
     Array.blit t.tle 0 tle 0 n;
@@ -442,6 +489,181 @@ let read_yield_counter t (th : V.t) =
   | Rvm.Value.VInt n -> n
   | _ -> 1
 
+let reset_retries t (th : V.t) =
+  let st = t.tle.(th.tid) in
+  st.transient_retry_counter <- transient_retry_max;
+  st.gil_retry_counter <- gil_retry_max;
+  st.first_retry <- true;
+  st.stm_retry_counter <- -1
+
+(* ---- the software fallback (lib/stm) ------------------------------------ *)
+
+let stm_of t = match t.stm with Some s -> s | None -> assert false
+
+(* The STM mirror of [rollback_hook]: run by [Stm.abort] whenever this
+   thread's software transaction dies (failed validation, a GIL
+   acquisition, or an explicit escape). *)
+let stm_rollback_hook t (th : V.t) (reason : Txn.abort_reason) =
+  th.n_aborts <- th.n_aborts + 1;
+  let code = th.code.Rvm.Value.code_name and pc = th.pc in
+  let op =
+    if pc >= 0 && pc < Array.length th.code.insns then
+      Rvm.Bytecode.insn_name th.code.insns.(pc)
+    else "?"
+  in
+  V.restore th;
+  let wasted = max 0 (th.clock - th.txn_start_clock) in
+  th.cyc_aborted <- th.cyc_aborted + wasted;
+  t.breakdown.bd_aborted <- t.breakdown.bd_aborted + wasted;
+  let stm = stm_of t in
+  let line = Stm.abort_line stm th.ctx in
+  let rs, ws = Stm.footprint stm th.ctx in
+  let reason_s = Txn.reason_to_string reason in
+  Obs.Sites.record t.sites ~code ~pc ~op ~reason:reason_s ~line;
+  Obs.Metrics.observe t.m_txn_aborted wasted;
+  emit t th
+    (Obs.Event.Txn_abort
+       { reason = reason_s; cycles = wasted; rs; ws; line; code; pc; op });
+  th.clock <- th.clock + (costs t).cyc_abort;
+  sched_sync t th
+
+(* Software-transaction begin, the [transaction_begin] mirror. Returns
+   false if the thread parked. Like hardware windows, software windows obey
+   the strict TLE discipline: none may start — or commit — while the GIL is
+   held, so a GIL holder still observes a fully quiesced VM. *)
+let stm_begin t (th : V.t) =
+  let vm = t.vm in
+  let st = t.tle.(th.tid) in
+  if Rvm.Vm.live_count vm <= 1 then begin
+    (* no concurrency needed: revert to the GIL *)
+    if Gil.held_by t.gil th then true
+    else if t.gil.owner = -1 then begin
+      Gil.take t.gil th;
+      t.outside.(th.tid) <- false;
+      t.skip_yield.(th.tid) <- true;
+      st.stm_retry_counter <- -1;
+      set_yield_counter t th
+        (Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc);
+      true
+    end
+    else begin
+      Gil.enqueue_waiter t.gil th;
+      park t th (V.On_mutex (-1));
+      t.outside.(th.tid) <- true;
+      false
+    end
+  end
+  else if t.gil.owner <> -1 then begin
+    Gil.enqueue_waiter t.gil th;
+    park t th (V.On_mutex (-2));
+    t.outside.(th.tid) <- true;
+    false
+  end
+  else begin
+    let len = Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc in
+    if st.stm_retry_counter < 0 then begin
+      (* a fresh window, not a retry: look up this site's retry budget *)
+      st.stm_site_uid <- th.code.Rvm.Value.uid;
+      st.stm_site_pc <- th.pc;
+      let b =
+        Stm.Budget.allowed t.stm_budget ~uid:st.stm_site_uid ~pc:st.stm_site_pc
+      in
+      st.stm_retry_counter <- b;
+      st.stm_retry_init <- b
+    end;
+    st.acq_at_begin <- t.gil.acquisitions;
+    charge_txn_overhead t th (costs t).cyc_stm_begin;
+    V.snapshot th;
+    th.txn_start_clock <- th.clock;
+    Stm.begin_ (stm_of t) ~ctx:th.ctx ~rollback:(stm_rollback_hook t th);
+    emit t th Obs.Event.Txn_begin;
+    (* these writes route into the redo log: the engine dispatches
+       [Htm.read]/[Htm.write] to the STM for software-active contexts *)
+    set_yield_counter t th len;
+    (if vm.Rvm.Vm.opts.tls_current_thread then begin
+       if not t.cfg.machine.tls_fast then th.clock <- th.clock + (costs t).cyc_tls;
+       Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx
+         (th.struct_base + V.st_tls_current)
+         (Rvm.Value.vint th.tid)
+     end
+     else
+       Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_current_thread
+         (Rvm.Value.vint th.tid));
+    t.outside.(th.tid) <- false;
+    t.skip_yield.(th.tid) <- true;
+    true
+  end
+
+(* Every window that gives up on its primary mode lands here (the Figure 1
+   fallback for HTM-only schemes; the last resort after the STM for the
+   hybrid). *)
+let gil_fallback t (th : V.t) ~cause =
+  Obs.Sites.record_fallback t.sites ~target:"gil" ~cause;
+  Obs.Metrics.incr t.m_fb_gil;
+  t.stm_mode.(th.tid) <- false;
+  if t.gil.owner = -1 then begin
+    Gil.take t.gil th;
+    t.outside.(th.tid) <- false;
+    t.skip_yield.(th.tid) <- true;
+    reset_retries t th;
+    (* window length is unchanged when reverting to the GIL *)
+    set_yield_counter t th
+      (Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc)
+  end
+  else begin
+    Gil.enqueue_waiter t.gil th;
+    park t th (V.On_mutex (-1));
+    t.outside.(th.tid) <- true
+  end
+
+(* Software-transaction commit: validate the read set, publish the redo log
+   and bump the store-resident commit clock (killing subscribed hardware
+   transactions). Returns false — with the pending abort recorded and the
+   registers already rolled back — when validation fails or the GIL was
+   taken since the window began. *)
+let stm_commit t (th : V.t) =
+  let vm = t.vm in
+  let stm = stm_of t in
+  let st = t.tle.(th.tid) in
+  if t.gil.owner <> -1 || t.gil.acquisitions > st.acq_at_begin then begin
+    (* the GIL word is implicitly part of every window's footprint *)
+    Stm.abort stm ~ctx:th.ctx
+      ~line:(Store.line_of vm.Rvm.Vm.store vm.Rvm.Vm.g_gil)
+      Txn.Conflict;
+    false
+  end
+  else begin
+    let bad = Stm.validate stm ~ctx:th.ctx in
+    if bad >= 0 then begin
+      Stm.abort stm ~ctx:th.ctx ~line:bad Txn.Validation;
+      false
+    end
+    else begin
+      let rs, ws = Stm.footprint stm th.ctx in
+      charge_txn_overhead t th
+        ((costs t).cyc_stm_commit
+        + (rs * (costs t).cyc_stm_valid_line)
+        + (ws * (costs t).cyc_mem));
+      Stm.commit stm ~ctx:th.ctx;
+      let in_txn_cycles = max 0 (th.clock - th.txn_start_clock) in
+      th.cyc_committed <- th.cyc_committed + in_txn_cycles;
+      t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles;
+      let retries = max 0 (st.stm_retry_init - st.stm_retry_counter) in
+      Obs.Metrics.observe t.m_stm_committed in_txn_cycles;
+      Obs.Metrics.observe t.m_txn_rs rs;
+      Obs.Metrics.observe t.m_txn_ws ws;
+      Obs.Metrics.observe t.m_txn_retries retries;
+      emit t th
+        (Obs.Event.Txn_commit { cycles = in_txn_cycles; rs; ws; retries });
+      Stm.Budget.reward t.stm_budget ~uid:st.stm_site_uid ~pc:st.stm_site_pc;
+      (* a successful software commit ends the episode: the next window
+         tries hardware again (under Stm_only the flag is never consulted) *)
+      t.stm_mode.(th.tid) <- false;
+      reset_retries t th;
+      true
+    end
+  end
+
 (* transaction_begin (Figure 1). Returns false if the thread parked.
 
    The window's starting yield point is always [th.code]/[th.pc]: begins run
@@ -503,6 +725,14 @@ let rec transaction_begin t (th : V.t) =
          if Gil.read_acquired t.gil th then
            Htm.tabort vm.Rvm.Vm.htm ~ctx:th.ctx Txn.Explicit
        with Htm.Abort_now _ -> ());
+      (* (hybrid) subscribe to the STM commit clock the same way: any
+         software commit while this hardware window runs conflicts it out,
+         which is what makes the two engines mutually serializable *)
+      (match t.stm with
+      | Some stm -> (
+          try ignore (Htm.read vm.Rvm.Vm.htm ~ctx:th.ctx (Stm.clock_cell stm))
+          with Htm.Abort_now _ -> ())
+      | None -> ());
       if Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then begin
         handle_abort t th;
         th.status = V.Runnable
@@ -531,22 +761,17 @@ and handle_abort t (th : V.t) =
     st.first_retry <- false;
     Txlen.adjust_transaction_length t.txlen ~code:th.code ~pc:th.pc
   end;
-  let fallback_to_gil () =
-    if t.gil.owner = -1 then begin
-      Gil.take t.gil th;
-      t.outside.(th.tid) <- false;
-      t.skip_yield.(th.tid) <- true;
-      reset_retries t th;
-      (* window length is unchanged when reverting to the GIL *)
-      set_yield_counter t th
-        (Txlen.set_transaction_length t.txlen ~code:th.code ~pc:th.pc)
-    end
-    else begin
-      Gil.enqueue_waiter t.gil th;
-      park t th (V.On_mutex (-1));
-      t.outside.(th.tid) <- true
-    end
+  (* the hybrid scheme's software detour: aborts whose cause the STM can
+     absorb (unbounded capacity, persistent conflicts, exhausted hardware
+     retries) switch the thread to software windows instead of serialising
+     on the GIL *)
+  let fallback_to_stm ~cause =
+    Obs.Sites.record_fallback t.sites ~target:"stm" ~cause;
+    Obs.Metrics.incr t.m_fb_stm;
+    t.stm_mode.(th.tid) <- true;
+    ignore (stm_begin t th)
   in
+  let hybrid = t.cfg.scheme = Scheme.Hybrid in
   let gil_conflict =
     t.gil.owner <> -1 || t.gil.acquisitions > st.acq_at_begin
   in
@@ -561,9 +786,15 @@ and handle_abort t (th : V.t) =
       end
       else ignore (transaction_begin t th)
     end
-    else fallback_to_gil ()
+    else gil_fallback t th ~cause:"gil-contention"
   end
-  else if Txn.is_persistent reason || reason = Txn.Explicit then fallback_to_gil ()
+  else if reason = Txn.Explicit then gil_fallback t th ~cause:"explicit"
+  else if Txn.is_persistent reason then
+    if hybrid then fallback_to_stm ~cause:"capacity"
+    else gil_fallback t th ~cause:"capacity"
+  else if hybrid && reason = Txn.Eager then
+    (* the predictor deems this site persistently doomed in hardware *)
+    fallback_to_stm ~cause:"persistent"
   else begin
     st.transient_retry_counter <- st.transient_retry_counter - 1;
     if st.transient_retry_counter > 0 then begin
@@ -574,14 +805,36 @@ and handle_abort t (th : V.t) =
       th.clock <- th.clock + Prng.int t.prng (256 lsl attempt);
       ignore (transaction_begin t th)
     end
-    else fallback_to_gil ()
+    else if hybrid then fallback_to_stm ~cause:"retry-budget"
+    else gil_fallback t th ~cause:"retry-budget"
   end
 
-and reset_retries t (th : V.t) =
+(* STM abort handling: the software counterpart of [handle_abort]. The
+   transaction has already been rolled back; retry with backoff while the
+   per-site budget lasts, escape to the GIL otherwise. *)
+let handle_stm_abort t (th : V.t) =
+  let stm = stm_of t in
+  let reason =
+    match Stm.pending_abort stm th.ctx with
+    | Some r -> r
+    | None -> assert false
+  in
+  Stm.clear_pending_abort stm th.ctx;
   let st = t.tle.(th.tid) in
-  st.transient_retry_counter <- transient_retry_max;
-  st.gil_retry_counter <- gil_retry_max;
-  st.first_retry <- true
+  if reason = Txn.Explicit then gil_fallback t th ~cause:"explicit"
+  else begin
+    st.stm_retry_counter <- st.stm_retry_counter - 1;
+    if st.stm_retry_counter > 0 then begin
+      (* contention manager: bounded randomized exponential backoff *)
+      let attempt = max 0 (st.stm_retry_init - st.stm_retry_counter) in
+      th.clock <- th.clock + Prng.int t.prng (256 lsl min attempt 6);
+      ignore (stm_begin t th)
+    end
+    else begin
+      Stm.Budget.punish t.stm_budget ~uid:st.stm_site_uid ~pc:st.stm_site_pc;
+      gil_fallback t th ~cause:"stm-retry-budget"
+    end
+  end
 
 let gil_release_and_wake t (th : V.t) =
   let waiters = Gil.release t.gil th in
@@ -612,6 +865,26 @@ let transaction_end t (th : V.t) =
   end;
   reset_retries t th
 
+(* Open the next window in whatever mode the scheme (and, for the hybrid,
+   the thread's episode state) dictates. *)
+let window_begin t (th : V.t) =
+  match t.cfg.scheme with
+  | Scheme.Stm_only -> stm_begin t th
+  | Scheme.Hybrid when t.stm_mode.(th.tid) -> stm_begin t th
+  | _ -> transaction_begin t th
+
+(* Close the current window. Hardware commits cannot fail (aborts arrive as
+   [Abort_now] during execution); a software commit can — it returns false
+   with the registers rolled back and the pending abort recorded, and the
+   caller must not reopen a window (the retry policy runs on the next
+   scheduling step). *)
+let window_end t (th : V.t) =
+  match t.stm with
+  | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
+  | _ ->
+      transaction_end t th;
+      true
+
 (* transaction_yield (Figure 2 lines 8-16), called at yield points. *)
 let transaction_yield t (th : V.t) =
   let vm = t.vm in
@@ -621,11 +894,11 @@ let transaction_yield t (th : V.t) =
   if Rvm.Vm.live_count vm > 1 then begin
     let c = read_yield_counter t th - 1 in
     set_yield_counter t th c;
-    if c <= 0 then begin
-      transaction_end t th;
-      ignore (transaction_begin t th);
-      if th.status = V.Runnable then t.skip_yield.(th.tid) <- false
-    end
+    if c <= 0 then
+      if window_end t th then begin
+        ignore (window_begin t th);
+        if th.status = V.Runnable then t.skip_yield.(th.tid) <- false
+      end
   end
 
 (* ---- the GIL-only scheme ------------------------------------------------ *)
@@ -663,11 +936,15 @@ let gil_yield_point t (th : V.t) =
    wake-up. *)
 let on_block t (th : V.t) reason =
   assert (not (Htm.in_txn t.vm.Rvm.Vm.htm th.ctx));
+  assert (
+    match t.stm with Some s -> not (Stm.in_txn s th.ctx) | None -> true);
   th.clock <- th.clock + (costs t).cyc_blocking_op;
   if Gil.held_by t.gil th then gil_release_and_wake t th;
   t.outside.(th.tid) <- true;
   (match t.cfg.scheme with
-  | Scheme.Htm_fixed _ | Scheme.Htm_dynamic -> t.resume_gil.(th.tid) <- true
+  | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid | Scheme.Stm_only
+    ->
+      t.resume_gil.(th.tid) <- true
   | Scheme.Gil_only | Scheme.Fine_grained | Scheme.Free_parallel -> ());
   (match reason with
   | V.On_mutex slot -> Queue.add th (queue_for t.mutex_waiters slot)
@@ -732,6 +1009,7 @@ let assign_ctx t (th : V.t) =
   t.outside.(th.tid) <- true;
   t.resume_gil.(th.tid) <- false;
   t.skip_yield.(th.tid) <- false;
+  t.stm_mode.(th.tid) <- false;
   t.tle.(th.tid) <- fresh_tle ();
   if grant_ctx t th then begin
     th.status <- V.Runnable;
@@ -840,14 +1118,21 @@ let step_thread t (th : V.t) =
   end;
   (* 1. outstanding abort to handle? *)
   if Scheme.uses_htm scheme && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then
-    handle_abort t th;
+    handle_abort t th
+  else if
+    Scheme.uses_stm scheme
+    && (match t.stm with
+       | Some s -> Stm.pending_abort s th.ctx <> None
+       | None -> false)
+  then handle_stm_abort t th;
   if th.status <> V.Runnable then ()
   else begin
     (* 2. enter a window if outside one *)
     (if t.outside.(th.tid) then
        match scheme with
        | Scheme.Gil_only -> ignore (gil_enter t th)
-       | Scheme.Htm_fixed _ | Scheme.Htm_dynamic ->
+       | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid
+       | Scheme.Stm_only ->
            if t.resume_gil.(th.tid) then begin
              (* back from a blocking region: reacquire the GIL and finish
                 the current window on the fallback path *)
@@ -856,7 +1141,7 @@ let step_thread t (th : V.t) =
                t.skip_yield.(th.tid) <- true
              end
            end
-           else ignore (transaction_begin t th)
+           else ignore (window_begin t th)
        | Scheme.Fine_grained | Scheme.Free_parallel -> t.outside.(th.tid) <- false);
     if th.status <> V.Runnable then ()
     else begin
@@ -865,16 +1150,25 @@ let step_thread t (th : V.t) =
       (match scheme with
       | Scheme.Gil_only ->
           if Yield_points.original_point insn then gil_yield_point t th
-      | Scheme.Htm_fixed _ | Scheme.Htm_dynamic ->
+      | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid
+      | Scheme.Stm_only -> (
           if t.skip_yield.(th.tid) then t.skip_yield.(th.tid) <- false
           else if Yield_points.is_yield_point t.cfg.yield_points insn then
-            transaction_yield t th
+            (* a software window's yield-counter read can fail validation:
+               the rollback has already run, so just stop this step and let
+               the retry policy pick the thread up again *)
+            try transaction_yield t th with Htm.Abort_now _ -> ())
       | Scheme.Fine_grained | Scheme.Free_parallel -> ());
       if th.status <> V.Runnable then ()
       else begin
         (* 4. execute one instruction *)
         let pre_fp = th.fp and pre_sp = th.sp and pre_pc = th.pc and pre_code = th.code in
-        let in_txn_before = Htm.in_txn vm.Rvm.Vm.htm th.ctx in
+        let in_txn_before =
+          Htm.in_txn vm.Rvm.Vm.htm th.ctx
+          || (match t.stm with
+             | Some s -> Stm.in_txn s th.ctx
+             | None -> false)
+        in
         (try
            let r = Rvm.Interp.step vm th in
            let extra = Htm.step_extra_cycles vm.Rvm.Vm.htm
@@ -896,7 +1190,21 @@ let step_thread t (th : V.t) =
            t.total_insns <- t.total_insns + 1;
            match r with
            | Rvm.Interp.Continue -> ()
-           | Rvm.Interp.Done _ -> on_thread_done t th
+           | Rvm.Interp.Done _ ->
+               (* a software window must commit before the thread can
+                  retire; on failure the registers are rolled back and the
+                  thread re-runs the window (reaching Done again) *)
+               let closed =
+                 match t.stm with
+                 | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
+                 | _ -> true
+               in
+               if closed then on_thread_done t th
+               else
+                 (* [leave_from] already marked the thread finished, but
+                    the rollback rewound it to the window start: revive it
+                    so the retry policy re-runs the window to completion *)
+                 th.status <- V.Runnable
          with
         | Htm.Abort_now _ ->
             (* engine rolled back and the rollback hook restored registers;
@@ -1014,6 +1322,8 @@ let run ?(stop = fun () -> false) t =
     output = Rvm.Vm.output vm;
     main_value = main.V.result;
     htm_stats = Htm.stats vm.Rvm.Vm.htm;
+    stm_stats =
+      (match t.stm with Some s -> Stm.stats s | None -> Stm.stats_create ());
     breakdown = t.breakdown;
     gil_acquisitions = t.gil.acquisitions;
     gc_runs = vm.Rvm.Vm.heap.Rvm.Heap.gc_runs;

@@ -59,6 +59,7 @@ type result = {
   output : string;
   main_value : Rvm.Value.t;
   htm_stats : Htm_sim.Stats.t;
+  stm_stats : Stm.stats;  (** all-zero unless the scheme uses the STM *)
   breakdown : breakdown;
   gil_acquisitions : int;
   gc_runs : int;
@@ -84,6 +85,10 @@ type t = {
   cfg : config;
   vm : Rvm.Vm.t;
   gil : Gil.t;
+  stm : Rvm.Value.t Stm.t option;
+      (** the software fallback engine; [Some] exactly for schemes with
+          [Scheme.uses_stm] *)
+  stm_budget : Stm.Budget.t;
   txlen : Txlen.t;
   session : Rvm.Session.t;
   io : Netsim.t option;
@@ -96,6 +101,8 @@ type t = {
   mutable outside : bool array;
   mutable resume_gil : bool array;
   mutable skip_yield : bool array;
+  mutable stm_mode : bool array;
+      (** (Hybrid) this thread's next windows run as software transactions *)
   mutable tle : tle_state array;
   mutable park_clock : int array;
   mutex_waiters : (int, Rvm.Vmthread.t Queue.t) Hashtbl.t;
@@ -116,6 +123,10 @@ type t = {
   m_txn_rs : Obs.Metrics.histogram;
   m_txn_ws : Obs.Metrics.histogram;
   m_gil_wait : Obs.Metrics.histogram;
+  m_stm_committed : Obs.Metrics.histogram;
+      (** cycles per committed software transaction *)
+  m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
+  m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
   m_slice_insns : Obs.Metrics.histogram;
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;
@@ -127,6 +138,11 @@ and tle_state = {
   mutable gil_retry_counter : int;  (** GIL_RETRY_MAX = 16 *)
   mutable first_retry : bool;
   mutable acq_at_begin : int;
+  mutable stm_retry_counter : int;
+      (** software retries left for the current window; -1 = none open *)
+  mutable stm_retry_init : int;
+  mutable stm_site_uid : int;  (** the site the software window opened at *)
+  mutable stm_site_pc : int;
 }
 
 val create : ?io:Netsim.t -> config -> source:string -> t

@@ -400,6 +400,40 @@ let fig9 ?(size = Workloads.Size.S) fmt =
     all;
   all
 
+(* ---- Hybrid TM: lock-only fallback vs software-transaction fallback ---------- *)
+
+let schemes_hybrid =
+  [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ]
+
+(* zEC12 with a quarter of the store-buffer budget: transactional windows
+   overflow routinely, so the runs spend their time on whichever fallback
+   path the scheme provides — serialising on the GIL (HTM-dynamic) or
+   retrying as a software transaction (Hybrid). The GIL baseline is
+   unaffected by the shrunken budget. *)
+let hybrid_machine = { Machine.zec12 with Machine.ws_lines = 8 }
+
+let fig_hybrid ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Hybrid TM: GIL fallback vs STM fallback (zEC12, store buffer /4)";
+  let machine = hybrid_machine in
+  let threads_list = thread_counts machine in
+  let names = Workloads.Workload.npb_names @ [ "webrick" ] in
+  let panels =
+    List.map
+      (fun name ->
+        run_panel ~schemes:schemes_hybrid ~machine ~threads_list ~size name)
+      names
+  in
+  List.iter
+    (fun p ->
+      print_panel fmt p ~schemes:schemes_hybrid ~threads_list;
+      let fb name = (Obs.Metrics.counter p.metrics name).Obs.Metrics.count in
+      Format.fprintf fmt
+        "%s: windows that fell back across the grid: %d to the GIL, %d to the STM@."
+        p.workload (fb "fallback.gil") (fb "fallback.stm"))
+    panels;
+  panels
+
 (* ---- Section 5.4 ablations -------------------------------------------------- *)
 
 let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =

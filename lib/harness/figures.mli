@@ -69,6 +69,18 @@ val fig9 :
   (string * (string * (int * float) list) list) list
 (** Scalability of HTM-dynamic vs the JRuby / Java NPB baselines. *)
 
+val schemes_hybrid : Core.Scheme.kind list
+(** [GIL; HTM-dynamic; hybrid] — the fallback-strategy comparison grid. *)
+
+val hybrid_machine : Htm_sim.Machine.t
+(** zEC12 with a quarter of the store-buffer budget, so capacity overflow
+    (and therefore the fallback path) dominates. *)
+
+val fig_hybrid : ?size:Workloads.Size.t -> Format.formatter -> panel list
+(** Hybrid-TM panel: GIL-only fallback (HTM-dynamic) vs software-transaction
+    fallback (hybrid) on the NPB set and WEBrick, 1-12 threads, on
+    {!hybrid_machine}. *)
+
 val ablation :
   ?size:Workloads.Size.t ->
   ?threads:int ->

@@ -39,7 +39,29 @@ type 'a t = {
   mutable conflicts : int array;
       (** per line: number of conflict aborts it caused (for the abort-cause
           investigations of Section 5.6) *)
+  mutable versions : int array;
+      (** per line: commit-clock stamp of the last committed write, the
+          TL2-style versioned-lock table software transactions validate
+          against. Stamped only while a software transaction is live
+          ([sw_mask <> 0]); earlier writes are covered by the snapshot
+          rule (a version below the read version is always consistent). *)
   mutable n_lines : int;  (** the tables cover line ids below this *)
+  mutable commit_clock : int;
+      (** global version clock: bumped by every committed write visible to
+          software transactions (non-transactional writes and hardware
+          commits) while any software transaction is live *)
+  (* software-transaction (STM) dispatch. The STM engine lives a layer above
+     this module, so it installs closures; [sw_mask] is a bitset of contexts
+     currently inside a software transaction. Accesses from those contexts
+     are routed to the hooks instead of the plain non-transactional path. *)
+  mutable sw_mask : int;
+  mutable sw_read : int -> int -> 'a;  (** ctx -> addr -> value *)
+  mutable sw_write : int -> int -> 'a -> unit;
+  mutable sw_track_read : int -> int -> unit;
+      (** ctx -> line id: footprint-only read tracking (touch ranges) *)
+  mutable sw_abort : int -> Txn.abort_reason -> unit;
+      (** roll the context's software transaction back; must leave a pending
+          abort for the owning scheme *)
   txns : 'a Txn.t array;
   mutable active : int;  (** number of live transactions *)
   occupied : bool array;  (** ctx hosts a live software thread *)
@@ -50,6 +72,11 @@ type 'a t = {
       (** extra cycles accrued during the current instruction (coherence
           transfers); drained by the runner *)
   mutable step_accesses : int;  (** accesses during the current instruction *)
+  mutable cur_ctx : int;
+      (** context of the instruction currently being interpreted (the
+          simulation interleaves whole bytecodes, so there is exactly one);
+          lets {!peek} route engine-invisible fast-path reads through the
+          executing context's redo log *)
 }
 
 let grow_line_tables t cap_cells =
@@ -64,6 +91,7 @@ let grow_line_tables t cap_cells =
     t.writers <- grow t.writers (-1);
     t.last_writers <- grow t.last_writers (-1);
     t.conflicts <- grow t.conflicts 0;
+    t.versions <- grow t.versions 0;
     t.n_lines <- n
   end
 
@@ -78,7 +106,14 @@ let create ?(mode = Htm_mode) ?(seed = 42) machine store =
       writers = [||];
       last_writers = [||];
       conflicts = [||];
+      versions = [||];
       n_lines = 0;
+      commit_clock = 0;
+      sw_mask = 0;
+      sw_read = (fun _ _ -> invalid_arg "Htm.sw_read: no STM installed");
+      sw_write = (fun _ _ _ -> invalid_arg "Htm.sw_write: no STM installed");
+      sw_track_read = (fun _ _ -> ());
+      sw_abort = (fun _ _ -> ());
       txns = Array.init n (Txn.create ~dummy:(Store.dummy store));
       active = 0;
       occupied = Array.make n false;
@@ -87,6 +122,7 @@ let create ?(mode = Htm_mode) ?(seed = 42) machine store =
       stats = Stats.create ();
       step_extra_cycles = 0;
       step_accesses = 0;
+      cur_ctx = 0;
     }
   in
   Store.set_on_grow store (grow_line_tables t);
@@ -99,6 +135,59 @@ let set_occupied t ctx v = t.occupied.(ctx) <- v
 let in_txn t ctx = t.txns.(ctx).active
 let active_count t = t.active
 let abort_line t ctx = t.txns.(ctx).abort_line
+
+(* ---- software-transaction plumbing -------------------------------------- *)
+
+let commit_clock t = t.commit_clock
+let line_version t id = Array.unsafe_get t.versions id
+
+let set_software_hooks t ~read ~write ~track_read ~abort =
+  t.sw_read <- read;
+  t.sw_write <- write;
+  t.sw_track_read <- track_read;
+  t.sw_abort <- abort
+
+let set_software_active t ctx v =
+  if v then t.sw_mask <- t.sw_mask lor (1 lsl ctx)
+  else t.sw_mask <- t.sw_mask land lnot (1 lsl ctx)
+
+let software_active t ctx = t.sw_mask land (1 lsl ctx) <> 0
+let software_any_active t = t.sw_mask <> 0
+
+(* Software abort request (the STM counterpart of {!tabort}): the installed
+   hook rolls the transaction back and leaves a pending abort; raising
+   unwinds the interpreter to the instruction boundary either way. *)
+let software_abort t ctx reason =
+  t.sw_abort ctx reason;
+  raise (Abort_now reason)
+
+(* Kill every live software transaction except [except]'s. Called when the
+   GIL is acquired: a software transaction live across an acquisition can
+   never commit (the scheme's lock-dirty check refuses it), and letting it
+   run as a zombie is unsafe because the GIL holder may mutate the store
+   *around* the engine (GC's mark/sweep), which per-read validation cannot
+   see. The hook clears each context's [sw_mask] bit, so iterate over a
+   snapshot of the mask. *)
+let abort_all_software ?(except = -1) t reason =
+  let mask = t.sw_mask in
+  if mask <> 0 then
+    for ctx = 0 to Array.length t.txns - 1 do
+      if ctx <> except && mask land (1 lsl ctx) <> 0 then t.sw_abort ctx reason
+    done
+
+let add_step_cycles t c = t.step_extra_cycles <- t.step_extra_cycles + c
+let set_cur_ctx t ctx = t.cur_ctx <- ctx
+
+(* Engine-invisible fast-path read (method-dispatch header peeks). A plain
+   load is correct for hardware transactions — their speculative writes sit
+   in the store — but a software transaction's writes live only in its redo
+   log: an object allocated inside the current software transaction still
+   has the free header in the store, so the peek must go through the hook
+   (which also validates the read, preserving opacity). *)
+let peek t addr =
+  if t.sw_mask <> 0 && t.sw_mask land (1 lsl t.cur_ctx) <> 0 then
+    t.sw_read t.cur_ctx addr
+  else Store.get_unsafe t.store addr
 
 (* Footprint of the context's transaction. rs/ws are reset only at the next
    tbegin, so this is still valid inside the rollback closure of an abort. *)
@@ -210,6 +299,18 @@ let tend t ~ctx =
   s.ws_total <- s.ws_total + txn.ws;
   if txn.rs > s.rs_max then s.rs_max <- txn.rs;
   if txn.ws > s.ws_max then s.ws_max <- txn.ws;
+  (* a hardware commit makes its written lines visible: stamp them so live
+     software transactions holding those lines in their read sets fail
+     validation (one clock tick per commit) *)
+  if t.sw_mask <> 0 && txn.ws > 0 then begin
+    t.commit_clock <- t.commit_clock + 1;
+    let c = t.commit_clock in
+    for i = 0 to txn.lines_len - 1 do
+      let id = Array.unsafe_get txn.lines i in
+      if Array.unsafe_get t.writers id = txn.ctx then
+        Array.unsafe_set t.versions id c
+    done
+  end;
   clear_marks t txn;
   finish_txn t txn
 
@@ -247,6 +348,43 @@ let charge_coherence t ~ctx ~id ~is_write =
   end;
   if is_write then Array.unsafe_set t.last_writers id ctx
 
+(* Non-transactional read: aborts any hardware transaction that wrote the
+   line (its speculative value sits in the store and must be rolled back
+   before anyone else observes it), then reads. Shared by plain accesses and
+   the STM engine's own reads; does not count the access (the public entry
+   points do). *)
+let nontxn_read t ~ctx addr =
+  t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+  if t.active > 0 then begin
+    let id = Store.line_of t.store addr in
+    let w = Array.unsafe_get t.writers id in
+    if w >= 0 && w <> ctx then begin
+      note_conflict t id;
+      abort_txn ~line:id t t.txns.(w) Conflict
+    end
+  end;
+  if t.mode = Coherent then
+    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:false;
+  Store.get_unsafe t.store addr
+
+(* Non-transactional (committed) write: aborts every conflicting hardware
+   transaction and stamps the line's version so live software transactions
+   validate against it. Also the path by which an STM commit publishes its
+   redo log. *)
+let nontxn_write t ~ctx addr v =
+  t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+  if t.active > 0 then begin
+    let id = Store.line_of t.store addr in
+    abort_conflicting t ~ctx ~id
+  end;
+  if t.mode = Coherent then
+    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
+  if t.sw_mask <> 0 then begin
+    t.commit_clock <- t.commit_clock + 1;
+    Array.unsafe_set t.versions (Store.line_of t.store addr) t.commit_clock
+  end;
+  Store.set_unsafe t.store addr v
+
 let read t ~ctx addr =
   t.step_accesses <- t.step_accesses + 1;
   let txn = t.txns.(ctx) in
@@ -272,20 +410,8 @@ let read t ~ctx addr =
     end;
     Store.get_unsafe t.store addr
   end
-  else begin
-    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
-    if t.active > 0 then begin
-      let id = Store.line_of t.store addr in
-      let w = Array.unsafe_get t.writers id in
-      if w >= 0 && w <> ctx then begin
-        note_conflict t id;
-        abort_txn ~line:id t t.txns.(w) Conflict
-      end
-    end;
-    if t.mode = Coherent then
-      charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:false;
-    Store.get_unsafe t.store addr
-  end
+  else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_read ctx addr
+  else nontxn_read t ~ctx addr
 
 let write t ~ctx addr v =
   t.step_accesses <- t.step_accesses + 1;
@@ -313,16 +439,8 @@ let write t ~ctx addr v =
     Txn.push_undo txn addr (Store.get_unsafe t.store addr);
     Store.set_unsafe t.store addr v
   end
-  else begin
-    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
-    if t.active > 0 then begin
-      let id = Store.line_of t.store addr in
-      abort_conflicting t ~ctx ~id
-    end;
-    if t.mode = Coherent then
-      charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
-    Store.set_unsafe t.store addr v
-  end
+  else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_write ctx addr v
+  else nontxn_write t ~ctx addr v
 
 (* Footprint-only touches: used by "C extension" code (regex, database) to
    model scanning large buffers without materialising a value per cell. *)
@@ -349,12 +467,15 @@ let touch_read_range t ~ctx base len =
           end
         end
       end
-      else if t.active > 0 then begin
-        let w = Array.unsafe_get t.writers id in
-        if w >= 0 && w <> ctx then begin
-          note_conflict t id;
-          abort_txn ~line:id t t.txns.(w) Conflict
-        end
+      else begin
+        if t.active > 0 then begin
+          let w = Array.unsafe_get t.writers id in
+          if w >= 0 && w <> ctx then begin
+            note_conflict t id;
+            abort_txn ~line:id t t.txns.(w) Conflict
+          end
+        end;
+        if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_track_read ctx id
       end
     done;
     t.step_accesses <- t.step_accesses + (1 + last - first)
@@ -369,7 +490,13 @@ let touch_write_range t ~ctx base len =
     let line_cells = t.machine.line_cells in
     for id = first to last do
       let addr = max base (id * line_cells) in
-      write t ~ctx addr (Store.get_unsafe t.store addr)
+      (* a software transaction must rewrite its own redo-log value, not the
+         (older) store value, or the commit would undo its earlier write *)
+      let v =
+        if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_read ctx addr
+        else Store.get_unsafe t.store addr
+      in
+      write t ~ctx addr v
     done
   end
 

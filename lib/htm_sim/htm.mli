@@ -73,6 +73,68 @@ val clear_pending_abort : 'a t -> int -> unit
 val read : 'a t -> ctx:int -> int -> 'a
 val write : 'a t -> ctx:int -> int -> 'a -> unit
 
+(** {2 Software-transaction (STM) plumbing}
+
+    The hybrid fallback's software TM lives a layer above this module; these
+    entry points let it share the line tables so hardware and software
+    transactions conflict-detect against each other. *)
+
+val nontxn_read : 'a t -> ctx:int -> int -> 'a
+(** The committed (non-transactional) read path: aborts any hardware writer
+    of the line first. Does not count the access — callers that model a
+    guest access use {!read}. *)
+
+val nontxn_write : 'a t -> ctx:int -> int -> 'a -> unit
+(** The committed write path: aborts conflicting hardware transactions and,
+    while any software transaction is live, stamps the line's version with a
+    fresh commit-clock tick. STM commits publish their redo logs here. *)
+
+val commit_clock : 'a t -> int
+(** Current global version clock (software transactions snapshot it). *)
+
+val line_version : 'a t -> int -> int
+(** Commit-clock stamp of the last committed write to a line. *)
+
+val set_software_hooks :
+  'a t ->
+  read:(int -> int -> 'a) ->
+  write:(int -> int -> 'a -> unit) ->
+  track_read:(int -> int -> unit) ->
+  abort:(int -> Txn.abort_reason -> unit) ->
+  unit
+(** Install the STM engine's access hooks ([ctx -> addr -> ...]); guest
+    accesses from contexts flagged via {!set_software_active} are routed to
+    them. [track_read] receives line ids from footprint-only touches;
+    [abort] must roll the context's software transaction back and leave a
+    pending abort. *)
+
+val set_software_active : 'a t -> int -> bool -> unit
+val software_active : 'a t -> int -> bool
+val software_any_active : 'a t -> bool
+
+val software_abort : 'a t -> int -> Txn.abort_reason -> 'b
+(** Abort the context's software transaction via the installed hook. Always
+    raises {!Abort_now}. *)
+
+val abort_all_software : ?except:int -> 'a t -> Txn.abort_reason -> unit
+(** Abort every live software transaction (other than [except]'s) via the
+    installed hook. Called on GIL acquisition: the lock holder may mutate
+    the store around the engine (GC), which software validation cannot
+    observe, so no software transaction may stay live across it. *)
+
+val add_step_cycles : 'a t -> int -> unit
+(** Accrue extra cycles to the current instruction (STM instrumentation
+    surcharges use this, like coherence transfers do internally). *)
+
+val set_cur_ctx : 'a t -> int -> unit
+(** Record the context whose instruction is being interpreted (the
+    interpreter calls this once per bytecode). *)
+
+val peek : 'a t -> int -> 'a
+(** Engine-invisible fast-path read (method-dispatch header peeks): a plain
+    store load, except that it routes through the redo log when the
+    currently executing context is inside a software transaction. *)
+
 val touch_read_range : 'a t -> ctx:int -> int -> int -> unit
 (** Read-footprint touch of [len] cells from a base address, one access per
     line: models extension code scanning large buffers. *)

@@ -20,6 +20,12 @@ type costs = {
   cyc_gc_per_slot : int;  (** mark-and-sweep cost per heap slot *)
   cyc_blocking_op : int;  (** entering/leaving a blocking call *)
   cyc_line_transfer : int;  (** cache-to-cache transfer of a contended line *)
+  cyc_stm_access : int;
+      (** software-transaction instrumentation per guest access (redo-log
+          append / version check) — the classic STM single-thread tax *)
+  cyc_stm_begin : int;  (** software transaction setup *)
+  cyc_stm_commit : int;  (** fixed part of commit (locking, clock bump) *)
+  cyc_stm_valid_line : int;  (** commit-time validation per read-set line *)
 }
 
 type t = {
@@ -56,6 +62,10 @@ let default_costs =
     cyc_gc_per_slot = 4;
     cyc_blocking_op = 350;
     cyc_line_transfer = 90;
+    cyc_stm_access = 8;
+    cyc_stm_begin = 30;
+    cyc_stm_commit = 40;
+    cyc_stm_valid_line = 2;
   }
 
 (* IBM zEnterprise EC12 LPAR used in the paper: 12 dedicated cores, no SMT,

@@ -20,6 +20,12 @@ type costs = {
   cyc_gc_per_slot : int;  (** mark-and-sweep cost per heap slot *)
   cyc_blocking_op : int;  (** entering/leaving a blocking call *)
   cyc_line_transfer : int;  (** cache-to-cache transfer of a contended line *)
+  cyc_stm_access : int;
+      (** software-transaction instrumentation per guest access (redo-log
+          append / version check) — the classic STM single-thread tax *)
+  cyc_stm_begin : int;  (** software transaction setup *)
+  cyc_stm_commit : int;  (** fixed part of commit (locking, clock bump) *)
+  cyc_stm_valid_line : int;  (** commit-time validation per read-set line *)
 }
 
 type t = {

@@ -42,6 +42,9 @@ let record_abort t (reason : Txn.abort_reason) =
   | Overflow_write -> t.aborts_overflow_write <- t.aborts_overflow_write + 1
   | Explicit -> t.aborts_explicit <- t.aborts_explicit + 1
   | Eager -> t.aborts_eager <- t.aborts_eager + 1
+  (* software-transaction validation failures are accounted by the STM
+     engine's own statistics, not the hardware counters *)
+  | Validation -> ()
 
 let aborts t =
   t.aborts_conflict + t.aborts_overflow_read + t.aborts_overflow_write

@@ -6,6 +6,9 @@ type abort_reason =
   | Overflow_write  (** write set exceeded capacity — persistent *)
   | Explicit  (** TABORT/XABORT issued by software *)
   | Eager  (** Haswell abort-predictor kill; reason unreported by the CPU *)
+  | Validation
+      (** software-transaction read/commit validation failure: a line in the
+          read set was overwritten after the snapshot was taken *)
 
 (* Transient aborts are worth retrying; persistent ones are not (Section 2.1:
    the condition code / EAX reports which). The predictor's eager kills are
@@ -13,7 +16,7 @@ type abort_reason =
    observed on the Xeon. *)
 let is_persistent = function
   | Overflow_read | Overflow_write -> true
-  | Conflict | Explicit | Eager -> false
+  | Conflict | Explicit | Eager | Validation -> false
 
 let reason_to_string = function
   | Conflict -> "conflict"
@@ -21,6 +24,7 @@ let reason_to_string = function
   | Overflow_write -> "overflow-write"
   | Explicit -> "explicit"
   | Eager -> "eager-predictor"
+  | Validation -> "validation"
 
 (* The undo log and the tracked-line list are reusable scratch arrays owned
    by the transaction, not consed lists: once they have grown to a

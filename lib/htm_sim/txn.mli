@@ -6,6 +6,9 @@ type abort_reason =
   | Overflow_write  (** write set exceeded capacity — persistent *)
   | Explicit  (** TABORT/XABORT issued by software *)
   | Eager  (** Haswell abort-predictor kill; reason unreported by the CPU *)
+  | Validation
+      (** software-transaction read/commit validation failure: a read-set
+          line was overwritten after the snapshot was taken *)
 
 val is_persistent : abort_reason -> bool
 (** Persistent aborts are not worth retrying (Section 2.1: the condition

@@ -16,6 +16,10 @@ type cell = {
 type t = {
   sites : (site, cell) Hashtbl.t;
   lines : (int, int) Hashtbl.t;  (** conflicting line -> abort count *)
+  fallbacks : (string * string, int) Hashtbl.t;
+      (** (fallback target, cause) -> count: where windows went after giving
+          up on their primary execution mode (hardware retries exhausted,
+          capacity overflow, explicit escape, STM retry budget, ...) *)
   mutable resolver : int -> string option;  (** line id -> region name *)
   mutable total : int;
 }
@@ -24,6 +28,7 @@ let create () =
   {
     sites = Hashtbl.create 64;
     lines = Hashtbl.create 64;
+    fallbacks = Hashtbl.create 8;
     resolver = (fun _ -> None);
     total = 0;
   }
@@ -47,6 +52,15 @@ let record t ~code ~pc ~op ~reason ~line =
   if line >= 0 then
     Hashtbl.replace t.lines line
       (1 + Option.value (Hashtbl.find_opt t.lines line) ~default:0)
+
+let record_fallback t ~target ~cause =
+  Hashtbl.replace t.fallbacks (target, cause)
+    (1 + Option.value (Hashtbl.find_opt t.fallbacks (target, cause)) ~default:0)
+
+let fallbacks t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.fallbacks []
+  |> List.sort compare
+  |> List.map (fun ((target, cause), n) -> (target, cause, n))
 
 let total t = t.total
 
@@ -102,6 +116,15 @@ let report ?(n = 10) fmt t =
         (fun (l, cnt) ->
           Format.fprintf fmt "  %5.1f%%  %s@." (pct t cnt) (line_label t l))
         lines
+    end;
+    let fbs = fallbacks t in
+    if fbs <> [] then begin
+      let total_fb = List.fold_left (fun acc (_, _, n) -> acc + n) 0 fbs in
+      Format.fprintf fmt "fallback causes (%d fallbacks):@." total_fb;
+      List.iter
+        (fun (target, cause, n) ->
+          Format.fprintf fmt "  %8d  -> %-4s %s@." n target cause)
+        fbs
     end
   end
 
@@ -142,4 +165,15 @@ let to_json ?(n = 25) t : Json.t =
                    ("share", Json.Float (pct t cnt /. 100.0));
                  ])
              (top_lines t n)) );
+      ( "fallbacks",
+        Json.List
+          (List.map
+             (fun (target, cause, cnt) ->
+               Json.Obj
+                 [
+                   ("target", Json.Str target);
+                   ("cause", Json.Str cause);
+                   ("count", Json.Int cnt);
+                 ])
+             (fallbacks t)) );
     ]

@@ -16,6 +16,15 @@ val record :
   t -> code:string -> pc:int -> op:string -> reason:string -> line:int -> unit
 (** Charge one abort; [line] is the conflicting cache line or -1. *)
 
+val record_fallback : t -> target:string -> cause:string -> unit
+(** Charge one fallback decision: a window that gave up on its primary
+    execution mode and went to [target] ("gil" or "stm") because of
+    [cause] ("persistent", "capacity", "retry-budget", "explicit",
+    "gil-contention", "stm-retry-budget"). *)
+
+val fallbacks : t -> (string * string * int) list
+(** [(target, cause, count)], sorted — the [--abort-report] breakdown. *)
+
 val total : t -> int
 
 type cell = { mutable n : int; reasons : (string, int) Hashtbl.t }

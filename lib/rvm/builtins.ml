@@ -17,11 +17,16 @@ let blocking : 'a. Vm.t -> Vmthread.t -> Vmthread.block_reason -> 'a =
  fun vm th reason ->
   if Htm.in_txn vm.Vm.htm th.ctx then
     Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else if Htm.software_active vm.Vm.htm th.ctx then
+    Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit
   else raise (Vmthread.Block reason)
 
-(* IO and other syscall-like operations may not run transactionally. *)
+(* IO and other syscall-like operations may not run transactionally —
+   neither in hardware nor in a software (STM) window. *)
 let no_txn vm (th : Vmthread.t) =
   if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else if Htm.software_active vm.Vm.htm th.ctx then
+    Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit
 
 let as_int name = function
   | VInt i -> i
@@ -54,14 +59,19 @@ let box vm th f =
 (* Non-transactional mutex acquisitions serialise in virtual time; elided
    (transactional) ones are serialised by HTM conflict detection instead. *)
 let sync_mutex_take vm (th : Vmthread.t) slot =
-  if not (Htm.in_txn vm.Vm.htm th.ctx) then
+  if
+    (not (Htm.in_txn vm.Vm.htm th.ctx))
+    && not (Htm.software_active vm.Vm.htm th.ctx)
+  then
     match Hashtbl.find_opt vm.Vm.mutex_release_clock slot with
     | Some at -> th.clock <- max th.clock at
     | None -> ()
 
 let note_mutex_release vm (th : Vmthread.t) slot =
-  if not (Htm.in_txn vm.Vm.htm th.ctx) then
-    Hashtbl.replace vm.Vm.mutex_release_clock slot th.clock
+  if
+    (not (Htm.in_txn vm.Vm.htm th.ctx))
+    && not (Htm.software_active vm.Vm.htm th.ctx)
+  then Hashtbl.replace vm.Vm.mutex_release_clock slot th.clock
 
 let install vm =
   let defp = Vm.defp vm and defsp = Vm.defsp vm in

@@ -315,6 +315,7 @@ let gc_sweep h =
    caller guarantees the GIL is held (so there are no live transactions). *)
 let run_gc h (th : Vmthread.t) =
   assert (Htm.active_count h.htm = 0);
+  assert (not (Htm.software_any_active h.htm));
   h.gc_runs <- h.gc_runs + 1;
   let marked = gc_mark h h.gc_roots in
   let free = gc_sweep h in
@@ -427,6 +428,7 @@ let lazy_refill h (th : Vmthread.t) =
    Grows the heap when mostly live. Requires the GIL, like any GC. *)
 let run_mark_phase h (th : Vmthread.t) =
   assert (Htm.active_count h.htm = 0);
+  assert (not (Htm.software_any_active h.htm));
   h.gc_runs <- h.gc_runs + 1;
   let marked = gc_mark h h.gc_roots in
   h.live_after_gc <- marked;
@@ -486,7 +488,9 @@ let rec alloc_slot h (th : Vmthread.t) ~class_id =
     | None ->
         (* Heap exhausted. GC needs the GIL: inside a transaction we abort
            to the fallback path; otherwise collect inline and retry. *)
-        if Htm.in_txn h.htm th.ctx then Htm.tabort h.htm ~ctx:th.ctx Txn.Explicit;
+        if Htm.in_txn h.htm th.ctx then Htm.tabort h.htm ~ctx:th.ctx Txn.Explicit
+        else if Htm.software_active h.htm th.ctx then
+          Htm.software_abort h.htm th.ctx Txn.Explicit;
         h.flush_locals ();
         if h.opts.lazy_sweep then ignore (run_mark_phase h th)
         else begin

@@ -387,6 +387,7 @@ let rec local_base vm th fp d =
   else local_base vm th (int_cell vm th (fp + Vmthread.f_defining_fp)) (d - 1)
 
 let rec step vm (th : Vmthread.t) : step_result =
+  Htm.set_cur_ctx vm.Vm.htm th.ctx;
   let insn = th.code.insns.(th.pc) in
   let continue_ () = Continue in
   match insn with
@@ -635,7 +636,9 @@ let rec step vm (th : Vmthread.t) : step_result =
       (match leave_from vm th m ret with Some v -> Done v | None -> Continue)
   | Break_insn -> do_break vm th
   | Defmethod (sym, code) ->
-      if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit;
+      if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else if Htm.software_active vm.Vm.htm th.ctx then
+    Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit;
       let k = Vm.class_of vm (frame_self vm th th.fp) in
       Klass.define_method k sym (Klass.Bytecode code);
       wr vm th k.mtbl_base (vint sym);
@@ -721,7 +724,9 @@ and new_instance vm th (site : send_site) =
           finish_value (VRef slot))
 
 and new_thread_insn vm th (site : send_site) =
-  if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit;
+  if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else if Htm.software_active vm.Vm.htm th.ctx then
+    Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit;
   let argc = site.ss_argc in
   let bcode =
     match site.ss_block with
@@ -792,7 +797,9 @@ and do_break vm th =
   match leave_from vm th target ret with Some v -> Done v | None -> Continue
 
 and defclass vm th (cd : class_def) =
-  if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit;
+  if Htm.in_txn vm.Vm.htm th.ctx then Htm.tabort vm.Vm.htm ~ctx:th.ctx Txn.Explicit
+  else if Htm.software_active vm.Vm.htm th.ctx then
+    Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit;
   let name = Sym.name cd.cd_name in
   let k =
     match Klass.find vm.Vm.classes name with

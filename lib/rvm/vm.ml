@@ -243,7 +243,7 @@ let class_of vm (v : Value.t) : Klass.t =
   | VInt _ -> vm.c_integer
   | VFloat _ -> vm.c_float
   | VSym _ -> vm.c_symbol
-  | VRef a -> Klass.get vm.classes (Layout.class_id_of_header (Store.get vm.store a))
+  | VRef a -> Klass.get vm.classes (Layout.class_id_of_header (Htm.peek vm.htm a))
   | VCode _ | VStrData _ -> Value.guest_error "class_of: internal value"
 
 (* Reified class object (receiver for Foo.new, Math.sqrt, ...). *)

@@ -15,10 +15,14 @@ dune runtest
 dune exec bench/main.exe -- gates
 
 BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
-d1=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+v1=$(dune exec bench/main.exe -- validate BENCH_results.json)
+d1=$(echo "$v1" | sed -n 's/^figures digest: //p')
+h1=$(echo "$v1" | sed -n 's/^hybrid digest: //p')
 
 BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
-d4=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+v4=$(dune exec bench/main.exe -- validate BENCH_results.json)
+d4=$(echo "$v4" | sed -n 's/^figures digest: //p')
+h4=$(echo "$v4" | sed -n 's/^hybrid digest: //p')
 
 if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
   echo "smoke: FAIL: figures differ between BENCH_JOBS=1 ($d1) and BENCH_JOBS=4 ($d4)" >&2
@@ -26,13 +30,27 @@ if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
 fi
 echo "smoke: figures identical across worker counts (digest $d1)"
 
+# the hybrid fallback panel lives outside the "figures" member (its machine
+# variant is not part of the paper's grid) and gets its own determinism check
+if [ -z "$h1" ] || [ "$h1" != "$h4" ]; then
+  echo "smoke: FAIL: hybrid panel differs between BENCH_JOBS=1 ($h1) and BENCH_JOBS=4 ($h4)" >&2
+  exit 1
+fi
+echo "smoke: hybrid panel identical across worker counts (digest $h1)"
+
 # the event-driven scheduler must reproduce the reference linear scan's
 # interleaving exactly: regenerate under BENCH_SCHED=ref and compare
 BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
-dref=$(dune exec bench/main.exe -- validate BENCH_results.json | sed -n 's/^figures digest: //p')
+vref=$(dune exec bench/main.exe -- validate BENCH_results.json)
+dref=$(echo "$vref" | sed -n 's/^figures digest: //p')
+href=$(echo "$vref" | sed -n 's/^hybrid digest: //p')
 
 if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
   echo "smoke: FAIL: figures differ between heap ($d1) and reference ($dref) schedulers" >&2
+  exit 1
+fi
+if [ -z "$href" ] || [ "$h1" != "$href" ]; then
+  echo "smoke: FAIL: hybrid panel differs between heap ($h1) and reference ($href) schedulers" >&2
   exit 1
 fi
 echo "smoke: figures identical across schedulers (digest $dref)"

@@ -32,4 +32,5 @@ let () =
       ("servers", Test_servers.suite);
       ("workloads", Test_workloads.suite);
       ("obs", Test_obs.suite);
+      ("stm", Test_stm.suite);
     ]
