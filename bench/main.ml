@@ -118,6 +118,77 @@ let fnv64 s =
     s;
   Printf.sprintf "%016Lx" !h
 
+(* ---- benchmark trajectory: host-performance history across PRs ----
+   An append-only log of timestamped host measurements (wall seconds per
+   figure panel, calibrated interpreter throughput, worker count, tier).
+   Entries survive regeneration — each figures run appends one — so the
+   results file doubles as the perf trajectory future PRs diff against.
+   The log sits OUTSIDE the "figures"/"hybrid" members and never affects
+   their digests. *)
+
+let prior_trajectory () =
+  match
+    (try
+       let ic = open_in results_file in
+       let n = in_channel_length ic in
+       let text = really_input_string ic n in
+       close_in ic;
+       Some (J.of_string text)
+     with Sys_error _ | J.Parse_error _ -> None)
+  with
+  | Some doc -> (
+      match J.member "trajectory" doc with
+      | Some (J.List entries) -> entries
+      | _ -> [])
+  | None -> []
+
+(* Calibrated interpreted-instruction throughput of the selected tier: a
+   fixed intern-range loop, run once to warm the caches and once timed. *)
+let interp_insns_per_sec () =
+  let cfg =
+    Core.Runner.config ~scheme:Core.Scheme.Gil_only Htm_sim.Machine.zec12
+  in
+  let source =
+    "x = 0\ni = 0\nwhile i < 300000\n  x = (x + i) % 256\n  i += 1\nend\nputs x"
+  in
+  ignore (Core.Runner.run_source cfg ~source);
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Runner.run_source cfg ~source in
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 0.0 then float_of_int r.Core.Runner.total_insns /. dt else 0.0
+
+let trajectory_entry ~size =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let total =
+    List.fold_left
+      (fun acc (_, j) -> match j with J.Float s -> acc +. s | _ -> acc)
+      0.0 !host_times
+  in
+  J.Obj
+    [
+      ("timestamp", J.Str stamp);
+      ( "interp",
+        J.Str
+          (match Core.Runner.default_interp_kind () with
+          | Core.Runner.Interp_threaded -> "threaded"
+          | Core.Runner.Interp_ref -> "ref") );
+      ( "sched",
+        J.Str
+          (match Core.Runner.default_sched_kind () with
+          | Core.Runner.Sched_heap -> "heap"
+          | Core.Runner.Sched_ref -> "ref") );
+      ("size", J.Str (Workloads.Size.to_string size));
+      ("jobs", J.Int (Harness.Pool.default_jobs ()));
+      ("host_wall_s", J.Float total);
+      ("panels", J.Obj (List.rev !host_times));
+      ("interp_insns_per_sec", J.Float (interp_insns_per_sec ()));
+    ]
+
 let figures () =
   let size = size () in
   let figs = ref [] in
@@ -245,6 +316,9 @@ let figures () =
                | j -> j)
              (Harness.Figures.fig_hybrid ~size fmt)))
   in
+  let trajectory =
+    J.List (prior_trajectory () @ [ trajectory_entry ~size ])
+  in
   let doc =
     J.Obj
       [
@@ -254,6 +328,7 @@ let figures () =
         ("figures", J.Obj (List.rev !figs));
         ("hybrid", hybrid);
         ("host", J.Obj (List.rev !host_times));
+        ("trajectory", trajectory);
       ]
   in
   J.to_file results_file doc;
@@ -301,8 +376,10 @@ let validate path =
 open Bechamel
 open Toolkit
 
-let run_guest ?tracer ?sched scheme source () =
-  let cfg = Core.Runner.config ?tracer ?sched ~scheme Htm_sim.Machine.zec12 in
+let run_guest ?tracer ?sched ?interp scheme source () =
+  let cfg =
+    Core.Runner.config ?tracer ?sched ?interp ~scheme Htm_sim.Machine.zec12
+  in
   ignore (Core.Runner.run_source cfg ~source)
 
 let micro_source =
@@ -379,6 +456,17 @@ let micro_tests =
     Test.make ~name:"sched:ref-scan"
       (Staged.stage
          (run_guest ~sched:Core.Runner.Sched_ref Core.Scheme.Htm_dynamic
+            mt_source));
+    (* Interpreter tentpole: the same multithreaded guest under the
+       pre-decoded threaded dispatch loop and under the reference switch
+       loop over the tagged bytecode *)
+    Test.make ~name:"interp:threaded"
+      (Staged.stage
+         (run_guest ~interp:Core.Runner.Interp_threaded Core.Scheme.Htm_dynamic
+            mt_source));
+    Test.make ~name:"interp:ref-switch"
+      (Staged.stage
+         (run_guest ~interp:Core.Runner.Interp_ref Core.Scheme.Htm_dynamic
             mt_source));
   ]
 
@@ -603,7 +691,10 @@ let step_alloc_check () =
     Printf.sprintf "x = 0\ni = 0\nwhile i < %d\n  x += i\n  i += 1\nend\nputs x" n
   in
   let measure n =
-    let cfg = Core.Runner.config ~scheme:Core.Scheme.Gil_only Htm_sim.Machine.zec12 in
+    let cfg =
+      Core.Runner.config ~scheme:Core.Scheme.Gil_only
+        ~interp:Core.Runner.Interp_ref Htm_sim.Machine.zec12
+    in
     let w0 = Gc.minor_words () in
     let r = Core.Runner.run_source cfg ~source:(loop_source n) in
     (Gc.minor_words () -. w0, float_of_int r.Core.Runner.total_insns)
@@ -616,6 +707,42 @@ let step_alloc_check () =
   Format.fprintf fmt "%.4f minor words per instruction (budget 0.5)@." per_insn;
   if per_insn > 0.5 then begin
     Format.eprintf "FAIL: interpreter step loop allocates in steady state@.";
+    exit 1
+  end
+
+(* Acceptance gate for the pre-decoded threaded tier: the decoded form puts
+   every operand in a dense int array and the superblock executor charges
+   costs from a table, so the marginal interpreted instruction must be
+   exactly allocation-free in steady state. The guest keeps every value
+   inside the small-int intern range — boxing a large [VInt] is a guest
+   allocation, not a dispatch-loop one — and the tiny budget only absorbs
+   the boxed floats [Gc.minor_words] itself returns. *)
+let threaded_step_alloc_check () =
+  Format.fprintf fmt
+    "@.=== steady-state allocation per threaded-tier instruction ===@.";
+  let loop_source n =
+    Printf.sprintf
+      "x = 0\ni = 0\nwhile i < %d\n  x = (x + i) %% 256\n  i += 1\nend\nputs x"
+      n
+  in
+  let measure n =
+    let cfg =
+      Core.Runner.config ~scheme:Core.Scheme.Gil_only
+        ~interp:Core.Runner.Interp_threaded Htm_sim.Machine.zec12
+    in
+    let w0 = Gc.minor_words () in
+    let r = Core.Runner.run_source cfg ~source:(loop_source n) in
+    (Gc.minor_words () -. w0, float_of_int r.Core.Runner.total_insns)
+  in
+  ignore (measure 1_000);
+  (* warm: intern table, dcode cache *)
+  let w_short, i_short = measure 1_000 in
+  let w_long, i_long = measure 50_000 in
+  let per_insn = (w_long -. w_short) /. (i_long -. i_short) in
+  Format.fprintf fmt "%.5f minor words per instruction (budget 0.01)@."
+    per_insn;
+  if per_insn > 0.01 then begin
+    Format.eprintf "FAIL: threaded interpreter loop allocates in steady state@.";
     exit 1
   end
 
@@ -666,7 +793,8 @@ let stm_alloc_check () =
 let gates () =
   zero_alloc_check ();
   stm_alloc_check ();
-  step_alloc_check ()
+  step_alloc_check ();
+  threaded_step_alloc_check ()
 
 let micro () =
   Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
@@ -675,7 +803,8 @@ let micro () =
   flat_vs_hashtbl_check ();
   zero_alloc_check ();
   stm_alloc_check ();
-  step_alloc_check ()
+  step_alloc_check ();
+  threaded_step_alloc_check ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

@@ -34,6 +34,16 @@ let default_sched_kind () =
   | Some ("ref" | "REF" | "scan") -> Sched_ref
   | _ -> Sched_heap
 
+type interp_kind = Interp_threaded | Interp_ref
+
+(* Same pattern for the interpreter tier: BENCH_INTERP=ref regenerates
+   everything under the reference switch loop so the smoke script and CI
+   can compare figure digests across tiers. *)
+let default_interp_kind () =
+  match Sys.getenv_opt "BENCH_INTERP" with
+  | Some ("ref" | "REF" | "switch") -> Interp_ref
+  | _ -> Interp_threaded
+
 type config = {
   machine : Machine.t;
   scheme : Scheme.kind;
@@ -45,15 +55,20 @@ type config = {
       (** event-trace sink shared by the runner, the GIL and the heap; None
           (the default) keeps every instrumentation site at one branch *)
   sched : sched_kind;
+  interp : interp_kind;
 }
 
 let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
-    ?tracer ?sched machine =
+    ?tracer ?sched ?interp machine =
   let sched =
     match sched with Some s -> s | None -> default_sched_kind ()
   in
-  { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer; sched }
+  let interp =
+    match interp with Some i -> i | None -> default_interp_kind ()
+  in
+  { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer;
+    sched; interp }
 
 type breakdown = {
   mutable bd_txn_overhead : int;
@@ -147,6 +162,9 @@ type t = {
           thread falls all the way back to the GIL *)
   mutable tle : tle_state array;
   mutable park_clock : int array;
+  cost_tbl : int array;
+      (** base cycles per [Rvm.Compiler.Dcode] cost class — the threaded
+          tier's table form of [Rvm.Bytecode.base_cost] *)
   (* wait queues *)
   mutex_waiters : (int, V.t Queue.t) Hashtbl.t;
   cond_waiters : (int, (V.t * int) Queue.t) Hashtbl.t;
@@ -291,6 +309,19 @@ let create ?(io : Netsim.t option) cfg ~source =
     stm_mode = Array.make max_threads false;
     tle = Array.init max_threads (fun _ -> fresh_tle ());
     park_clock = Array.make max_threads 0;
+    cost_tbl =
+      (let c = cfg.machine.costs in
+       let tbl =
+         [|
+           c.cyc_insn;
+           c.cyc_insn + c.cyc_send;
+           c.cyc_insn + (10 * c.cyc_send);
+           c.cyc_insn + c.cyc_alloc;
+           4 * c.cyc_insn;
+         |]
+       in
+       assert (Array.length tbl = Rvm.Compiler.Dcode.n_cost_classes);
+       tbl);
     mutex_waiters = Hashtbl.create 16;
     cond_waiters = Hashtbl.create 16;
     join_waiters = Hashtbl.create 16;
@@ -1236,6 +1267,204 @@ let deliver_io t (th : V.t) =
       | _ -> ())
   | _ -> ()
 
+(* [step_thread] for the threaded interpreter tier. The same four-stage
+   protocol, driven by the pre-decoded form ([Rvm.Compiler.decode], cached
+   per VM), plus superblock execution: at a peephole-fused head, up to
+   [Dcode.fuse] straight-line components run inside this one call without
+   re-entering the scheduler's per-instruction preamble. Every component
+   still performs the complete per-instruction protocol — io delivery,
+   yield point, cost and breakdown attribution, wake/spawn draining, and
+   the run-ahead boundary checks — and the executor bails out of the
+   superblock the moment control leaves the straight line (branch taken,
+   send entered a method, abort rollback, block, window left, scheduler
+   overtake), so fusing elides host-side dispatch only: the interleaving,
+   stats, and figures are byte-identical to the reference tier. Between
+   components stages 1-2 are skipped only when they are provably no-ops:
+   the continuation check re-tests the window flag and both engines'
+   pending-abort slots, so any abort — synchronous [Abort_now], a window
+   rolled back across a backward jump (whose restored pc can land exactly
+   on the straight-line successor), or a failed software commit that
+   records its abort without raising — ends the superblock and hands the
+   thread back to the retry policy.
+
+   Subtlety inherited from [step_thread]: the yield decision and the
+   charged base cost come from the instruction at the pre-yield pc even if
+   a failed software commit inside [transaction_yield] rolled the
+   registers back to an older pc — so the cost class is latched before
+   stage 3 and the decoded form is refetched after it.
+
+   Returns the number of component steps attempted, for slice accounting. *)
+let step_thread_d t ~stop (main : V.t) (th : V.t) =
+  let vm = t.vm in
+  let scheme = t.cfg.scheme in
+  if th.tid <> t.last_tid then begin
+    if t.last_tid >= 0 then
+      emit t th (Obs.Event.Ctx_switch { prev_tid = t.last_tid });
+    t.last_tid <- th.tid
+  end;
+  (* 1. outstanding abort to handle? *)
+  if Scheme.uses_htm scheme && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None
+  then handle_abort t th
+  else if
+    Scheme.uses_stm scheme
+    && (match t.stm with
+       | Some s -> Stm.pending_abort s th.ctx <> None
+       | None -> false)
+  then handle_stm_abort t th;
+  if th.status <> V.Runnable then 0
+  else begin
+    (* 2. enter a window if outside one *)
+    (if t.outside.(th.tid) then
+       match scheme with
+       | Scheme.Gil_only -> ignore (gil_enter t th)
+       | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid
+       | Scheme.Stm_only ->
+           if t.resume_gil.(th.tid) then begin
+             if gil_enter t th then begin
+               t.resume_gil.(th.tid) <- false;
+               t.skip_yield.(th.tid) <- true
+             end
+           end
+           else ignore (window_begin t th)
+       | Scheme.Fine_grained | Scheme.Free_parallel ->
+           t.outside.(th.tid) <- false);
+    if th.status <> V.Runnable then 0
+    else begin
+      let d = ref (Rvm.Vm.dcode vm th.code) in
+      let steps = ref 0 in
+      (* components left in the current superblock, counting this one *)
+      let budget =
+        ref (max 1 (Array.unsafe_get (!d).Rvm.Compiler.Dcode.fuse th.pc))
+      in
+      let continue_ = ref true in
+      while !continue_ do
+        let dd = !d in
+        let cpc = th.pc in
+        incr steps;
+        (* 3. yield point (decided at the pre-yield pc) *)
+        (match scheme with
+        | Scheme.Gil_only ->
+            if Bytes.unsafe_get dd.yield_orig cpc = '\001' then
+              gil_yield_point t th
+        | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid
+        | Scheme.Stm_only -> (
+            if t.skip_yield.(th.tid) then t.skip_yield.(th.tid) <- false
+            else if
+              Bytes.unsafe_get
+                (match t.cfg.yield_points with
+                | Yield_points.Original -> dd.yield_orig
+                | Yield_points.Extended -> dd.yield_ext)
+                cpc
+              = '\001'
+            then
+              (* a software window's yield-counter read can fail validation:
+                 the rollback has already run, so just stop this step and let
+                 the retry policy pick the thread up again *)
+              try transaction_yield t th with Htm.Abort_now _ -> ())
+        | Scheme.Fine_grained | Scheme.Free_parallel -> ());
+        if th.status <> V.Runnable then continue_ := false
+        else begin
+          (* 4. execute one instruction; the rollback inside stage 3 may
+             have moved the registers, so refetch the decoded form *)
+          let cost_class = Array.unsafe_get dd.cost cpc in
+          let d4 =
+            if th.code == dd.Rvm.Compiler.Dcode.src then dd
+            else begin
+              let nd = Rvm.Vm.dcode vm th.code in
+              d := nd;
+              nd
+            end
+          in
+          let pre_fp = th.fp and pre_sp = th.sp
+          and pre_pc = th.pc and pre_code = th.code in
+          let in_txn_before =
+            Htm.in_txn vm.Rvm.Vm.htm th.ctx
+            || (match t.stm with
+               | Some s -> Stm.in_txn s th.ctx
+               | None -> false)
+          in
+          (try
+             let r = Rvm.Interp.step_d vm th d4 in
+             let extra = Htm.step_extra_cycles vm.Rvm.Vm.htm
+             and accesses = Htm.step_accesses vm.Rvm.Vm.htm in
+             Htm.reset_step_cost vm.Rvm.Vm.htm;
+             let cost =
+               Array.unsafe_get t.cost_tbl cost_class
+               + (accesses * (costs t).cyc_mem)
+               + extra
+             in
+             th.clock <- th.clock + cost;
+             th.work <- th.work + 1;
+             if Gil.held_by t.gil th then begin
+               th.cyc_gil_held <- th.cyc_gil_held + cost;
+               t.breakdown.bd_gil_held <- t.breakdown.bd_gil_held + cost
+             end
+             else if not in_txn_before then
+               t.breakdown.bd_other <- t.breakdown.bd_other + cost;
+             t.total_insns <- t.total_insns + 1;
+             match r with
+             | Rvm.Interp.Continue -> ()
+             | Rvm.Interp.Done _ ->
+                 let closed =
+                   match t.stm with
+                   | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
+                   | _ -> true
+                 in
+                 if closed then on_thread_done t th
+                 else th.status <- V.Runnable
+           with
+          | Htm.Abort_now _ -> Htm.reset_step_cost vm.Rvm.Vm.htm
+          | V.Block reason ->
+              Htm.reset_step_cost vm.Rvm.Vm.htm;
+              th.fp <- pre_fp;
+              th.sp <- pre_sp;
+              th.pc <- pre_pc;
+              th.code <- pre_code;
+              on_block t th reason);
+          drain_wakes t th;
+          drain_spawned t;
+          (* superblock continuation: next component only while execution
+             stayed on the straight line and stage 1 would be a no-op. The
+             pending-abort checks cannot be folded into the pc check: a
+             window spanning a backward jump can roll back to exactly
+             [cpc + 1], and a failed software commit records its abort
+             without moving control at all — either way the retry policy
+             (stage 1) must run before another instruction executes *)
+          if !continue_ then begin
+            decr budget;
+            if
+              !budget <= 0
+              || th.status <> V.Runnable
+              || th.ctx < 0
+              || t.outside.(th.tid)
+              || th.code != (!d).Rvm.Compiler.Dcode.src
+              || th.pc <> cpc + 1
+              || (Scheme.uses_htm scheme
+                 && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None)
+              || (Scheme.uses_stm scheme
+                 &&
+                 match t.stm with
+                 | Some s -> Stm.pending_abort s th.ctx <> None
+                 | None -> false)
+              || main.V.status = V.Finished
+              || t.total_insns >= t.cfg.max_insns
+              || stop ()
+            then continue_ := false
+            else begin
+              let mk = Sched.min_key t.sched in
+              if
+                mk < th.clock
+                || (mk = th.clock && Sched.min_tid t.sched > th.tid)
+              then continue_ := false
+              else deliver_io t th
+            end
+          end
+        end
+      done;
+      !steps
+    end
+  end
+
 (* A run-ahead slice: [th] was popped as the (clock, tid)-minimal runnable
    thread; execute its instructions in a tight loop until its key passes
    the heap's smallest (a newly-woken or spawned thread included — every
@@ -1245,12 +1474,16 @@ let deliver_io t (th : V.t) =
 let run_slice t ~stop (main : V.t) (th : V.t) =
   t.running_tid <- th.tid;
   Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
+  let threaded = t.cfg.interp = Interp_threaded in
   let slice = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     deliver_io t th;
-    step_thread t th;
-    incr slice;
+    if threaded then slice := !slice + max 1 (step_thread_d t ~stop main th)
+    else begin
+      step_thread t th;
+      incr slice
+    end;
     if
       main.V.status = V.Finished
       || th.status <> V.Runnable || th.ctx < 0
@@ -1302,10 +1535,16 @@ let run ?(stop = fun () -> false) t =
                Sched.remove t.sched th.tid;
                Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
                deliver_io t th;
-               step_thread t th;
+               let n =
+                 match t.cfg.interp with
+                 | Interp_threaded -> max 1 (step_thread_d t ~stop main th)
+                 | Interp_ref ->
+                     step_thread t th;
+                     1
+               in
                t.running_tid <- -1;
                sched_sync t th;
-               Obs.Metrics.observe t.m_slice_insns 1
+               Obs.Metrics.observe t.m_slice_insns n
            | None -> advance_time t
          done
    with Rvm.Value.Guest_error msg ->

@@ -20,6 +20,20 @@ val default_sched_kind : unit -> sched_kind
 (** [Sched_heap], unless the [BENCH_SCHED] environment variable is set to
     ["ref"]/["REF"]/["scan"]. *)
 
+type interp_kind =
+  | Interp_threaded
+      (** pre-decoded threaded dispatch with superinstruction fusion and
+          specialized monomorphic send paths (the default); simulated
+          semantics identical to [Interp_ref], host wall time much lower *)
+  | Interp_ref
+      (** the original switch-style loop over the tagged bytecode variants,
+          retained as the executable specification the threaded tier is
+          differentially tested against *)
+
+val default_interp_kind : unit -> interp_kind
+(** [Interp_threaded], unless the [BENCH_INTERP] environment variable is
+    set to ["ref"]/["REF"]/["switch"]. *)
+
 type config = {
   machine : Htm_sim.Machine.t;
   scheme : Scheme.kind;
@@ -31,6 +45,7 @@ type config = {
       (** event-trace sink shared by the runner, the GIL and the heap; [None]
           (the default) keeps every instrumentation site at one branch *)
   sched : sched_kind;
+  interp : interp_kind;
 }
 
 val config :
@@ -41,6 +56,7 @@ val config :
   ?max_insns:int ->
   ?tracer:Obs.Trace.t ->
   ?sched:sched_kind ->
+  ?interp:interp_kind ->
   Htm_sim.Machine.t ->
   config
 
@@ -105,6 +121,9 @@ type t = {
       (** (Hybrid) this thread's next windows run as software transactions *)
   mutable tle : tle_state array;
   mutable park_clock : int array;
+  cost_tbl : int array;
+      (** base cycles per [Rvm.Compiler.Dcode] cost class — the threaded
+          tier's table form of [Rvm.Bytecode.base_cost] *)
   mutex_waiters : (int, Rvm.Vmthread.t Queue.t) Hashtbl.t;
   cond_waiters : (int, (Rvm.Vmthread.t * int) Queue.t) Hashtbl.t;
   join_waiters : (int, Rvm.Vmthread.t list) Hashtbl.t;

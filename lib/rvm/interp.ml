@@ -106,11 +106,6 @@ let leave_from vm (th : Vmthread.t) fp ret =
 
 (* ---- method dispatch --------------------------------------------------- *)
 
-let decode_meth = function
-  | VCode c -> Some (Klass.Bytecode c)
-  | VInt p when p >= 0 -> Some (Klass.Prim p)
-  | _ -> None
-
 let encode_meth = function
   | Klass.Bytecode c -> VCode c
   | Klass.Prim p -> VInt p
@@ -164,67 +159,88 @@ let refcount_touch vm th recv =
       | _ -> ())
   | _ -> ()
 
-let dispatch vm (th : Vmthread.t) ~sym ~argc ~block ~cache_slot =
+(* The two invocation halves of a send, shared by the generic resolver
+   path and the specialized monomorphic cache-hit path. *)
+let invoke_bytecode vm (th : Vmthread.t) ~sym ~argc ~block ~recv (code : code)
+    =
+  if argc <> code.arity then
+    guest_error "wrong number of arguments for %s (%d for %d)" (Sym.name sym)
+      argc code.arity;
+  let blk =
+    match block with
+    | None -> None
+    | Some bcode -> Some (bcode, th.fp, frame_self vm th th.fp)
+  in
+  push_frame vm th ~code ~self:recv ~block:blk ~defining_fp:(-1) ~flags:0
+    ~argc ~extra_pop:1
+
+let invoke_prim vm (th : Vmthread.t) ~sym ~argc ~block ~recv p =
+  if block <> None then
+    guest_error "builtin method '%s' does not accept a block" (Sym.name sym);
+  let args = Array.init argc (fun i -> peek vm th (argc - 1 - i)) in
+  th.sp <- th.sp - argc - 1;
+  let result = vm.Vm.prims.(p) vm th recv args in
+  push vm th result;
+  th.pc <- th.pc + 1
+
+let undefined_method vm sym recv =
+  guest_error "undefined method '%s' for %s" (Sym.name sym)
+    (Vm.class_of vm recv).name
+
+let invoke_meth vm th ~sym ~argc ~block ~recv = function
+  | None -> undefined_method vm sym recv
+  | Some (Klass.Bytecode code) ->
+      invoke_bytecode vm th ~sym ~argc ~block ~recv code
+  | Some (Klass.Prim p) -> invoke_prim vm th ~sym ~argc ~block ~recv p
+
+(* [slot >= 0] enables the inline cache; opt_* fallbacks pass -1. On a
+   monomorphic hit the method dispatches straight off the cached cell —
+   no [decode_meth] constructor or option allocation, which makes cached
+   sends steady-state allocation-free. The simulated access sequence is
+   identical on every path. *)
+let dispatch_slot vm (th : Vmthread.t) ~sym ~argc ~block ~slot =
   let recv = peek vm th argc in
   refcount_touch vm th recv;
-  let meth =
-    match cache_slot with
-    | None ->
-        let m, _, _ = resolve vm th recv sym in
-        m
-    | Some slot -> (
-        let cache = Vm.cache_addr vm slot in
-        let guard_cell = rd vm th cache in
-        let k = Vm.class_of vm recv in
-        let quick_guard =
-          match (k.kind, recv) with
-          | Klass.K_class_obj, VRef a ->
-              (2 * int_cell vm th (a + Layout.k_class_id)) + 1
-          | _ -> 2 * k.id
-        in
-        match guard_cell with
-        | VInt g when g = quick_guard ->
-            Obs.Metrics.incr vm.Vm.m_cache_hits;
-            decode_meth (rd vm th (cache + 1))
-        | _ ->
-            Obs.Metrics.incr vm.Vm.m_cache_misses;
-            let m, guard, _ = resolve vm th recv sym in
-            (match m with
-            | Some m' ->
-                let already_filled = guard_cell <> VInt (-1) in
-                (* Section 4.4: fill-once method caches avoid transactional
-                   cache-line ping-pong at polymorphic sites *)
-                if not (vm.Vm.opts.cache_fill_once && already_filled) then begin
-                  wr vm th cache (vint guard);
-                  wr vm th (cache + 1) (encode_meth m')
-                end
-            | None -> ());
-            m)
-  in
-  match meth with
-  | None ->
-      guest_error "undefined method '%s' for %s" (Sym.name sym)
-        (Vm.class_of vm recv).name
-  | Some (Klass.Bytecode code) ->
-      if argc <> code.arity then
-        guest_error "wrong number of arguments for %s (%d for %d)"
-          (Sym.name sym) argc code.arity;
-      let blk =
-        match block with
-        | None -> None
-        | Some bcode -> Some (bcode, th.fp, frame_self vm th th.fp)
-      in
-      push_frame vm th ~code ~self:recv ~block:blk ~defining_fp:(-1)
-        ~flags:0 ~argc ~extra_pop:1
-  | Some (Klass.Prim p) ->
-      if block <> None then
-        guest_error "builtin method '%s' does not accept a block"
-          (Sym.name sym);
-      let args = Array.init argc (fun i -> peek vm th (argc - 1 - i)) in
-      th.sp <- th.sp - argc - 1;
-      let result = vm.Vm.prims.(p) vm th recv args in
-      push vm th result;
-      th.pc <- th.pc + 1
+  if slot < 0 then begin
+    let m, _, _ = resolve vm th recv sym in
+    invoke_meth vm th ~sym ~argc ~block ~recv m
+  end
+  else begin
+    let cache = Vm.cache_addr vm slot in
+    let guard_cell = rd vm th cache in
+    let k = Vm.class_of vm recv in
+    let quick_guard =
+      match (k.kind, recv) with
+      | Klass.K_class_obj, VRef a ->
+          (2 * int_cell vm th (a + Layout.k_class_id)) + 1
+      | _ -> 2 * k.id
+    in
+    match guard_cell with
+    | VInt g when g = quick_guard -> (
+        Obs.Metrics.incr vm.Vm.m_cache_hits;
+        match rd vm th (cache + 1) with
+        | VCode code -> invoke_bytecode vm th ~sym ~argc ~block ~recv code
+        | VInt p when p >= 0 -> invoke_prim vm th ~sym ~argc ~block ~recv p
+        | _ -> undefined_method vm sym recv)
+    | _ ->
+        Obs.Metrics.incr vm.Vm.m_cache_misses;
+        let m, guard, _ = resolve vm th recv sym in
+        (match m with
+        | Some m' ->
+            let already_filled = guard_cell <> VInt (-1) in
+            (* Section 4.4: fill-once method caches avoid transactional
+               cache-line ping-pong at polymorphic sites *)
+            if not (vm.Vm.opts.cache_fill_once && already_filled) then begin
+              wr vm th cache (vint guard);
+              wr vm th (cache + 1) (encode_meth m')
+            end
+        | None -> ());
+        invoke_meth vm th ~sym ~argc ~block ~recv m
+  end
+
+let dispatch vm (th : Vmthread.t) ~sym ~argc ~block ~cache_slot =
+  dispatch_slot vm th ~sym ~argc ~block
+    ~slot:(match cache_slot with Some s -> s | None -> -1)
 
 (* ---- operators ---------------------------------------------------------- *)
 
@@ -640,6 +656,7 @@ let rec step vm (th : Vmthread.t) : step_result =
   else if Htm.software_active vm.Vm.htm th.ctx then
     Htm.software_abort vm.Vm.htm th.ctx Txn.Explicit;
       let k = Vm.class_of vm (frame_self vm th th.fp) in
+      Vm.dcode_invalidate vm;
       Klass.define_method k sym (Klass.Bytecode code);
       wr vm th k.mtbl_base (vint sym);
       push vm th (VSym sym);
@@ -815,6 +832,7 @@ and defclass vm th (cd : class_def) =
         in
         Vm.define_class vm ~super ~kind:Klass.K_object name
   in
+  Vm.dcode_invalidate vm;
   List.iter (fun (sym, code) -> Klass.define_method k sym (Klass.Bytecode code)) cd.cd_methods;
   List.iter
     (fun (sym, get_slot, set_slot) ->
@@ -934,3 +952,253 @@ and opt_ltlt vm th =
   | _ ->
       dispatch vm th ~sym:Sym.s_ltlt ~argc:1 ~block:None ~cache_slot:None;
       Continue
+
+(* ---- the threaded step -------------------------------------------------- *)
+
+(* [step_d] is [step] over the pre-decoded form ([Compiler.decode], cached
+   by [Vm.dcode]): dispatch on a dense int opcode — the literal match below
+   compiles to one jump table — with operands read from flat pc-parallel
+   arrays, no variant re-matching and no per-step allocation on the fast
+   paths. Every handler is a literal replica of the corresponding [step]
+   arm, built from the same helpers, so the simulated access sequence and
+   therefore every figure is byte-identical across the two tiers (pinned by
+   test/test_interp.ml). Rare opcodes (allocation, threads, definitions,
+   blocks) route to the reference [step]. The ids must track
+   [Compiler.Dcode]; test/test_interp.ml pins those too. *)
+let step_d vm (th : Vmthread.t) (d : Compiler.Dcode.t) : step_result =
+  Htm.set_cur_ctx vm.Vm.htm th.ctx;
+  let pc = th.pc in
+  match Array.unsafe_get d.Compiler.Dcode.ops pc with
+  | 1 (* nop *) ->
+      th.pc <- pc + 1;
+      Continue
+  | 2 (* push *) ->
+      push vm th (Array.unsafe_get d.vals pc);
+      th.pc <- pc + 1;
+      Continue
+  | 3 (* pushself *) ->
+      push vm th (frame_self vm th th.fp);
+      th.pc <- pc + 1;
+      Continue
+  | 4 (* pop *) ->
+      th.sp <- th.sp - 1;
+      th.pc <- pc + 1;
+      Continue
+  | 5 (* dup *) ->
+      push vm th (peek vm th 0);
+      th.pc <- pc + 1;
+      Continue
+  | 6 (* dup2 *) ->
+      let a = peek vm th 1 and b = peek vm th 0 in
+      push vm th a;
+      push vm th b;
+      th.pc <- pc + 1;
+      Continue
+  | 7 (* getlocal depth 0 *) ->
+      push vm th
+        (rd vm th (th.fp + Vmthread.frame_hdr + Array.unsafe_get d.opa pc));
+      th.pc <- pc + 1;
+      Continue
+  | 8 (* getlocal *) ->
+      let fp = local_base vm th th.fp (Array.unsafe_get d.opb pc) in
+      push vm th
+        (rd vm th (fp + Vmthread.frame_hdr + Array.unsafe_get d.opa pc));
+      th.pc <- pc + 1;
+      Continue
+  | 9 (* setlocal depth 0 *) ->
+      let v = pop vm th in
+      wr vm th (th.fp + Vmthread.frame_hdr + Array.unsafe_get d.opa pc) v;
+      th.pc <- pc + 1;
+      Continue
+  | 10 (* setlocal *) ->
+      let fp = local_base vm th th.fp (Array.unsafe_get d.opb pc) in
+      let v = pop vm th in
+      wr vm th (fp + Vmthread.frame_hdr + Array.unsafe_get d.opa pc) v;
+      th.pc <- pc + 1;
+      Continue
+  | 11 (* getivar *) ->
+      let sym = Array.unsafe_get d.opa pc
+      and slot = Array.unsafe_get d.opb pc in
+      let self = frame_self vm th th.fp in
+      (match self with
+      | VRef a ->
+          let k = Vm.class_of vm self in
+          let guard =
+            match vm.Vm.opts.ivar_guard with
+            | Options.Class_equality -> k.id
+            | Options.Table_equality -> k.ivar_tbl_id
+          in
+          let cache = Vm.cache_addr vm slot in
+          let idx =
+            match (rd vm th cache, rd vm th (cache + 1)) with
+            | VInt g, VInt i when g = guard -> Some i
+            | _ -> (
+                match Klass.ivar_index k sym with
+                | Some i ->
+                    wr vm th cache (vint guard);
+                    wr vm th (cache + 1) (vint i);
+                    Some i
+                | None -> None)
+          in
+          (match idx with
+          | Some i -> push vm th (rd vm th (a + i))
+          | None -> push vm th VNil)
+      | _ -> guest_error "instance variable access on %s" (type_name self));
+      th.pc <- pc + 1;
+      Continue
+  | 12 (* setivar *) ->
+      let sym = Array.unsafe_get d.opa pc
+      and slot = Array.unsafe_get d.opb pc in
+      let self = frame_self vm th th.fp in
+      (match self with
+      | VRef a ->
+          let k = Vm.class_of vm self in
+          let idx =
+            match Klass.ivar_index ~create:true k sym with
+            | Some i -> i
+            | None -> assert false
+          in
+          let guard =
+            match vm.Vm.opts.ivar_guard with
+            | Options.Class_equality -> k.id
+            | Options.Table_equality -> k.ivar_tbl_id
+          in
+          let cache = Vm.cache_addr vm slot in
+          wr vm th cache (vint guard);
+          wr vm th (cache + 1) (vint idx);
+          let v = pop vm th in
+          wr vm th (a + idx) v
+      | _ ->
+          guest_error "instance variable assignment on %s" (type_name self));
+      th.pc <- pc + 1;
+      Continue
+  | 13 (* getcvar *) ->
+      let k = Vm.class_of vm (frame_self vm th th.fp) in
+      push vm th (rd vm th (Vm.cvar_cell vm k.id (Array.unsafe_get d.opa pc)));
+      th.pc <- pc + 1;
+      Continue
+  | 14 (* setcvar *) ->
+      let k = Vm.class_of vm (frame_self vm th th.fp) in
+      let v = pop vm th in
+      wr vm th (Vm.cvar_cell vm k.id (Array.unsafe_get d.opa pc)) v;
+      th.pc <- pc + 1;
+      Continue
+  | 15 (* getglobal *) ->
+      push vm th (rd vm th (Vm.gvar_cell vm (Array.unsafe_get d.opa pc)));
+      th.pc <- pc + 1;
+      Continue
+  | 16 (* setglobal *) ->
+      let v = pop vm th in
+      wr vm th (Vm.gvar_cell vm (Array.unsafe_get d.opa pc)) v;
+      th.pc <- pc + 1;
+      Continue
+  | 17 (* getconst *) ->
+      let sym = Array.unsafe_get d.opa pc in
+      let v = rd vm th (Vm.const_cell vm sym) in
+      if v = VNil then guest_error "uninitialized constant %s" (Sym.name sym);
+      push vm th v;
+      th.pc <- pc + 1;
+      Continue
+  | 18 (* setconst *) ->
+      let v = pop vm th in
+      wr vm th (Vm.const_cell vm (Array.unsafe_get d.opa pc)) v;
+      th.pc <- pc + 1;
+      Continue
+  | 19 (* jump *) ->
+      th.pc <- Array.unsafe_get d.opa pc;
+      Continue
+  | 20 (* branchif *) ->
+      let v = pop vm th in
+      th.pc <- (if truthy v then Array.unsafe_get d.opa pc else pc + 1);
+      Continue
+  | 21 (* branchunless *) ->
+      let v = pop vm th in
+      th.pc <- (if truthy v then pc + 1 else Array.unsafe_get d.opa pc);
+      Continue
+  | 22 (* leave *) ->
+      let ret = pop vm th in
+      let flags = frame_flags vm th th.fp in
+      let ret =
+        if flags land Vmthread.flag_constructor <> 0 then
+          frame_self vm th th.fp
+        else ret
+      in
+      (match leave_from vm th th.fp ret with
+      | Some v -> Done v
+      | None -> Continue)
+  | 23 (* opt_plus *) ->
+      (* strings: "+" concatenates; the peek charges the same read the
+         reference arm does for every arith opcode *)
+      let a = peek vm th 1 in
+      if is_string vm a then
+        dispatch_slot vm th ~sym:Sym.s_plus ~argc:1 ~block:None ~slot:(-1)
+      else arith vm th Sym.s_plus Opt_plus;
+      Continue
+  | 24 (* opt_minus *) ->
+      ignore (peek vm th 1);
+      arith vm th Sym.s_minus Opt_minus;
+      Continue
+  | 25 (* opt_mult *) ->
+      ignore (peek vm th 1);
+      arith vm th Sym.s_mult Opt_mult;
+      Continue
+  | 26 (* opt_div *) ->
+      ignore (peek vm th 1);
+      arith vm th Sym.s_div Opt_div;
+      Continue
+  | 27 (* opt_mod *) ->
+      ignore (peek vm th 1);
+      arith vm th Sym.s_mod Opt_mod;
+      Continue
+  | 28 (* opt_pow *) ->
+      ignore (peek vm th 1);
+      arith vm th Sym.s_pow Opt_pow;
+      Continue
+  | 29 (* opt_eq *) ->
+      equality vm th ~negate:false;
+      Continue
+  | 30 (* opt_neq *) ->
+      let b = peek vm th 0 and a = peek vm th 1 in
+      (match (a, b) with
+      | VRef _, _ when not (is_string vm a) ->
+          th.sp <- th.sp - 2;
+          push vm th (if a = b then VFalse else VTrue);
+          th.pc <- pc + 1
+      | _ -> equality vm th ~negate:true);
+      Continue
+  | 31 (* opt_lt *) ->
+      compare_fast vm th Opt_lt;
+      Continue
+  | 32 (* opt_le *) ->
+      compare_fast vm th Opt_le;
+      Continue
+  | 33 (* opt_gt *) ->
+      compare_fast vm th Opt_gt;
+      Continue
+  | 34 (* opt_ge *) ->
+      compare_fast vm th Opt_ge;
+      Continue
+  | 35 (* opt_aref *) -> opt_aref vm th
+  | 36 (* opt_aset *) -> opt_aset vm th
+  | 37 (* opt_ltlt *) -> opt_ltlt vm th
+  | 38 (* opt_not *) ->
+      let v = pop vm th in
+      push vm th (if truthy v then VFalse else VTrue);
+      th.pc <- pc + 1;
+      Continue
+  | 39 (* opt_neg *) ->
+      let v = pop vm th in
+      (match v with
+      | VInt i -> push vm th (vint (-i))
+      | VFloat f ->
+          box vm th (VFloat (-.f));
+          push vm th (VFloat (-.f))
+      | _ -> guest_error "cannot negate %s" (type_name v));
+      th.pc <- pc + 1;
+      Continue
+  | 40 (* send *) ->
+      let site = Array.unsafe_get d.sites pc in
+      dispatch_slot vm th ~sym:site.ss_sym ~argc:site.ss_argc
+        ~block:site.ss_block ~slot:site.ss_cache;
+      Continue
+  | _ (* generic *) -> step vm th

@@ -19,6 +19,17 @@ val step : Vm.t -> Vmthread.t -> step_result
     the instruction on wake-up);
     @raise Value.Guest_error on a guest-level error. *)
 
+val step_d : Vm.t -> Vmthread.t -> Compiler.Dcode.t -> step_result
+(** [step] over the pre-decoded threaded form: same semantics, same
+    simulated access sequence, no per-step allocation on the fast paths.
+    [d] must be [Vm.dcode vm th.code] — the runner refetches it whenever
+    [th.code] changes (calls, returns, spawned threads).
+    @raise Htm_sim.Htm.Abort_now if the thread's transaction died (guest
+    state already rolled back);
+    @raise Vmthread.Block if a builtin must suspend the thread (re-execute
+    the instruction on wake-up);
+    @raise Value.Guest_error on a guest-level error. *)
+
 val dispatch :
   Vm.t ->
   Vmthread.t ->

@@ -61,6 +61,11 @@ and t = {
   metrics : Obs.Metrics.t;
   m_cache_hits : Obs.Metrics.counter;
   m_cache_misses : Obs.Metrics.counter;
+  (* per-method decoded-code cache for the threaded interpreter, indexed
+     by [code.uid] with [Compiler.dcode_dummy] holes; entries guard on the
+     physical identity of their source code object and the whole table is
+     flushed on method (re)definition *)
+  mutable dcodes : Compiler.Dcode.t array;
 }
 
 (* Domain-local cache of one retired store backing. A figure sweep boots a
@@ -176,6 +181,7 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine =
       metrics;
       m_cache_hits = Obs.Metrics.counter metrics "interp.method_cache_hits";
       m_cache_misses = Obs.Metrics.counter metrics "interp.method_cache_misses";
+      dcodes = Array.make 64 Compiler.dcode_dummy;
     }
   in
   vm
@@ -348,5 +354,40 @@ let load_program vm (prog : Value.program) =
   vm.n_caches <- n
 
 let cache_addr vm slot = vm.cache_base + (2 * slot)
+
+(* ---- the decoded-code cache --------------------------------------------- *)
+
+let dcode_fill vm (code : Value.code) =
+  let u = code.Value.uid in
+  if u >= Array.length vm.dcodes then begin
+    let n = ref (Array.length vm.dcodes) in
+    while u >= !n do
+      n := 2 * !n
+    done;
+    let bigger = Array.make !n Compiler.dcode_dummy in
+    Array.blit vm.dcodes 0 bigger 0 (Array.length vm.dcodes);
+    vm.dcodes <- bigger
+  end;
+  let d = Compiler.decode code in
+  vm.dcodes.(u) <- d;
+  d
+
+(* The decoded form of [code], translating on first use. The hit path is
+   two loads and a physical-identity check ([uid]s are session-unique, the
+   [src] guard makes the cache robust even against reuse). *)
+let dcode vm (code : Value.code) =
+  let u = code.Value.uid in
+  let a = vm.dcodes in
+  if u < Array.length a then begin
+    let d = Array.unsafe_get a u in
+    if d.Compiler.Dcode.src == code then d else dcode_fill vm code
+  end
+  else dcode_fill vm code
+
+(* Method (re)definition invalidation: defining a method can shadow a
+   monomorphic assumption baked into a cached translation, so drop every
+   entry (definitions are rare and re-decoding is O(method size)). *)
+let dcode_invalidate vm =
+  Array.fill vm.dcodes 0 (Array.length vm.dcodes) Compiler.dcode_dummy
 
 let output vm = Buffer.contents vm.out

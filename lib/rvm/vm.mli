@@ -57,6 +57,10 @@ and t = {
       (** per-VM metrics registry; the runner folds it into run results *)
   m_cache_hits : Obs.Metrics.counter;  (** inline method-cache hits *)
   m_cache_misses : Obs.Metrics.counter;
+  mutable dcodes : Compiler.Dcode.t array;
+      (** pre-decoded code cache indexed by [code.uid]; holes hold
+          {!Compiler.dcode_dummy} and entries are guarded by physical
+          identity of [src], so stale uids can never alias *)
 }
 
 val create :
@@ -97,4 +101,14 @@ val load_program : t -> Value.program -> unit
 (** Reserve the inline-cache region for a compiled program. *)
 
 val cache_addr : t -> int -> int
+
+val dcode : t -> Value.code -> Compiler.Dcode.t
+(** The pre-decoded form of [code], translating on first use. Hot path:
+    one bounds check + one physical-equality guard when cached. *)
+
+val dcode_invalidate : t -> unit
+(** Drop every cached translation. Called on method (re)definition —
+    [Defmethod]/[Defclass] — so fused send sites can never keep executing
+    against a stale method table. Translations rebuild lazily. *)
+
 val output : t -> string

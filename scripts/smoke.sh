@@ -1,9 +1,9 @@
 #!/bin/sh
 # Smoke pass: build, full test suite, the Gc allocation gates, a quick
-# figure regeneration under 1 and 4 worker domains and under both
-# schedulers, and checks that every run's "figures" member is
-# byte-identical (host wall times live outside that member and may
-# legitimately differ).
+# figure regeneration under 1 and 4 worker domains, under both schedulers
+# and under both interpreter tiers, and checks that every run's "figures"
+# member is byte-identical (host wall times live outside that member and
+# may legitimately differ).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -54,5 +54,22 @@ if [ -z "$href" ] || [ "$h1" != "$href" ]; then
   exit 1
 fi
 echo "smoke: figures identical across schedulers (digest $dref)"
+
+# the pre-decoded threaded interpreter must reproduce the reference switch
+# loop's runs exactly: regenerate under BENCH_INTERP=ref and compare
+BENCH_INTERP=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+viref=$(dune exec bench/main.exe -- validate BENCH_results.json)
+diref=$(echo "$viref" | sed -n 's/^figures digest: //p')
+hiref=$(echo "$viref" | sed -n 's/^hybrid digest: //p')
+
+if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
+  echo "smoke: FAIL: figures differ between threaded ($d1) and reference ($diref) interpreters" >&2
+  exit 1
+fi
+if [ -z "$hiref" ] || [ "$h1" != "$hiref" ]; then
+  echo "smoke: FAIL: hybrid panel differs between threaded ($h1) and reference ($hiref) interpreters" >&2
+  exit 1
+fi
+echo "smoke: figures identical across interpreters (digest $diref)"
 
 echo "smoke: OK"

@@ -405,3 +405,570 @@ let suite =
     Alcotest.test_case "case/when" `Quick test_case_when;
     Alcotest.test_case "output formats" `Quick test_output_formats;
   ]
+
+(* ---- opt_* arithmetic edges (the fused paths must not change these) ---- *)
+
+let test_arith_edges () =
+  check "floor division negative operands" "-4\n-4\n3\n3\n"
+    "puts(-7 / 2)\nputs(7 / -2)\nputs(-7 / -2)\nputs(7 / 2)";
+  check "ruby modulo sign follows divisor" "2\n-2\n-1\n1\n0\n"
+    "puts(-7 % 3)\nputs(7 % -3)\nputs(-7 % -3)\nputs(7 % 3)\nputs(-9 % 3)";
+  check "pow positive, zero, negative exponent" "8\n1\n0.25\n1.0\n"
+    "puts 2 ** 3\nputs 2 ** 0\nputs 2 ** -2\nputs 1 ** -5";
+  check "pow mixed float" "6.25\n0.5\n" "puts 2.5 ** 2\nputs 4 ** -0.5";
+  check "mixed float int opt paths" "3.5\n-1.5\n5.0\n0.5\n1.5\n"
+    "puts 1.5 + 2\nputs 0.5 - 2\nputs 2 * 2.5\nputs 1 / 2.0\nputs 3.5 % 2";
+  check "opt fallback to send on objects" "5\n"
+    {|class V
+  def initialize(x)
+    @x = x
+  end
+  def +(o)
+    @x + o.raw
+  end
+  def raw
+    @x
+  end
+end
+puts V.new(2) + V.new(3)|};
+  (try
+     ignore (Tutil.output "puts 5 % 0");
+     Alcotest.fail "expected modulo-by-zero failure"
+   with Core.Runner.Guest_failure m ->
+     Alcotest.(check bool) "mod by zero message" true
+       (String.length m > 0));
+  try
+    ignore (Tutil.output "puts(-3 / 0)");
+    Alcotest.fail "expected division-by-zero failure"
+  with Core.Runner.Guest_failure _ -> ()
+
+(* ---- pre-decode consistency: Dcode must mirror the tagged world ------- *)
+
+module C = Rvm.Compiler
+module Val = Rvm.Value
+
+let mk_code insns =
+  {
+    Val.code_name = "<test>";
+    uid = Val.fresh_code_uid ();
+    kind = Val.Toplevel;
+    arity = 0;
+    nlocals = 4;
+    insns;
+  }
+
+(* Every code record reachable from a compiled program, main included. *)
+let codes_of source =
+  let acc = ref [] in
+  let rec walk (code : Val.code) =
+    acc := code :: !acc;
+    Array.iter
+      (fun (insn : Val.insn) ->
+        match insn with
+        | Val.Defmethod (_, c) -> walk c
+        | Val.Defclass cd -> List.iter (fun (_, c) -> walk c) cd.Val.cd_methods
+        | Val.Send s | Val.Newthread s | Val.Newinstance s ->
+            Option.iter walk s.Val.ss_block
+        | _ -> ())
+      code.Val.insns
+  in
+  walk (C.compile_string source).Val.main;
+  !acc
+
+let decode_corpus =
+  {|def work(n)
+  i = 0
+  acc = 0
+  while i < n
+    acc = acc + i
+    i += 1
+  end
+  acc
+end
+class Box
+  attr_accessor :v
+  def initialize
+    @v = [1, 2, 3]
+  end
+  def pick(k)
+    @v[k]
+  end
+end
+b = Box.new
+puts work(10) + b.pick(1)
+puts "s" + "t"
+h = { :a => 1 }
+h[:b] = 2
+puts h.size|}
+
+let test_decode_consistency () =
+  List.iter
+    (fun (code : Val.code) ->
+      let d = C.decode code in
+      Array.iteri
+        (fun pc insn ->
+          let name = Printf.sprintf "%s@%d" code.Val.code_name pc in
+          Alcotest.(check bool)
+            (name ^ ": yield_orig")
+            (Core.Yield_points.original_point insn)
+            (Bytes.get d.C.Dcode.yield_orig pc = '\001');
+          Alcotest.(check bool)
+            (name ^ ": yield_ext")
+            (Core.Yield_points.extended_point insn)
+            (Bytes.get d.C.Dcode.yield_ext pc = '\001');
+          (* the cost class must reproduce Bytecode.base_cost under every
+             machine's cost table *)
+          List.iter
+            (fun (m : Htm_sim.Machine.t) ->
+              let c = m.costs in
+              let tbl =
+                [|
+                  c.cyc_insn;
+                  c.cyc_insn + c.cyc_send;
+                  c.cyc_insn + (10 * c.cyc_send);
+                  c.cyc_insn + c.cyc_alloc;
+                  4 * c.cyc_insn;
+                |]
+              in
+              Alcotest.(check int)
+                (name ^ ": base cost")
+                (Rvm.Bytecode.base_cost c insn)
+                tbl.(d.C.Dcode.cost.(pc)))
+            [ Htm_sim.Machine.zec12; Htm_sim.Machine.xeon_e3 ])
+        code.Val.insns)
+    (codes_of decode_corpus)
+
+(* The runner's cost table is the same mapping (guards the create-time
+   table against [Bytecode.base_cost] drift). *)
+let test_runner_cost_tbl () =
+  let cfg = Core.Runner.config Htm_sim.Machine.zec12 in
+  let t = Core.Runner.create cfg ~source:"nil" in
+  let c = Htm_sim.Machine.zec12.costs in
+  List.iter
+    (fun (insn, cls) ->
+      Alcotest.(check int)
+        (Printf.sprintf "class %d" cls)
+        (Rvm.Bytecode.base_cost c insn)
+        t.Core.Runner.cost_tbl.(cls))
+    [
+      (Val.Nop, C.cost_class_of Val.Nop);
+      ( Val.Send { ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 },
+        C.cost_class_of
+          (Val.Send { ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 })
+      );
+      ( Val.Newthread { ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 },
+        C.cost_class_of
+          (Val.Newthread
+             { ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 }) );
+      (Val.Newarray 2, C.cost_class_of (Val.Newarray 2));
+      (Val.Defclass
+         {
+           cd_name = 0;
+           cd_super = None;
+           cd_methods = [];
+           cd_attrs = [];
+         },
+       C.cost_class_of
+         (Val.Defclass
+            { cd_name = 0; cd_super = None; cd_methods = []; cd_attrs = [] }));
+    ]
+
+let test_fusion_patterns () =
+  let site = { Val.ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 } in
+  (* getlocal; getlocal; opt_plus; setlocal *)
+  let d1 =
+    C.decode
+      (mk_code
+         [|
+           Val.Getlocal (0, 0); Val.Getlocal (1, 0); Val.Opt_plus;
+           Val.Setlocal (0, 0); Val.Leave;
+         |])
+  in
+  Alcotest.(check int) "local-arith head len" 5 d1.C.Dcode.fuse.(0);
+  Alcotest.(check int) "local-arith kind" C.Dcode.fuse_local_arith
+    d1.C.Dcode.fuse_kind.(0);
+  (* getlocal; push; opt_lt; branchunless *)
+  let d2 =
+    C.decode
+      (mk_code
+         [|
+           Val.Getlocal (0, 0); Val.Push (Val.vint 10); Val.Opt_lt;
+           Val.Branchunless 6; Val.Nop; Val.Jump 0; Val.Leave;
+         |])
+  in
+  Alcotest.(check int) "cmp-branch head len" 4 d2.C.Dcode.fuse.(0);
+  Alcotest.(check int) "cmp-branch kind" C.Dcode.fuse_cmp_branch
+    d2.C.Dcode.fuse_kind.(0);
+  (* getinstancevariable; opt_aref *)
+  let d3 =
+    C.decode
+      (mk_code [| Val.Getivar (0, 0); Val.Opt_aref; Val.Leave |])
+  in
+  Alcotest.(check int) "ivar-aref head len" 3 d3.C.Dcode.fuse.(0);
+  Alcotest.(check int) "ivar-aref kind" C.Dcode.fuse_ivar_aref
+    d3.C.Dcode.fuse_kind.(0);
+  (* putself; send *)
+  let d4 =
+    C.decode (mk_code [| Val.Pushself; Val.Send site; Val.Leave |])
+  in
+  Alcotest.(check int) "self-send head len" 3 d4.C.Dcode.fuse.(0);
+  Alcotest.(check int) "self-send kind" C.Dcode.fuse_self_send
+    d4.C.Dcode.fuse_kind.(0);
+  (* a generic opcode breaks the run *)
+  let d5 =
+    C.decode
+      (mk_code [| Val.Push (Val.vint 1); Val.Newarray 1; Val.Pop; Val.Leave |])
+  in
+  Alcotest.(check int) "generic breaks run" 0 d5.C.Dcode.fuse.(0);
+  Alcotest.(check int) "tail after generic fuses" 2 d5.C.Dcode.fuse.(2);
+  Alcotest.(check int) "plain run kind" C.Dcode.fuse_straight
+    d5.C.Dcode.fuse_kind.(2);
+  (* single non-fusable instruction: no head *)
+  let d6 = C.decode (mk_code [| Val.Jump 0 |]) in
+  Alcotest.(check int) "lone branch no head" 0 d6.C.Dcode.fuse.(0)
+
+(* Opcode ids are load-bearing: [Interp.step_d] dispatches on the literal
+   ints, so pin [opcode_of] to the published constants. *)
+let test_opcode_ids () =
+  let site = { Val.ss_sym = 0; ss_argc = 0; ss_block = None; ss_cache = 0 } in
+  List.iter
+    (fun (insn, expect) ->
+      Alcotest.(check int) "opcode id" expect (C.opcode_of insn))
+    [
+      (Val.Nop, C.Dcode.op_nop);
+      (Val.Push Val.VNil, C.Dcode.op_push);
+      (Val.Pushself, C.Dcode.op_pushself);
+      (Val.Getlocal (3, 0), C.Dcode.op_getlocal0);
+      (Val.Getlocal (3, 2), C.Dcode.op_getlocal);
+      (Val.Setlocal (1, 0), C.Dcode.op_setlocal0);
+      (Val.Setlocal (1, 1), C.Dcode.op_setlocal);
+      (Val.Getivar (0, 0), C.Dcode.op_getivar);
+      (Val.Jump 0, C.Dcode.op_jump);
+      (Val.Branchunless 0, C.Dcode.op_branchunless);
+      (Val.Leave, C.Dcode.op_leave);
+      (Val.Opt_plus, C.Dcode.op_opt_plus);
+      (Val.Opt_pow, C.Dcode.op_opt_pow);
+      (Val.Opt_aref, C.Dcode.op_opt_aref);
+      (Val.Send site, C.Dcode.op_send);
+      (Val.Newarray 1, C.Dcode.op_generic);
+      (Val.Newthread site, C.Dcode.op_generic);
+      (Val.Defmethod (0, mk_code [| Val.Leave |]), C.Dcode.op_generic);
+    ]
+
+(* ---- differential: threaded tier vs the reference switch loop --------- *)
+
+let assert_same_tier name (a : Core.Runner.result) (b : Core.Runner.result) =
+  Alcotest.(check int) (name ^ ": wall_cycles") b.wall_cycles a.wall_cycles;
+  Alcotest.(check int) (name ^ ": total_insns") b.total_insns a.total_insns;
+  Alcotest.(check string) (name ^ ": output") b.output a.output;
+  Alcotest.(check int)
+    (name ^ ": gil acquisitions")
+    b.gil_acquisitions a.gil_acquisitions;
+  Alcotest.(check int)
+    (name ^ ": txn begins")
+    b.htm_stats.Htm_sim.Stats.begins a.htm_stats.Htm_sim.Stats.begins;
+  Alcotest.(check int)
+    (name ^ ": txn commits")
+    b.htm_stats.Htm_sim.Stats.commits a.htm_stats.Htm_sim.Stats.commits;
+  Alcotest.(check int)
+    (name ^ ": txn conflict aborts")
+    b.htm_stats.Htm_sim.Stats.aborts_conflict
+    a.htm_stats.Htm_sim.Stats.aborts_conflict;
+  Alcotest.(check int)
+    (name ^ ": txn accesses")
+    b.htm_stats.Htm_sim.Stats.txn_accesses a.htm_stats.Htm_sim.Stats.txn_accesses;
+  Alcotest.(check int)
+    (name ^ ": stm begins")
+    b.stm_stats.Stm.begins a.stm_stats.Stm.begins;
+  Alcotest.(check int)
+    (name ^ ": stm commits")
+    b.stm_stats.Stm.commits a.stm_stats.Stm.commits;
+  Alcotest.(check int) (name ^ ": gc runs") b.gc_runs a.gc_runs;
+  Alcotest.(check int) (name ^ ": allocs") b.allocs a.allocs;
+  Alcotest.(check int)
+    (name ^ ": requests completed")
+    b.requests_completed a.requests_completed
+
+let run_tier ~interp ~scheme ?(threads = 1) source =
+  ignore threads;
+  let cfg = Core.Runner.config ~scheme ~interp Htm_sim.Machine.zec12 in
+  Core.Runner.run_source cfg ~source
+
+(* Single-VM guest corpus under every scheme the figures use. *)
+let tier_corpus =
+  [
+    ("loop", "i = 0\ns = 0\nwhile i < 200\n  s += i\n  i += 1\nend\nputs s");
+    ( "methods+ivars",
+      {|class Acc
+  def initialize
+    @xs = []
+    @n = 0
+  end
+  def add(v)
+    @xs << v
+    @n += 1
+    self
+  end
+  def mean
+    @xs.sum / @n
+  end
+end
+a = Acc.new
+i = 0
+while i < 50
+  a.add(i * 3)
+  i += 1
+end
+puts a.mean|} );
+    ( "strings+hash",
+      {|h = {}
+i = 0
+while i < 40
+  h["k#{i % 7}"] = i
+  i += 1
+end
+puts h.size
+puts h["k3"]|} );
+    ( "threads+mutex",
+      {|m = Mutex.new
+total = 0
+ts = []
+t = 0
+while t < 4
+  ts << Thread.new do
+    i = 0
+    while i < 100
+      m.synchronize { total += 1 }
+      i += 1
+    end
+  end
+  t += 1
+end
+ts.each { |th| th.join }
+puts total|} );
+    ( "defmethod-invalidation",
+      {|def f
+  1
+end
+puts f
+def f
+  2
+end
+puts f|} );
+  ]
+
+let test_tier_corpus () =
+  List.iter
+    (fun (name, source) ->
+      List.iter
+        (fun scheme ->
+          let nm =
+            Printf.sprintf "%s/%s" name (Core.Scheme.to_string scheme)
+          in
+          let thr =
+            run_tier ~interp:Core.Runner.Interp_threaded ~scheme source
+          and ref_ = run_tier ~interp:Core.Runner.Interp_ref ~scheme source in
+          assert_same_tier nm thr ref_)
+        [
+          Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid;
+          Core.Scheme.Fine_grained;
+        ])
+    tier_corpus
+
+let run_workload ~interp ~scheme (w : Workloads.Workload.t) ~threads =
+  let source = w.Workloads.Workload.source ~threads ~size:Workloads.Size.Test in
+  let cfg = Core.Runner.config ~scheme ~interp Htm_sim.Machine.zec12 in
+  Core.Runner.run_source ~setup:(w.Workloads.Workload.setup None) cfg ~source
+
+let test_tier_workloads () =
+  let workloads =
+    Workloads.Workload.micro
+    @ List.filter
+        (fun (w : Workloads.Workload.t) -> w.name = "cg" || w.name = "is")
+        Workloads.Workload.npb
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun threads ->
+              let name =
+                Printf.sprintf "%s/%s/%dT" w.name
+                  (Core.Scheme.to_string scheme)
+                  threads
+              in
+              let thr =
+                run_workload ~interp:Core.Runner.Interp_threaded ~scheme w
+                  ~threads
+              and ref_ =
+                run_workload ~interp:Core.Runner.Interp_ref ~scheme w ~threads
+              in
+              assert_same_tier name thr ref_)
+            [ 1; 2; 4 ])
+        [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ])
+    workloads
+
+(* The BENCH_INTERP environment default, as the smoke script and CI use it;
+   the server path also exercises netsim delivery under the threaded tier. *)
+let test_tier_env_default () =
+  let w = Option.get (Workloads.Workload.find "webrick") in
+  let run v =
+    Unix.putenv "BENCH_INTERP" v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "BENCH_INTERP" "")
+      (fun () ->
+        let o =
+          Harness.Exp.run
+            (Harness.Exp.point ~workload:w ~machine:Htm_sim.Machine.xeon_e3
+               ~scheme:Core.Scheme.Htm_dynamic ~threads:3
+               ~size:Workloads.Size.Test ())
+        in
+        o.Harness.Exp.result)
+  in
+  let thr = run "" and ref_ = run "ref" in
+  Alcotest.(check bool) "served requests" true (thr.requests_completed > 0);
+  assert_same_tier "webrick/htm-dynamic/3c (env)" thr ref_
+
+(* ---- randomized-program fuzz across tiers ----------------------------- *)
+
+(* A tiny terminating program generator: straight-line arithmetic over
+   three locals, bounded counted loops, conditionals, array/hash traffic.
+   Programs can still take guest-level errors (coercion) — both tiers must
+   then fail with the same message. *)
+let gen_program =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let atom =
+    oneof
+      [ map string_of_int (int_range (-9) 9); var;
+        map (fun f -> Printf.sprintf "%.1f" f) (float_bound_inclusive 9.0) ]
+  in
+  let op = oneofl [ "+"; "-"; "*"; "/"; "%"; "**" ] in
+  let expr =
+    oneof
+      [
+        atom;
+        (let* x = atom and* o = op and* y = atom in
+         (* keep literal zero out of the divisor slot; a variable divisor
+            can still be zero at run time, which is part of the test *)
+         let y = if (o = "/" || o = "%") && y = "0" then "1" else y in
+         return (Printf.sprintf "(%s %s %s)" x o y));
+      ]
+  in
+  let stmt =
+    oneof
+      [
+        (let* v = var and* e = expr in
+         return (Printf.sprintf "%s = %s" v e));
+        (let* v = var and* e = expr in
+         return (Printf.sprintf "%s += %s" v e));
+        (let* e = expr and* v = var in
+         return (Printf.sprintf "if %s < %s\n  %s = %s + 1\nelse\n  %s = 0\nend" v e v v v));
+        (let* n = int_range 1 6 and* v = var and* e = expr in
+         return (Printf.sprintf "%d.times { |t| %s = %s + t }" n v e));
+        (let* e = expr in return (Printf.sprintf "xs << %s" e));
+        return "puts xs.length";
+        (let* v = var in return (Printf.sprintf "puts %s" v));
+      ]
+  in
+  let* stmts = list_size (int_range 3 14) stmt in
+  return
+    ("a = 1\nb = 2\nc = 3\nxs = []\n" ^ String.concat "\n" stmts
+   ^ "\nputs a\nputs b\nputs c")
+
+let outcome ~interp source =
+  match
+    run_tier ~interp ~scheme:Core.Scheme.Htm_dynamic source
+  with
+  | r -> Ok (r.Core.Runner.output, r.total_insns, r.wall_cycles)
+  | exception Core.Runner.Guest_failure m -> Error m
+
+let test_tier_fuzz =
+  Tutil.qtest "random programs agree across tiers" ~count:60
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun source ->
+      outcome ~interp:Core.Runner.Interp_threaded source
+      = outcome ~interp:Core.Runner.Interp_ref source)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "opt arithmetic edges" `Quick test_arith_edges;
+      Alcotest.test_case "decode consistency" `Quick test_decode_consistency;
+      Alcotest.test_case "runner cost table" `Quick test_runner_cost_tbl;
+      Alcotest.test_case "superinstruction fusion" `Quick test_fusion_patterns;
+      Alcotest.test_case "opcode ids" `Quick test_opcode_ids;
+      Alcotest.test_case "tier differential: corpus" `Quick test_tier_corpus;
+      Alcotest.test_case "tier differential: workloads" `Slow
+        test_tier_workloads;
+      Alcotest.test_case "tier differential: BENCH_INTERP env" `Quick
+        test_tier_env_default;
+      test_tier_fuzz;
+    ]
+
+(* The hybrid-TM figure runs on a machine with a quarter of the store
+   buffer, so windows overflow routinely and the runs live on the fallback
+   paths (GIL serialisation, software transactions) — pressure the stock
+   differential never reaches. The reference tier defines the expected
+   instruction count; the threaded run gets a finite budget a bit above it
+   so a divergence fails fast instead of spinning to the global budget. *)
+let run_pressure ~interp ~scheme ~threads ~machine ?max_insns
+    (w : Workloads.Workload.t) =
+  let cfg =
+    match max_insns with
+    | None -> Core.Runner.config ~scheme ~interp machine
+    | Some m -> Core.Runner.config ~scheme ~interp ~max_insns:m machine
+  in
+  let source = w.Workloads.Workload.source ~threads ~size:Workloads.Size.Test in
+  match w.Workloads.Workload.kind with
+  | Workloads.Workload.Compute ->
+      Core.Runner.run_source ~setup:(w.Workloads.Workload.setup None) cfg
+        ~source
+  | Workloads.Workload.Server ->
+      let requests = w.Workloads.Workload.server_requests Workloads.Size.Test in
+      let io =
+        (Option.get w.Workloads.Workload.make_io) ~clients:threads ~requests
+      in
+      Core.Runner.run_source ~io
+        ~stop:(fun () -> Netsim.done_all io)
+        ~setup:(w.Workloads.Workload.setup (Some io))
+        cfg ~source
+
+let test_tier_capacity_pressure () =
+  let machine =
+    { Htm_sim.Machine.zec12 with Htm_sim.Machine.ws_lines = 8 }
+  in
+  List.iter
+    (fun wname ->
+      let w = Option.get (Workloads.Workload.find wname) in
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun threads ->
+              let name =
+                Printf.sprintf "%s/%s/%dT (ws/4)" wname
+                  (Core.Scheme.to_string scheme)
+                  threads
+              in
+              let ref_ =
+                run_pressure ~interp:Core.Runner.Interp_ref ~scheme ~threads
+                  ~machine w
+              in
+              let thr =
+                run_pressure ~interp:Core.Runner.Interp_threaded ~scheme
+                  ~threads ~machine
+                  ~max_insns:((3 * ref_.Core.Runner.total_insns) + 10_000)
+                  w
+              in
+              assert_same_tier name thr ref_)
+            [ 1; 2; 4; 6; 8; 12 ])
+        [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ])
+    [ "bt"; "cg"; "ft"; "is"; "lu"; "mg"; "sp"; "webrick" ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "tier differential: capacity pressure" `Quick
+        test_tier_capacity_pressure;
+    ]
