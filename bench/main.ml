@@ -316,6 +316,14 @@ let figures () =
                | j -> j)
              (Harness.Figures.fig_hybrid ~size fmt)))
   in
+  (* The open-loop load panels also live OUTSIDE "figures", with their own
+     digest, for the same reason as the hybrid member. *)
+  let load =
+    time "load" "Load figure (open loop)" (fun () ->
+        J.List
+          (List.map Harness.Figures.load_json
+             (Harness.Figures.fig_load ~size fmt)))
+  in
   let trajectory =
     J.List (prior_trajectory () @ [ trajectory_entry ~size ])
   in
@@ -327,6 +335,7 @@ let figures () =
         ("jobs", J.Int (Harness.Pool.default_jobs ()));
         ("figures", J.Obj (List.rev !figs));
         ("hybrid", hybrid);
+        ("load", load);
         ("host", J.Obj (List.rev !host_times));
         ("trajectory", trajectory);
       ]
@@ -335,6 +344,7 @@ let figures () =
   Format.fprintf fmt "@.figures digest: %s@."
     (fnv64 (J.to_string (J.Obj (List.rev !figs))));
   Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string hybrid));
+  Format.fprintf fmt "load digest: %s@." (fnv64 (J.to_string load));
   Format.fprintf fmt "@.results -> %s@." results_file
 
 (* ---- validate: parse-check a results file (used by the smoke script) ---- *)
@@ -366,6 +376,9 @@ let validate path =
             (fnv64 (J.to_string (J.Obj figs)));
           (match J.member "hybrid" doc with
           | Some h -> Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string h))
+          | None -> ());
+          (match J.member "load" doc with
+          | Some l -> Format.fprintf fmt "load digest: %s@." (fnv64 (J.to_string l))
           | None -> ())
       | _ ->
           Format.eprintf "%s: parsed, but no \"figures\" object@." path;

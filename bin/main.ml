@@ -57,6 +57,64 @@ let quiet_arg =
   let doc = "Suppress guest output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* ---- open-loop load-generation flags (server workloads) ---- *)
+
+let arrivals_arg =
+  let doc =
+    "Arrival process for server workloads: closed (the think-time loop, \
+     default), poisson, or burst:N (groups of N simultaneous arrivals)."
+  in
+  Arg.(value & opt string "closed" & info [ "arrivals" ] ~docv:"MODE" ~doc)
+
+let offered_load_arg =
+  let doc =
+    "Open-loop offered load in requests per second of virtual time (used \
+     with --arrivals poisson or burst:N)."
+  in
+  Arg.(value & opt float 4_000.0 & info [ "offered-load" ] ~docv:"RPS" ~doc)
+
+let latency_json_arg =
+  let doc =
+    "Write the run's request-latency summary (offered vs achieved load, \
+     drop/timeout accounting, p50/p95/p99 latency) to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "latency-json" ] ~docv:"FILE" ~doc)
+
+let parse_arrivals mode rate =
+  match String.lowercase_ascii mode with
+  | "closed" -> Netsim.Closed
+  | "poisson" -> Netsim.Poisson { rate; seed = Harness.Figures.load_seed }
+  | "burst" -> Netsim.Burst { rate; size = 8; seed = Harness.Figures.load_seed }
+  | m
+    when String.length m > 6 && String.sub m 0 6 = "burst:"
+         && int_of_string_opt (String.sub m 6 (String.length m - 6)) <> None ->
+      Netsim.Burst
+        {
+          rate;
+          size = int_of_string (String.sub m 6 (String.length m - 6));
+          seed = Harness.Figures.load_seed;
+        }
+  | m ->
+      Format.eprintf "unknown arrival mode %s (closed, poisson, burst:N)@." m;
+      exit 1
+
+let load_document (l : Harness.Exp.load) =
+  Obs.Json.Obj
+    [
+      ("offered_rps", Obs.Json.Float l.Harness.Exp.offered_rps);
+      ("achieved_rps", Obs.Json.Float l.Harness.Exp.achieved_rps);
+      ("completed", Obs.Json.Int l.Harness.Exp.completed);
+      ("dropped", Obs.Json.Int l.Harness.Exp.dropped);
+      ("timed_out", Obs.Json.Int l.Harness.Exp.timed_out);
+      ("churned", Obs.Json.Int l.Harness.Exp.churned);
+      ("p50_cycles", Obs.Json.Int l.Harness.Exp.p50_cycles);
+      ("p95_cycles", Obs.Json.Int l.Harness.Exp.p95_cycles);
+      ("p99_cycles", Obs.Json.Int l.Harness.Exp.p99_cycles);
+      ("mean_cycles", Obs.Json.Float l.Harness.Exp.mean_cycles);
+      ("queue_peak", Obs.Json.Int l.Harness.Exp.queue_peak);
+      ("in_flight_peak", Obs.Json.Int l.Harness.Exp.in_flight_peak);
+    ]
+
 (* ---- observability flags (shared by run and exec) ---- *)
 
 let trace_arg =
@@ -185,6 +243,23 @@ let print_outcome ~quiet (o : Harness.Exp.outcome) =
       Format.printf "  requests            %d completed, %.0f req/s@."
         r.requests_completed r.request_throughput
   | Workloads.Workload.Compute -> ());
+  (match o.load with
+  | Some l ->
+      let us c = float_of_int c /. 1_000.0 in
+      if l.Harness.Exp.offered_rps > 0.0 then
+        Format.printf
+          "  offered load        %.0f req/s, achieved %.0f req/s (%d dropped, \
+           %d timed out, %d clients churned)@."
+          l.Harness.Exp.offered_rps l.Harness.Exp.achieved_rps
+          l.Harness.Exp.dropped l.Harness.Exp.timed_out l.Harness.Exp.churned;
+      Format.printf
+        "  request latency     p50 %.1f us, p95 %.1f us, p99 %.1f us (mean \
+         %.1f us; queue peak %d, in-flight peak %d)@."
+        (us l.Harness.Exp.p50_cycles) (us l.Harness.Exp.p95_cycles)
+        (us l.Harness.Exp.p99_cycles)
+        (l.Harness.Exp.mean_cycles /. 1_000.0)
+        l.Harness.Exp.queue_peak l.Harness.Exp.in_flight_peak
+  | None -> ());
   let b = r.breakdown in
   let total =
     max 1
@@ -204,7 +279,8 @@ let run_cmd =
     Arg.(value & opt string "cg" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
   let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet
-      trace trace_out metrics_json abort_report =
+      arrivals offered_load latency_json trace trace_out metrics_json
+      abort_report =
     match Workloads.Workload.find workload with
     | None ->
         Format.eprintf "unknown workload %s@." workload;
@@ -214,13 +290,26 @@ let run_cmd =
           parse_common machine scheme yield_points no_removal lazy_sweep refcount
         in
         let size = Workloads.Size.of_string size in
+        let arrivals = parse_arrivals arrivals offered_load in
+        (match (arrivals, w.Workloads.Workload.kind) with
+        | Netsim.Closed, _ | _, Workloads.Workload.Server -> ()
+        | _ ->
+            Format.eprintf "--arrivals only applies to server workloads@.";
+            exit 1);
         let tracer = make_tracer ~trace ~trace_out in
         let o =
           Harness.Exp.run ?tracer
-            (Harness.Exp.point ~yield_points ~opts ~workload:w ~machine ~scheme
-               ~threads ~size ())
+            (Harness.Exp.point ~yield_points ~opts ~arrivals ~workload:w
+               ~machine ~scheme ~threads ~size ())
         in
         print_outcome ~quiet o;
+        (match (latency_json, o.Harness.Exp.load) with
+        | Some path, Some l ->
+            write_json_or_die path (load_document l);
+            Format.eprintf "latency -> %s@." path
+        | Some _, None ->
+            Format.eprintf "--latency-json only applies to server workloads@."
+        | None, _ -> ());
         emit_observability ~trace ~trace_out ~metrics_json ~abort_report
           o.Harness.Exp.result
   in
@@ -228,8 +317,9 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ machine_arg $ scheme_arg $ threads_arg
       $ size_arg $ yield_arg $ baseline_opts_arg $ lazy_sweep_arg
-      $ refcount_arg $ quiet_arg $ trace_arg $ trace_out_arg
-      $ metrics_json_arg $ abort_report_arg)
+      $ refcount_arg $ quiet_arg $ arrivals_arg $ offered_load_arg
+      $ latency_json_arg $ trace_arg $ trace_out_arg $ metrics_json_arg
+      $ abort_report_arg)
 
 let exec_cmd =
   let file_arg =
@@ -262,8 +352,8 @@ let exec_cmd =
 let fig_cmd =
   let which_arg =
     let doc =
-      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid ablation overhead \
-       future-work refcount all."
+      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid load ablation \
+       overhead future-work refcount all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
@@ -283,6 +373,7 @@ let fig_cmd =
       | "fig8" -> ignore (Harness.Figures.fig8 ~size fmt)
       | "fig9" -> ignore (Harness.Figures.fig9 ~size fmt)
       | "hybrid" -> ignore (Harness.Figures.fig_hybrid ~size fmt)
+      | "load" -> ignore (Harness.Figures.fig_load ~size fmt)
       | "ablation" -> ignore (Harness.Figures.ablation ~size fmt)
       | "overhead" -> ignore (Harness.Figures.overhead ~size fmt)
       | "future-work" -> ignore (Harness.Figures.future_work ~size fmt)
@@ -295,7 +386,7 @@ let fig_cmd =
       List.iter doit
         [
           "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "hybrid";
-          "ablation"; "overhead"; "future-work"; "refcount";
+          "load"; "ablation"; "overhead"; "future-work"; "refcount";
         ]
     else doit which
   in

@@ -193,6 +193,10 @@ type t = {
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;
       (** high-watermark of simultaneously runnable threads *)
+  g_accept_queue_peak : Obs.Metrics.gauge;
+      (** high-watermark of the netsim accept-queue depth *)
+  g_in_flight_peak : Obs.Metrics.gauge;
+      (** high-watermark of accepted-but-unfinished requests *)
 }
 
 let max_threads = 64
@@ -289,7 +293,8 @@ let create ?(io : Netsim.t option) cfg ~source =
         scan vm.Rvm.Vm.threads);
   let metrics = vm.Rvm.Vm.metrics in
   let main = session.Rvm.Session.main in
-  {
+  let t =
+    {
     cfg;
     vm;
     gil;
@@ -353,7 +358,49 @@ let create ?(io : Netsim.t option) cfg ~source =
     m_fb_stm = Obs.Metrics.counter metrics "fallback.stm";
     m_slice_insns = Obs.Metrics.histogram metrics "sched.slice_insns";
     g_runnable_peak = Obs.Metrics.gauge metrics "sched.runnable_peak";
+    g_accept_queue_peak = Obs.Metrics.gauge metrics "net.accept_queue_peak";
+    g_in_flight_peak = Obs.Metrics.gauge metrics "net.in_flight_peak";
   }
+  in
+  (* Request-lifecycle instrumentation: netsim calls back at every request
+     completion, the runner records the latency decomposition (pure
+     observation — virtual time is never touched) and, when tracing, emits
+     the per-connection span into the sink. *)
+  (match io with
+  | None -> ()
+  | Some nio ->
+      let m_latency = Obs.Metrics.histogram metrics "req.latency_cycles" in
+      let m_queue = Obs.Metrics.histogram metrics "req.queue_cycles" in
+      let m_service = Obs.Metrics.histogram metrics "req.service_cycles" in
+      Netsim.set_on_close nio (fun (c : Netsim.conn) ~now ->
+          let accepted = if c.Netsim.accepted_at > 0 then c.Netsim.accepted_at else c.Netsim.arrived in
+          let queue_c = max 0 (accepted - c.Netsim.arrived) in
+          let service_c = max 0 (now - accepted) in
+          Obs.Metrics.observe m_latency (max 0 (now - c.Netsim.arrived));
+          Obs.Metrics.observe m_queue queue_c;
+          Obs.Metrics.observe m_service service_c;
+          match t.tracer with
+          | None -> ()
+          | Some tr ->
+              Obs.Trace.emit tr
+                {
+                  Obs.Event.ts = now;
+                  tid = max 0 c.Netsim.served_by;
+                  ctx = -1;
+                  kind =
+                    Obs.Event.Req_span
+                      {
+                        conn_id = c.Netsim.conn_id;
+                        queue_cycles = queue_c;
+                        first_byte_cycles =
+                          (if c.Netsim.first_byte_at > 0 then
+                             max 0 (c.Netsim.first_byte_at - accepted)
+                           else -1);
+                        service_cycles = service_c;
+                        total_cycles = max 0 (now - c.Netsim.arrived);
+                      };
+                }));
+  t
 
 let costs t = t.cfg.machine.costs
 
@@ -1115,6 +1162,7 @@ let advance_time t =
   (match t.io with
   | Some io when arrival <= target ->
       ignore (Netsim.advance io ~now:target);
+      Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_depth io);
       wake_acceptors t ~at:target
   | _ -> ())
 
@@ -1263,6 +1311,7 @@ let deliver_io t (th : V.t) =
       match Netsim.next_arrival io with
       | Some at when at <= th.V.clock ->
           ignore (Netsim.advance io ~now:th.V.clock);
+          Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_depth io);
           wake_acceptors t ~at:th.V.clock
       | _ -> ())
   | _ -> ()
@@ -1554,6 +1603,13 @@ let run ?(stop = fun () -> false) t =
   let wall =
     List.fold_left (fun acc (th : V.t) -> max acc th.clock) 0 vm.Rvm.Vm.threads
   in
+  (* fold netsim's exact high-watermarks into the gauges (sampling in
+     [deliver_io] sees the queue only at delivery points) *)
+  (match t.io with
+  | Some io ->
+      Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_peak io);
+      Obs.Metrics.gauge_max t.g_in_flight_peak (Netsim.in_flight_peak io)
+  | None -> ());
   let at_one, mean_len = Txlen.stats t.txlen in
   {
     wall_cycles = wall;

@@ -150,6 +150,11 @@ type t = {
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;
       (** high-watermark of simultaneously runnable threads *)
+  g_accept_queue_peak : Obs.Metrics.gauge;
+      (** high-watermark of the netsim accept-queue depth (a gauge:
+          merges as the maximum) *)
+  g_in_flight_peak : Obs.Metrics.gauge;
+      (** high-watermark of accepted-but-unfinished requests *)
 }
 
 and tle_state = {

@@ -11,11 +11,33 @@ type point = {
   size : Workloads.Size.t;
   yield_points : Core.Yield_points.set;
   opts : Rvm.Options.t;
+  arrivals : Netsim.arrivals;
+      (** [Closed] (default) = the paper's closed loop; [Poisson]/[Burst]
+          = open-loop offered load for server workloads *)
 }
 
 let point ?(yield_points = Core.Yield_points.Extended)
-    ?(opts = Rvm.Options.default) ~workload ~machine ~scheme ~threads ~size () =
-  { workload; machine; scheme; threads; size; yield_points; opts }
+    ?(opts = Rvm.Options.default) ?(arrivals = Netsim.Closed) ~workload
+    ~machine ~scheme ~threads ~size () =
+  { workload; machine; scheme; threads; size; yield_points; opts; arrivals }
+
+(* The request-latency summary of one server run: offered vs achieved load,
+   the loss accounting, and the latency quantiles from the runner's
+   log-linear [req.latency_cycles] histogram. *)
+type load = {
+  offered_rps : float;  (** configured open-loop rate; 0 for closed loop *)
+  achieved_rps : float;
+  completed : int;
+  dropped : int;  (** refused at the bounded accept queue *)
+  timed_out : int;  (** expired in the queue un-accepted *)
+  churned : int;  (** keep-alive client identities recycled *)
+  p50_cycles : int;
+  p95_cycles : int;
+  p99_cycles : int;
+  mean_cycles : float;
+  queue_peak : int;
+  in_flight_peak : int;
+}
 
 type outcome = {
   p : point;
@@ -24,6 +46,7 @@ type outcome = {
   abort_ratio : float;
   result : Core.Runner.result;
   output : string;
+  load : load option;  (** server runs only *)
 }
 
 let run ?tracer (p : point) : outcome =
@@ -48,6 +71,7 @@ let run ?tracer (p : point) : outcome =
           abort_ratio = Stats.abort_ratio r.htm_stats;
           result = r;
           output = r.output;
+          load = None;
         }
       in
       (* the outcome keeps no reference into the simulated store, so its
@@ -57,21 +81,54 @@ let run ?tracer (p : point) : outcome =
   | Workloads.Workload.Server ->
       let requests = p.workload.server_requests p.size in
       let io =
-        match p.workload.make_io with
-        | Some f -> f ~clients:p.threads ~requests
-        | None -> invalid_arg "server workload without io"
+        match p.arrivals with
+        | Netsim.Closed -> (
+            match p.workload.make_io with
+            | Some f -> f ~clients:p.threads ~requests
+            | None -> invalid_arg "server workload without io")
+        | arrivals -> (
+            match p.workload.make_io_open with
+            | Some f -> f ~clients:p.threads ~requests ~arrivals
+            | None -> invalid_arg "server workload without open-loop io")
       in
       let t = Core.Runner.create ~io cfg ~source in
       p.workload.setup (Some io) t.Core.Runner.vm;
       let r = Core.Runner.run ~stop:(fun () -> Netsim.done_all io) t in
+      let lat =
+        Obs.Metrics.histogram r.Core.Runner.metrics "req.latency_cycles"
+      in
+      (* closed loop keeps the paper's middle-half peak measure; open loop
+         reports the full-span sustained rate (see Netsim.achieved_load) *)
+      let achieved =
+        match p.arrivals with
+        | Netsim.Closed -> Netsim.throughput io
+        | _ -> Netsim.achieved_load io
+      in
+      let load =
+        {
+          offered_rps = Netsim.offered_load io;
+          achieved_rps = achieved;
+          completed = Netsim.completed io;
+          dropped = Netsim.dropped io;
+          timed_out = Netsim.timed_out io;
+          churned = Netsim.churned io;
+          p50_cycles = Obs.Metrics.quantile lat 0.50;
+          p95_cycles = Obs.Metrics.quantile lat 0.95;
+          p99_cycles = Obs.Metrics.quantile lat 0.99;
+          mean_cycles = Netsim.mean_latency io;
+          queue_peak = Netsim.queue_peak io;
+          in_flight_peak = Netsim.in_flight_peak io;
+        }
+      in
       let o =
         {
           p;
           wall_cycles = r.wall_cycles;
-          throughput = Netsim.throughput io;
+          throughput = achieved;
           abort_ratio = Stats.abort_ratio r.htm_stats;
           result = r;
           output = r.output;
+          load = Some load;
         }
       in
       Rvm.Vm.release t.Core.Runner.vm;

@@ -9,11 +9,15 @@ type point = {
   size : Workloads.Size.t;
   yield_points : Core.Yield_points.set;
   opts : Rvm.Options.t;
+  arrivals : Netsim.arrivals;
+      (** [Closed] (default) = the paper's closed loop; [Poisson]/[Burst]
+          = open-loop offered load (server workloads only) *)
 }
 
 val point :
   ?yield_points:Core.Yield_points.set ->
   ?opts:Rvm.Options.t ->
+  ?arrivals:Netsim.arrivals ->
   workload:Workloads.Workload.t ->
   machine:Htm_sim.Machine.t ->
   scheme:Core.Scheme.kind ->
@@ -22,6 +26,25 @@ val point :
   unit ->
   point
 
+(** The request-latency summary of one server run: offered vs achieved
+    load, the loss accounting, and latency quantiles estimated from the
+    runner's log-linear [req.latency_cycles] histogram (each within one
+    sub-bucket, i.e. ~6%, of exact). *)
+type load = {
+  offered_rps : float;  (** configured open-loop rate; 0 for closed loop *)
+  achieved_rps : float;
+  completed : int;
+  dropped : int;  (** refused at the bounded accept queue *)
+  timed_out : int;  (** expired in the queue un-accepted *)
+  churned : int;  (** keep-alive client identities recycled *)
+  p50_cycles : int;
+  p95_cycles : int;
+  p99_cycles : int;
+  mean_cycles : float;
+  queue_peak : int;
+  in_flight_peak : int;
+}
+
 type outcome = {
   p : point;
   wall_cycles : int;
@@ -29,6 +52,7 @@ type outcome = {
   abort_ratio : float;
   result : Core.Runner.result;
   output : string;
+  load : load option;  (** [Some] exactly for server runs *)
 }
 
 val run : ?tracer:Obs.Trace.t -> point -> outcome

@@ -434,6 +434,183 @@ let fig_hybrid ?(size = Workloads.Size.S) fmt =
     panels;
   panels
 
+(* ---- Throughput vs offered load (open-loop request-latency tier) ------------ *)
+
+let schemes_load =
+  [
+    Core.Scheme.Gil_only;
+    Core.Scheme.Htm_dynamic;
+    Core.Scheme.Hybrid;
+    Core.Scheme.Stm_only;
+  ]
+
+(* Offered loads chosen to straddle each stack's closed-loop capacity
+   (roughly 4.5-8.6k req/s for WEBrick on zEC12, 3.5-5k for Rails on the
+   Xeon): the lowest rate undersaturates every scheme, the highest
+   oversaturates all of them, so the sweep shows both the linear region and
+   the saturation knee per scheme. *)
+let offered_loads = function
+  | "rails" -> [ 1_500.0; 3_000.0; 4_500.0; 6_000.0 ]
+  | _ -> [ 2_000.0; 4_000.0; 6_000.0; 9_000.0 ]
+
+(* One arrival seed for the whole family: every scheme at a given rate sees
+   the identical arrival schedule, so throughput/latency differences are
+   the scheme's alone (paired comparison). *)
+let load_seed = 0x10AD
+
+type load_point = {
+  lp_scheme : string;
+  lp_offered : float;
+  lp_stats : Exp.load;
+}
+
+type load_panel = {
+  lp_workload : string;
+  lp_machine : string;
+  lp_clients : int;
+  lp_arrival : string;  (** "poisson" or "burst-N" *)
+  lp_points : load_point list;  (** scheme-major, offered-load-minor *)
+}
+
+let run_load_panel ?(schemes = schemes_load) ?(size = Workloads.Size.S)
+    ?(clients = 4) ?burst ~machine workload_name =
+  let workload = wl workload_name in
+  let rates = offered_loads workload_name in
+  let arrivals rate =
+    match burst with
+    | Some bsize -> Netsim.Burst { rate; size = bsize; seed = load_seed }
+    | None -> Netsim.Poisson { rate; seed = load_seed }
+  in
+  let combos =
+    List.concat_map
+      (fun scheme -> List.map (fun rate -> (scheme, rate)) rates)
+      schemes
+  in
+  let outs =
+    pmap
+      (fun (scheme, rate) ->
+        Exp.run
+          (Exp.point ~workload ~machine ~scheme ~threads:clients ~size
+             ~arrivals:(arrivals rate) ()))
+      combos
+  in
+  let points =
+    List.map2
+      (fun (scheme, rate) (o : Exp.outcome) ->
+        match o.Exp.load with
+        | Some stats ->
+            {
+              lp_scheme = Core.Scheme.to_string scheme;
+              lp_offered = rate;
+              lp_stats = stats;
+            }
+        | None -> invalid_arg "open-loop run without load stats")
+      combos outs
+  in
+  {
+    lp_workload = workload_name;
+    lp_machine = machine.Machine.name;
+    lp_clients = clients;
+    lp_arrival =
+      (match burst with
+      | Some n -> Printf.sprintf "burst-%d" n
+      | None -> "poisson");
+    lp_points = points;
+  }
+
+let load_cell panel scheme rate =
+  List.find_opt
+    (fun lp -> lp.lp_scheme = scheme && lp.lp_offered = rate)
+    panel.lp_points
+
+let print_load_panel fmt panel ~schemes =
+  let rates = offered_loads panel.lp_workload in
+  let xs = List.map (fun r -> Printf.sprintf "%.0f" r) rates in
+  let rows = List.map Core.Scheme.to_string schemes in
+  Report.series_table fmt
+    ~title:
+      (Printf.sprintf "%s on %s, %s arrivals: achieved req/s vs offered"
+         panel.lp_workload panel.lp_machine panel.lp_arrival)
+    ~xlabel:"scheme \\ offered" ~rows ~xs
+    ~cell:(fun row i ->
+      Option.map
+        (fun lp -> lp.lp_stats.Exp.achieved_rps)
+        (load_cell panel row (List.nth rates i)));
+  List.iter
+    (fun (label, pick) ->
+      Report.series_table fmt
+        ~title:
+          (Printf.sprintf "%s on %s: %s request latency (us)"
+             panel.lp_workload panel.lp_machine label)
+        ~xlabel:"scheme \\ offered" ~rows ~xs
+        ~cell:(fun row i ->
+          Option.map
+            (fun lp -> float_of_int (pick lp.lp_stats) /. 1_000.0)
+            (load_cell panel row (List.nth rates i))))
+    [
+      ("p50", fun (l : Exp.load) -> l.Exp.p50_cycles);
+      ("p95", fun l -> l.Exp.p95_cycles);
+      ("p99", fun l -> l.Exp.p99_cycles);
+    ];
+  List.iter
+    (fun lp ->
+      let l = lp.lp_stats in
+      if l.Exp.dropped > 0 || l.Exp.timed_out > 0 then
+        Format.fprintf fmt
+          "%s @@ %.0f req/s: %d dropped, %d timed out (queue peak %d)@."
+          lp.lp_scheme lp.lp_offered l.Exp.dropped l.Exp.timed_out
+          l.Exp.queue_peak)
+    panel.lp_points
+
+(* The JSON member bench/tests digest: plain data, fixed field order, so the
+   serialisation is a pure function of the simulated results. *)
+let load_json panel =
+  let module J = Obs.Json in
+  let point_json lp =
+    let l = lp.lp_stats in
+    J.Obj
+      [
+        ("scheme", J.Str lp.lp_scheme);
+        ("offered_rps", J.Float lp.lp_offered);
+        ("achieved_rps", J.Float l.Exp.achieved_rps);
+        ("completed", J.Int l.Exp.completed);
+        ("dropped", J.Int l.Exp.dropped);
+        ("timed_out", J.Int l.Exp.timed_out);
+        ("churned", J.Int l.Exp.churned);
+        ("p50_cycles", J.Int l.Exp.p50_cycles);
+        ("p95_cycles", J.Int l.Exp.p95_cycles);
+        ("p99_cycles", J.Int l.Exp.p99_cycles);
+        ("mean_cycles", J.Float l.Exp.mean_cycles);
+        ("queue_peak", J.Int l.Exp.queue_peak);
+        ("in_flight_peak", J.Int l.Exp.in_flight_peak);
+      ]
+  in
+  J.Obj
+    [
+      ("workload", J.Str panel.lp_workload);
+      ("machine", J.Str panel.lp_machine);
+      ("clients", J.Int panel.lp_clients);
+      ("arrival", J.Str panel.lp_arrival);
+      ("points", J.List (List.map point_json panel.lp_points));
+    ]
+
+let fig_load ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Load figure: throughput and latency quantiles vs offered load (open loop)";
+  let combos =
+    [
+      ("webrick", Machine.zec12, None);
+      ("rails", Machine.xeon_e3, None);
+      ("webrick", Machine.zec12, Some 8);
+    ]
+  in
+  List.map
+    (fun (name, machine, burst) ->
+      let p = run_load_panel ~machine ~size ?burst name in
+      print_load_panel fmt p ~schemes:schemes_load;
+      p)
+    combos
+
 (* ---- Section 5.4 ablations -------------------------------------------------- *)
 
 let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =

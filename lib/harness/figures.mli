@@ -81,6 +81,56 @@ val fig_hybrid : ?size:Workloads.Size.t -> Format.formatter -> panel list
     fallback (hybrid) on the NPB set and WEBrick, 1-12 threads, on
     {!hybrid_machine}. *)
 
+val schemes_load : Core.Scheme.kind list
+(** [GIL; HTM-dynamic; hybrid; stm] — the open-loop comparison grid. *)
+
+val offered_loads : string -> float list
+(** The offered-load sweep (req/s) for a workload name, chosen to straddle
+    every scheme's closed-loop capacity. *)
+
+val load_seed : int
+(** The arrival-schedule seed shared by the whole load family: every scheme
+    at a given rate sees the identical arrival schedule. *)
+
+type load_point = {
+  lp_scheme : string;
+  lp_offered : float;
+  lp_stats : Exp.load;
+}
+
+type load_panel = {
+  lp_workload : string;
+  lp_machine : string;
+  lp_clients : int;
+  lp_arrival : string;  (** "poisson" or "burst-N" *)
+  lp_points : load_point list;  (** scheme-major, offered-load-minor *)
+}
+
+val run_load_panel :
+  ?schemes:Core.Scheme.kind list ->
+  ?size:Workloads.Size.t ->
+  ?clients:int ->
+  ?burst:int ->
+  machine:Htm_sim.Machine.t ->
+  string ->
+  load_panel
+(** Open-loop sweep of one server workload: schemes x {!offered_loads},
+    Poisson arrivals (or bursts of [burst] when given). *)
+
+val load_cell : load_panel -> string -> float -> load_point option
+(** [load_cell panel scheme offered]: one grid cell, if present. *)
+
+val print_load_panel :
+  Format.formatter -> load_panel -> schemes:Core.Scheme.kind list -> unit
+
+val load_json : load_panel -> Obs.Json.t
+(** Deterministic JSON for one panel — the member bench digests (FNV-1a)
+    and the tier-stability tests compare. *)
+
+val fig_load : ?size:Workloads.Size.t -> Format.formatter -> load_panel list
+(** Throughput vs offered load with p50/p95/p99 request latency per scheme:
+    WEBrick/zEC12 (Poisson and burst-8) and Rails/Xeon (Poisson). *)
+
 val ablation :
   ?size:Workloads.Size.t ->
   ?threads:int ->

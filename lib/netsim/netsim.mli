@@ -1,14 +1,40 @@
-(** Virtual sockets plus a closed-loop HTTP client population: each of the
-    [n_clients] clients sends a request, waits for the response and re-issues
-    [think_cycles] later — the measurement loop of the paper's Section 5.3
-    WEBrick/Rails experiments, in virtual time. *)
+(** Virtual sockets plus the client populations that drive them.
+
+    Closed loop (default): each of the [n_clients] clients sends a request,
+    waits for the response and re-issues [think_cycles] later — the
+    measurement loop of the paper's Section 5.3 WEBrick/Rails experiments,
+    in virtual time.
+
+    Open loop ([Poisson] / [Burst] arrivals): requests arrive on a schedule
+    independent of the server, at a configured offered load in requests per
+    second at the 1 GHz virtual clock. The schedule is a pure function of
+    the seed (drawn from a dedicated {!Htm_sim.Prng}), so it is identical
+    across schedulers, interpreter tiers and worker counts. Keep-alive
+    client slots churn to fresh identities every [keepalive] requests; the
+    accept queue holds at most [queue_cap] connections (arrivals beyond it
+    count as dropped) and queued requests expire after [queue_timeout]
+    cycles un-accepted. Open-loop measurement avoids the closed loop's
+    coordinated omission: arrivals keep coming while the server struggles,
+    so queueing delay shows up in the latency tail instead of silently
+    throttling the load. *)
+
+type arrivals =
+  | Closed  (** the think-time closed loop *)
+  | Poisson of { rate : float; seed : int }
+      (** memoryless arrivals at [rate] requests per virtual second *)
+  | Burst of { rate : float; size : int; seed : int }
+      (** groups of [size] simultaneous arrivals, fronts exponentially
+          spaced so the long-run offered load is still [rate] *)
 
 type conn = {
   conn_id : int;
   client : int;
   request : string;
   mutable response : string list;  (** chunks, newest first *)
-  arrived : int;
+  arrived : int;  (** cycle the request hit the accept queue *)
+  mutable accepted_at : int;  (** cycle the server accepted it (0 = never) *)
+  mutable first_byte_at : int;  (** cycle of the first response write *)
+  mutable served_by : int;  (** guest tid that accepted it, -1 = none *)
   mutable closed : bool;
   mutable completed_at : int;
 }
@@ -18,31 +44,82 @@ type t
 val create :
   ?think_cycles:int ->
   ?request_limit:int ->
+  ?arrivals:arrivals ->
+  ?queue_cap:int ->
+  ?queue_timeout:int ->
+  ?keepalive:int ->
   n_clients:int ->
   (int -> string) ->
   t
 (** [create ~n_clients make_request]: [make_request client] builds each
-    request payload. *)
+    request payload. [arrivals] defaults to [Closed]; [queue_cap],
+    [queue_timeout] and [keepalive] default to unbounded and only matter
+    for open-loop modes.
+    @raise Invalid_argument on a non-positive rate or burst size. *)
 
 val next_arrival : t -> int option
-(** Earliest future cycle a new request can arrive, if any client is idle. *)
+(** Earliest future cycle a new request can arrive, if any. *)
 
 val advance : t -> now:int -> bool
-(** Materialise every request due by [now] into the accept queue; true if
-    anything arrived. *)
+(** Materialise every request due by [now] into the accept queue (dropping
+    past the queue bound and expiring timed-out entries in open-loop
+    modes); true if anything was enqueued. *)
 
-val accept : t -> conn option
+val accept : ?now:int -> ?tid:int -> t -> conn option
+(** Pop the oldest queued connection. [now] stamps [accepted_at] (and
+    expires timed-out entries first); [tid] records the accepting guest
+    thread for per-request trace spans. *)
+
 val conn : t -> int -> conn option
-val write : t -> int -> string -> unit
+
+val write : ?now:int -> t -> int -> string -> unit
+(** Append a response chunk; [now] stamps [first_byte_at] on the first
+    write. *)
 
 val close : t -> int -> now:int -> unit
-(** Completes the request: the client schedules its next send. *)
+(** Completes the request (closed-loop clients schedule their next send)
+    and fires the {!set_on_close} hook before the connection is dropped. *)
+
+val set_on_close : t -> (conn -> now:int -> unit) -> unit
+(** Install a completion hook: called once per completed request, before
+    the connection is removed. The runner uses it to record latency
+    histograms and lifecycle trace spans without netsim depending on the
+    observability layer. *)
 
 val completed : t -> int
+
 val done_all : t -> bool
+(** Every one of the [request_limit] requests is accounted for: completed,
+    dropped at the full queue, or timed out waiting. *)
+
+val issued : t -> int
+val dropped : t -> int
+val timed_out : t -> int
+val churned : t -> int
+val queue_depth : t -> int
+val in_flight : t -> int
+
+val queue_peak : t -> int
+(** High-watermark of the accept-queue depth. *)
+
+val in_flight_peak : t -> int
+(** High-watermark of accepted-but-unfinished requests. *)
+
+val offered_load : t -> float
+(** Configured open-loop rate in requests per second; 0 for closed loop. *)
 
 val throughput : t -> float
-(** Requests per second at the 1 GHz virtual clock, measured over the middle
-    half of the run (the paper reports peak throughput). *)
+(** Requests per second at the 1 GHz virtual clock, measured over the
+    middle half of the run (the paper reports peak throughput). Total:
+    runs with zero (or fewer than four) completions answer 0 or use the
+    whole span, never NaN/infinity. *)
+
+val achieved_load : t -> float
+(** Requests per second over the whole span up to the last close — the
+    open-loop "achieved" rate. Under saturation the bounded queue drains
+    in bursts whose instantaneous rate can dwarf the offered load, so the
+    middle-half {!throughput} window is wrong here; 0 with no
+    completions. *)
 
 val mean_latency : t -> float
+(** Mean completion latency in cycles; 0 with no completions. *)

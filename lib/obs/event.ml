@@ -21,6 +21,13 @@ type kind =
   | Gc_start
   | Gc_end of { cycles : int }
   | Ctx_switch of { prev_tid : int }
+  | Req_span of {
+      conn_id : int;
+      queue_cycles : int;  (** arrival -> accept *)
+      first_byte_cycles : int;  (** accept -> first response write, -1 if none *)
+      service_cycles : int;  (** accept -> close *)
+      total_cycles : int;  (** arrival -> close *)
+    }  (** one completed request's lifecycle, emitted at close *)
 
 type t = { ts : int; tid : int; ctx : int; kind : kind }
 
@@ -34,12 +41,14 @@ let name = function
   | Gc_start -> "gc-start"
   | Gc_end _ -> "gc"
   | Ctx_switch _ -> "ctx-switch"
+  | Req_span _ -> "request"
 
 let category = function
   | Txn_begin | Txn_commit _ | Txn_abort _ -> "txn"
   | Gil_acquire | Gil_release | Gil_wait _ -> "gil"
   | Gc_start | Gc_end _ -> "gc"
   | Ctx_switch _ -> "sched"
+  | Req_span _ -> "net"
 
 (* Duration (in cycles) for events that close an interval; the interval's
    start is [ts - duration]. *)
@@ -47,6 +56,7 @@ let duration = function
   | Txn_commit { cycles; _ } | Txn_abort { cycles; _ } -> Some cycles
   | Gil_wait { cycles } -> Some cycles
   | Gc_end { cycles } -> Some cycles
+  | Req_span { total_cycles; _ } -> Some total_cycles
   | Txn_begin | Gil_acquire | Gil_release | Gc_start | Ctx_switch _ -> None
 
 let pp fmt (e : t) =
@@ -64,6 +74,10 @@ let pp fmt (e : t) =
   | Gil_wait { cycles } -> Format.fprintf fmt " cycles=%d" cycles
   | Gc_end { cycles } -> Format.fprintf fmt " cycles=%d" cycles
   | Ctx_switch { prev_tid } -> Format.fprintf fmt " prev-tid=%d" prev_tid
+  | Req_span { conn_id; queue_cycles; first_byte_cycles; service_cycles; total_cycles }
+    ->
+      Format.fprintf fmt " conn=%d queue=%d first-byte=%d service=%d total=%d"
+        conn_id queue_cycles first_byte_cycles service_cycles total_cycles
 
 (* One Chrome trace-event object (the chrome://tracing / Perfetto format:
    interval events use phase "X" with ts/dur, points use instants "i").
@@ -97,6 +111,15 @@ let to_chrome (e : t) : Json.t =
                 ("ws", Json.Int ws);
                 ("line", Json.Int line);
                 ("site", Json.Str (Printf.sprintf "%s:%d %s" code pc op));
+              ]
+        | Req_span { conn_id; queue_cycles; first_byte_cycles; service_cycles; _ }
+          ->
+            args
+              [
+                ("conn", Json.Int conn_id);
+                ("queue_us", us queue_cycles);
+                ("first_byte_us", us first_byte_cycles);
+                ("service_us", us service_cycles);
               ]
         | _ -> args []
       in

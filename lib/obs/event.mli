@@ -20,6 +20,17 @@ type kind =
   | Gc_start
   | Gc_end of { cycles : int }
   | Ctx_switch of { prev_tid : int }
+  | Req_span of {
+      conn_id : int;
+      queue_cycles : int;  (** arrival -> accept *)
+      first_byte_cycles : int;
+          (** accept -> first response write, -1 when nothing was written *)
+      service_cycles : int;  (** accept -> close *)
+      total_cycles : int;  (** arrival -> close *)
+    }
+      (** one completed request's lifecycle, emitted at close by the runner;
+          renders in Chrome/Perfetto as a span of the full
+          arrival-to-close interval on the serving thread's track *)
 
 type t = { ts : int; tid : int; ctx : int; kind : kind }
 

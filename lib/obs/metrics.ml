@@ -2,14 +2,22 @@
    hashtable lookup) and then update it through the returned handle (an int
    mutation / two array stores), so hot paths never re-resolve names.
 
-   Histograms use power-of-two buckets: bucket [i] counts observations [v]
-   with [2^(i-1) < v <= 2^i] (bucket 0 counts v <= 1). That is enough
-   resolution for cycle counts, retry counts and footprint sizes while
-   keeping observation cost flat. *)
+   Histograms are log-linear (HDR-style): values below [sub_count] get one
+   bucket each; above that, every power-of-two block is split into
+   [sub_count] linear sub-buckets, so the bucket upper bound is within
+   1/sub_count (6.25%) of any observation. That is fine enough for p95/p99
+   quantile estimates over cycle counts while keeping observation cost flat
+   (a few shifts and two array stores). *)
 
 type counter = { c_name : string; mutable count : int }
 
-let n_buckets = 63
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits (* 16 linear sub-buckets per 2x block *)
+
+(* Values are clamped non-negative 63-bit ints: msb index <= 61, so
+   [k = msb - sub_bits] ranges over 58 blocks of [sub_count] sub-buckets,
+   plus the [sub_count] exact buckets for v < sub_count. *)
+let n_buckets = sub_count + (sub_count * (61 - sub_bits + 1))
 
 type histogram = {
   h_name : string;
@@ -75,29 +83,75 @@ let histogram t name =
 let incr c = c.count <- c.count + 1
 let add c v = c.count <- c.count + v
 
-(* Index of the smallest power-of-two bucket holding [v]. *)
+(* Most-significant-bit index of a positive int, by binary descent. *)
+let msb v =
+  let m = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin m := !m + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin m := !m + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin m := !m + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin m := !m + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin m := !m + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then m := !m + 1;
+  !m
+
+(* Log-linear bucket index: values below [sub_count] map to themselves;
+   above, block [k = msb v - sub_bits] contributes [sub_count] sub-buckets
+   selected by the [sub_bits] bits right under the msb. Monotone in [v]. *)
 let bucket_of v =
-  if v <= 1 then 0
+  if v < sub_count then max 0 v
   else begin
-    let i = ref 0 and b = ref 1 in
-    while !b < v && !i < n_buckets - 1 do
-      b := !b lsl 1;
-      i := !i + 1
-    done;
-    !i
+    let k = msb v - sub_bits in
+    let i = (sub_count * k) + ((v lsr k) land (sub_count - 1)) + sub_count in
+    if i >= n_buckets then n_buckets - 1 else i
   end
 
-let bucket_le i = if i >= n_buckets - 1 then max_int else 1 lsl i
+(* Inclusive upper bound of a bucket: the largest value mapping into it. *)
+let bucket_le i =
+  if i < sub_count then i
+  else if i >= n_buckets - 1 then max_int
+  else begin
+    let k = (i - sub_count) / sub_count in
+    let j = (i - sub_count) mod sub_count in
+    ((sub_count + j + 1) lsl k) - 1
+  end
 
 let observe h v =
   let v = max 0 v in
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
   h.n <- h.n + 1;
   h.sum <- h.sum + v;
   if v > h.max_v then h.max_v <- v;
   if v < h.min_v then h.min_v <- v
 
 let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
+
+(* The value at quantile [q] (0 < q <= 1): the upper bound of the bucket
+   holding the ceil(q*n)-th smallest observation, clamped to the observed
+   extrema. Buckets are monotone in value, so the estimate is the bound of
+   the exact sample quantile's own bucket — within one sub-bucket
+   (<= 1/sub_count relative error) of the exact answer. *)
+let quantile h q =
+  if h.n = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.n)) in
+      if r < 1 then 1 else if r > h.n then h.n else r
+    in
+    let est = ref h.max_v in
+    let cum = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           est := bucket_le i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v = !est in
+    if v > h.max_v then h.max_v else if v < h.min_v then h.min_v else v
+  end
 
 (* Accumulate [src] into [dst]: counters and buckets sum, extrema combine.
    Used to merge the per-task (hence per-domain) sinks of a parallel sweep
@@ -109,8 +163,9 @@ let merge dst src =
       match m with
       | Counter c -> add (counter dst name) c.count
       | Gauge g ->
-          (* gauges are instantaneous readings (mostly high-watermarks);
-             across tasks the maximum is the meaningful aggregate *)
+          (* gauges are instantaneous readings (queue depths, in-flight
+             counts, runnable peaks — all high-watermarks); across tasks
+             the maximum is the meaningful aggregate *)
           gauge_max (gauge dst name) g.value
       | Histogram h ->
           let d = histogram dst name in
@@ -146,6 +201,9 @@ let histogram_json h =
       ("count", Json.Int h.n);
       ("sum", Json.Int h.sum);
       ("mean", Json.Float (mean h));
+      ("p50", Json.Int (quantile h 0.50));
+      ("p95", Json.Int (quantile h 0.95));
+      ("p99", Json.Int (quantile h 0.99));
       ("min", Json.Int (if h.n = 0 then 0 else h.min_v));
       ("max", Json.Int (if h.n = 0 then 0 else h.max_v));
       ("buckets", Json.List buckets);
@@ -169,10 +227,13 @@ let pp fmt t =
     (fun (name, m) ->
       match m with
       | Counter c -> Format.fprintf fmt "%-36s %d@." name c.count
-      | Gauge g -> Format.fprintf fmt "%-36s %d (gauge)@." name g.value
+      | Gauge g ->
+          (* high-watermark: merging keeps the maximum across tasks *)
+          Format.fprintf fmt "%-36s %d (gauge, high-watermark)@." name g.value
       | Histogram h ->
-          Format.fprintf fmt "%-36s n=%d mean=%.1f min=%d max=%d@." name h.n
-            (mean h)
+          Format.fprintf fmt
+            "%-36s n=%d mean=%.1f p50=%d p95=%d p99=%d min=%d max=%d@." name
+            h.n (mean h) (quantile h 0.50) (quantile h 0.95) (quantile h 0.99)
             (if h.n = 0 then 0 else h.min_v)
             (if h.n = 0 then 0 else h.max_v))
     (sorted t)

@@ -37,7 +37,7 @@ let install_net vm (io : Netsim.t) =
       (* syscall: never inside a transaction *)
       Builtins.no_txn vm th;
       ignore (Netsim.advance io ~now:th.Vmthread.clock);
-      match Netsim.accept io with
+      match Netsim.accept io ~now:th.Vmthread.clock ~tid:th.Vmthread.tid with
       | Some c ->
           let slot = Heap.alloc_slot vm.Vm.heap th ~class_id:conn.Klass.id in
           Htm.write vm.Vm.htm ~ctx:th.Vmthread.ctx (slot + 1)
@@ -61,7 +61,7 @@ let install_net vm (io : Netsim.t) =
           | Value.VRef a -> Objects.string_content vm th a
           | v -> Objects.display vm th v
         in
-        Netsim.write io id chunk;
+        Netsim.write io id chunk ~now:th.Vmthread.clock;
         Value.VInt (String.length chunk)
       end
       else begin

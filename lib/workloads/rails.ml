@@ -122,6 +122,13 @@ let make_io ~clients ~requests =
   Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
     (make_request (ref 0))
 
+(* Open-loop variant; same bounded queue and churn policy as WEBrick so the
+   fig_load panels compare schemes, not queue configurations. *)
+let make_io_open ~clients ~requests ~arrivals =
+  Netsim.create ~request_limit:requests ~n_clients:clients ~arrivals
+    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8
+    (make_request (ref 0))
+
 let setup io vm =
   Extensions.install_net vm io;
   Extensions.install_regex vm;

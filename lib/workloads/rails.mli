@@ -12,4 +12,10 @@ val make_request : int ref -> int -> string
     sequence a pure function of its own configuration. *)
 
 val make_io : clients:int -> requests:int -> Netsim.t
+
+val make_io_open :
+  clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t
+(** Open-loop variant with the same bounded-queue and churn policy as
+    {!Webrick.make_io_open}. *)
+
 val setup : Netsim.t -> Rvm.Vm.t -> unit

@@ -86,6 +86,13 @@ let make_io ~clients ~requests =
   Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
     make_request
 
+(* Open-loop variant: arrivals keep coming at the offered rate whether or
+   not the server keeps up, so the accept queue must be bounded (64 slots,
+   4 ms virtual patience) and keep-alive clients churn every 8 requests. *)
+let make_io_open ~clients ~requests ~arrivals =
+  Netsim.create ~request_limit:requests ~n_clients:clients ~arrivals
+    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8 make_request
+
 let setup io vm =
   Extensions.install_net vm io;
   Extensions.install_regex vm

@@ -5,4 +5,10 @@
 val guest_source : string
 val make_request : int -> string
 val make_io : clients:int -> requests:int -> Netsim.t
+
+val make_io_open :
+  clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t
+(** Open-loop variant: bounded accept queue (64 slots, 4 ms virtual
+    timeout), keep-alive clients churned every 8 requests. *)
+
 val setup : Netsim.t -> Rvm.Vm.t -> unit

@@ -14,6 +14,9 @@ type t = {
   source : threads:int -> size:Size.t -> string;
       (** for [Server] workloads, [threads] is the number of clients *)
   make_io : (clients:int -> requests:int -> Netsim.t) option;
+  make_io_open :
+    (clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t)
+    option;
   setup : Netsim.t option -> Rvm.Vm.t -> unit;
   server_requests : Size.t -> int;
 }
@@ -26,6 +29,7 @@ let compute ?(parallel_work = false) name describe source =
     parallel_work;
     source;
     make_io = None;
+    make_io_open = None;
     setup = (fun _ _ -> ());
     server_requests = (fun _ -> 0);
   }
@@ -64,6 +68,10 @@ let webrick =
     describe = "WEBrick HTTP server, thread per request";
     source = (fun ~threads:_ ~size:_ -> Webrick.guest_source);
     make_io = Some (fun ~clients ~requests -> Webrick.make_io ~clients ~requests);
+    make_io_open =
+      Some
+        (fun ~clients ~requests ~arrivals ->
+          Webrick.make_io_open ~clients ~requests ~arrivals);
     setup =
       (fun io vm ->
         match io with Some io -> Webrick.setup io vm | None -> ());
@@ -78,6 +86,10 @@ let rails =
     describe = "Ruby on Rails-style book listing over SQLite stand-in";
     source = (fun ~threads:_ ~size:_ -> Rails.guest_source);
     make_io = Some (fun ~clients ~requests -> Rails.make_io ~clients ~requests);
+    make_io_open =
+      Some
+        (fun ~clients ~requests ~arrivals ->
+          Rails.make_io_open ~clients ~requests ~arrivals);
     setup = (fun io vm -> match io with Some io -> Rails.setup io vm | None -> ());
     server_requests = (fun size -> Size.pick size ~test:40 ~s:250 ~w:800);
   }

@@ -14,6 +14,11 @@ type t = {
   source : threads:int -> size:Size.t -> string;
       (** for [Server] workloads, [threads] is the number of clients *)
   make_io : (clients:int -> requests:int -> Netsim.t) option;
+  make_io_open :
+    (clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t)
+    option;
+      (** open-loop variant: bounded accept queue + keep-alive churn, driven
+          by a [Netsim.Poisson] or [Netsim.Burst] arrival process *)
   setup : Netsim.t option -> Rvm.Vm.t -> unit;
       (** installs extension classes (sockets, regexp, db) into the VM *)
   server_requests : Size.t -> int;

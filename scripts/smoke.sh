@@ -18,11 +18,13 @@ BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
 v1=$(dune exec bench/main.exe -- validate BENCH_results.json)
 d1=$(echo "$v1" | sed -n 's/^figures digest: //p')
 h1=$(echo "$v1" | sed -n 's/^hybrid digest: //p')
+l1=$(echo "$v1" | sed -n 's/^load digest: //p')
 
 BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 v4=$(dune exec bench/main.exe -- validate BENCH_results.json)
 d4=$(echo "$v4" | sed -n 's/^figures digest: //p')
 h4=$(echo "$v4" | sed -n 's/^hybrid digest: //p')
+l4=$(echo "$v4" | sed -n 's/^load digest: //p')
 
 if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
   echo "smoke: FAIL: figures differ between BENCH_JOBS=1 ($d1) and BENCH_JOBS=4 ($d4)" >&2
@@ -38,12 +40,21 @@ if [ -z "$h1" ] || [ "$h1" != "$h4" ]; then
 fi
 echo "smoke: hybrid panel identical across worker counts (digest $h1)"
 
+# the open-loop load panels also live outside "figures" and must be just as
+# deterministic: the arrival schedule is a pure function of the seed
+if [ -z "$l1" ] || [ "$l1" != "$l4" ]; then
+  echo "smoke: FAIL: load panels differ between BENCH_JOBS=1 ($l1) and BENCH_JOBS=4 ($l4)" >&2
+  exit 1
+fi
+echo "smoke: load panels identical across worker counts (digest $l1)"
+
 # the event-driven scheduler must reproduce the reference linear scan's
 # interleaving exactly: regenerate under BENCH_SCHED=ref and compare
 BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 vref=$(dune exec bench/main.exe -- validate BENCH_results.json)
 dref=$(echo "$vref" | sed -n 's/^figures digest: //p')
 href=$(echo "$vref" | sed -n 's/^hybrid digest: //p')
+lref=$(echo "$vref" | sed -n 's/^load digest: //p')
 
 if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
   echo "smoke: FAIL: figures differ between heap ($d1) and reference ($dref) schedulers" >&2
@@ -51,6 +62,10 @@ if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
 fi
 if [ -z "$href" ] || [ "$h1" != "$href" ]; then
   echo "smoke: FAIL: hybrid panel differs between heap ($h1) and reference ($href) schedulers" >&2
+  exit 1
+fi
+if [ -z "$lref" ] || [ "$l1" != "$lref" ]; then
+  echo "smoke: FAIL: load panels differ between heap ($l1) and reference ($lref) schedulers" >&2
   exit 1
 fi
 echo "smoke: figures identical across schedulers (digest $dref)"
@@ -61,6 +76,7 @@ BENCH_INTERP=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figure
 viref=$(dune exec bench/main.exe -- validate BENCH_results.json)
 diref=$(echo "$viref" | sed -n 's/^figures digest: //p')
 hiref=$(echo "$viref" | sed -n 's/^hybrid digest: //p')
+liref=$(echo "$viref" | sed -n 's/^load digest: //p')
 
 if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
   echo "smoke: FAIL: figures differ between threaded ($d1) and reference ($diref) interpreters" >&2
@@ -68,6 +84,10 @@ if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
 fi
 if [ -z "$hiref" ] || [ "$h1" != "$hiref" ]; then
   echo "smoke: FAIL: hybrid panel differs between threaded ($h1) and reference ($hiref) interpreters" >&2
+  exit 1
+fi
+if [ -z "$liref" ] || [ "$l1" != "$liref" ]; then
+  echo "smoke: FAIL: load panels differ between threaded ($l1) and reference ($liref) interpreters" >&2
   exit 1
 fi
 echo "smoke: figures identical across interpreters (digest $diref)"

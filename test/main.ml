@@ -32,5 +32,6 @@ let () =
       ("servers", Test_servers.suite);
       ("workloads", Test_workloads.suite);
       ("obs", Test_obs.suite);
+      ("load", Test_load.suite);
       ("stm", Test_stm.suite);
     ]

@@ -57,10 +57,163 @@ let test_throughput_measure () =
   Alcotest.(check bool) "throughput positive" true (Netsim.throughput t > 0.0);
   Alcotest.(check bool) "latency positive" true (Netsim.mean_latency t >= 0.0)
 
+(* ---- open-loop arrivals ---- *)
+
+let mk_open ?(limit = 50) ?(queue_cap = max_int) ?(queue_timeout = max_int)
+    ?(keepalive = max_int) arrivals =
+  Netsim.create ~request_limit:limit ~arrivals ~queue_cap ~queue_timeout
+    ~keepalive ~n_clients:4 (fun c ->
+      Printf.sprintf "GET /c%d HTTP/1.1\r\n\r\n" c)
+
+(* Drain a generator: advance in fixed steps, accept everything, close
+   immediately. Returns the (client, arrived) schedule actually seen. *)
+let drain t =
+  let seen = ref [] in
+  let now = ref 0 in
+  while not (Netsim.done_all t) do
+    ignore (Netsim.advance t ~now:!now);
+    let rec pump () =
+      match Netsim.accept t ~now:!now with
+      | Some c ->
+          seen := (c.Netsim.client, c.Netsim.arrived) :: !seen;
+          Netsim.write t c.Netsim.conn_id "ok" ~now:(!now + 10);
+          Netsim.close t c.Netsim.conn_id ~now:(!now + 20);
+          pump ()
+      | None -> ()
+    in
+    pump ();
+    now := !now + 500
+  done;
+  List.rev !seen
+
+let test_poisson_deterministic () =
+  let arr = Netsim.Poisson { rate = 2_000_000.0; seed = 42 } in
+  let a = drain (mk_open arr) and b = drain (mk_open arr) in
+  Alcotest.(check int) "all issued" 50 (List.length a);
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let c = drain (mk_open (Netsim.Poisson { rate = 2_000_000.0; seed = 7 })) in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c);
+  (* gaps average out near the configured rate: 50 reqs at 2M/s ~ 25k cycles *)
+  let last = List.fold_left (fun _ (_, t) -> t) 0 a in
+  Alcotest.(check bool) "span in the right decade" true
+    (last > 5_000 && last < 250_000)
+
+let test_burst_grouping () =
+  let t = mk_open ~limit:40 (Netsim.Burst { rate = 1_000_000.0; size = 8; seed = 3 }) in
+  let sched = drain t in
+  Alcotest.(check int) "all issued" 40 (List.length sched);
+  (* arrivals come in groups of [size] sharing one timestamp *)
+  let module M = Map.Make (Int) in
+  let groups =
+    List.fold_left
+      (fun m (_, at) -> M.update at (fun n -> Some (1 + Option.value n ~default:0)) m)
+      M.empty sched
+  in
+  M.iter
+    (fun _ n ->
+      if n mod 8 <> 0 then Alcotest.failf "burst of %d not a multiple of 8" n)
+    groups;
+  Alcotest.(check int) "5 fronts" 5 (M.cardinal groups)
+
+let test_queue_bound_drops () =
+  let t =
+    mk_open ~limit:20 ~queue_cap:5
+      (Netsim.Poisson { rate = 1_000_000.0; seed = 1 })
+  in
+  (* never accept: the queue fills to its bound, the rest drop *)
+  ignore (Netsim.advance t ~now:100_000_000);
+  Alcotest.(check int) "queue holds the cap" 5 (Netsim.queue_depth t);
+  Alcotest.(check int) "rest dropped" 15 (Netsim.dropped t);
+  Alcotest.(check bool) "queued requests still outstanding" false
+    (Netsim.done_all t);
+  for _ = 1 to 5 do
+    match Netsim.accept t ~now:100_000_000 with
+    | Some c -> Netsim.close t c.Netsim.conn_id ~now:100_000_100
+    | None -> Alcotest.fail "queue emptied early"
+  done;
+  Alcotest.(check bool) "all requests accounted for" true (Netsim.done_all t);
+  Alcotest.(check int) "queue peak recorded" 5 (Netsim.queue_peak t)
+
+let test_queue_timeout () =
+  let t =
+    mk_open ~limit:10 ~queue_timeout:1_000
+      (Netsim.Poisson { rate = 1_000_000.0; seed = 9 })
+  in
+  ignore (Netsim.advance t ~now:1_000_000);
+  (* everything queued has waited > 1000 cycles by 100ms in *)
+  ignore (Netsim.advance t ~now:100_000_000);
+  Alcotest.(check int) "stale entries expired" 10 (Netsim.timed_out t);
+  Alcotest.(check int) "queue empty" 0 (Netsim.queue_depth t);
+  Alcotest.(check bool) "timeouts complete the run" true (Netsim.done_all t)
+
+let test_keepalive_churn () =
+  let t =
+    mk_open ~limit:40 ~keepalive:2 (Netsim.Poisson { rate = 2_000_000.0; seed = 5 })
+  in
+  let sched = drain t in
+  Alcotest.(check int) "all served" 40 (Netsim.completed t);
+  (* 4 slots x budget 2 = 8 requests on the founding identities; every
+     further slot reuse churned in a fresh client id *)
+  Alcotest.(check int) "churn accounted" 16 (Netsim.churned t);
+  let distinct =
+    List.sort_uniq compare (List.map fst sched) |> List.length
+  in
+  Alcotest.(check int) "fresh identities appear" 20 distinct
+
+let test_stat_guards () =
+  (* no completions: both stats answer 0, never NaN/infinity *)
+  let t = mk_open ~limit:5 (Netsim.Poisson { rate = 1_000_000.0; seed = 2 }) in
+  Alcotest.(check (float 0.0)) "throughput, no completions" 0.0
+    (Netsim.throughput t);
+  Alcotest.(check (float 0.0)) "latency, no completions" 0.0
+    (Netsim.mean_latency t);
+  Alcotest.(check (float 0.0)) "achieved load, no completions" 0.0
+    (Netsim.achieved_load t);
+  (* fewer than four completions: whole-span fallback, still finite *)
+  ignore (Netsim.advance t ~now:1_000_000);
+  (match Netsim.accept t ~now:1_000_000 with
+  | Some c -> Netsim.close t c.Netsim.conn_id ~now:1_000_100
+  | None -> Alcotest.fail "expected a queued connection");
+  let tp = Netsim.throughput t in
+  Alcotest.(check bool) "single completion finite" true
+    (Float.is_finite tp && tp >= 0.0);
+  Alcotest.(check bool) "single-completion latency finite" true
+    (Float.is_finite (Netsim.mean_latency t));
+  let ar = Netsim.achieved_load t in
+  Alcotest.(check bool) "single-completion achieved rate finite" true
+    (Float.is_finite ar && ar > 0.0);
+  Alcotest.(check (float 1e-9)) "offered load echoes config" 1_000_000.0
+    (Netsim.offered_load t)
+
+let test_lifecycle_hook () =
+  let t = mk_open ~limit:3 (Netsim.Poisson { rate = 1_000_000.0; seed = 11 }) in
+  let fired = ref [] in
+  Netsim.set_on_close t (fun c ~now ->
+      fired := (c.Netsim.conn_id, c.Netsim.accepted_at, c.Netsim.first_byte_at, now) :: !fired);
+  ignore (drain t);
+  Alcotest.(check int) "hook fired per completion" 3 (List.length !fired);
+  List.iter
+    (fun (_, accepted, first_byte, closed) ->
+      Alcotest.(check bool) "accept stamped" true (accepted > 0);
+      Alcotest.(check bool) "first byte after accept" true
+        (first_byte >= accepted);
+      Alcotest.(check bool) "close last" true (closed >= first_byte))
+    !fired;
+  Alcotest.check_raises "bad rate rejected"
+    (Invalid_argument "Netsim.create: offered load <= 0") (fun () ->
+      ignore (mk_open (Netsim.Poisson { rate = 0.0; seed = 0 })))
+
 let suite =
   [
     Alcotest.test_case "arrivals and accept" `Quick test_arrivals;
     Alcotest.test_case "closed loop" `Quick test_closed_loop;
     Alcotest.test_case "request limit" `Quick test_request_limit;
     Alcotest.test_case "throughput measurement" `Quick test_throughput_measure;
+    Alcotest.test_case "poisson determinism" `Quick test_poisson_deterministic;
+    Alcotest.test_case "burst grouping" `Quick test_burst_grouping;
+    Alcotest.test_case "bounded queue drops" `Quick test_queue_bound_drops;
+    Alcotest.test_case "queue timeout" `Quick test_queue_timeout;
+    Alcotest.test_case "keep-alive churn" `Quick test_keepalive_churn;
+    Alcotest.test_case "stat guards" `Quick test_stat_guards;
+    Alcotest.test_case "lifecycle hook" `Quick test_lifecycle_hook;
   ]

@@ -37,14 +37,88 @@ let test_ring_partial () =
 (* ---- metrics registry ---- *)
 
 let test_histogram_bucketing () =
-  (* bucket [i] holds v with 2^(i-1) < v <= 2^i; bucket 0 holds v <= 1 *)
+  (* log-linear: values below sub_count land in their own unit bucket, above
+     that each power-of-two range splits into sub_count linear sub-buckets *)
+  Alcotest.(check int) "sub_count" 16 Obs.Metrics.sub_count;
   List.iter
     (fun (v, want) ->
       Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) want
         (Obs.Metrics.bucket_of v))
-    [ (0, 0); (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (1024, 10) ];
-  Alcotest.(check int) "bucket_le inverts bucket_of at powers of two" 8
-    (Obs.Metrics.bucket_le 3)
+    [
+      (0, 0);
+      (1, 1);
+      (15, 15);
+      (16, 16);
+      (31, 31);
+      (32, 32);
+      (33, 32);
+      (1024, 112);
+    ];
+  (* bucket_le is the inclusive upper bound of its bucket... *)
+  List.iter
+    (fun (i, want) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_le %d" i) want
+        (Obs.Metrics.bucket_le i))
+    [ (0, 0); (15, 15); (16, 16); (31, 31); (32, 33); (112, 1087) ];
+  Alcotest.(check int) "last bucket is unbounded" max_int
+    (Obs.Metrics.bucket_le (Obs.Metrics.n_buckets - 1));
+  (* ...and the two stay consistent with bounded relative error across the
+     whole range: v <= bucket_le (bucket_of v) <= v + v/sub_count *)
+  let v = ref 1 in
+  while !v > 0 && !v < max_int / 4 do
+    let le = Obs.Metrics.bucket_le (Obs.Metrics.bucket_of !v) in
+    if le < !v || le > !v + (!v / Obs.Metrics.sub_count) + 1 then
+      Alcotest.failf "bucket bound for %d out of tolerance: %d" !v le;
+    v := !v + 1 + (!v / 3)
+  done
+
+let test_histogram_quantiles () =
+  (* uniform 1..1000: every quantile estimate must land within one
+     sub-bucket (<= 1/16 relative error) of the exact sample quantile *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h i
+  done;
+  List.iter
+    (fun q ->
+      let exact =
+        max 1 (min 1000 (int_of_float (ceil (q *. 1000.)))) in
+      let est = Obs.Metrics.quantile h q in
+      let tol = (exact / Obs.Metrics.sub_count) + 1 in
+      if est < exact - tol || est > exact + tol then
+        Alcotest.failf "q=%.2f: estimate %d not within %d of exact %d" q est
+          tol exact)
+    [ 0.01; 0.25; 0.50; 0.90; 0.95; 0.99; 1.0 ];
+  Alcotest.(check int) "q=0 clamps to min" 1 (Obs.Metrics.quantile h 0.0);
+  Alcotest.(check int) "q=1 clamps to max" 1000 (Obs.Metrics.quantile h 1.0);
+  (* a two-point distribution: the median is the low mode, p99 the high *)
+  let h2 = Obs.Metrics.histogram m "bimodal" in
+  for _ = 1 to 90 do
+    Obs.Metrics.observe h2 10
+  done;
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h2 5000
+  done;
+  Alcotest.(check int) "bimodal p50 = low mode" 10
+    (Obs.Metrics.quantile h2 0.50);
+  let p99 = Obs.Metrics.quantile h2 0.99 in
+  Alcotest.(check bool) "bimodal p99 in the high mode's bucket" true
+    (p99 >= 5000 - (5000 / Obs.Metrics.sub_count) && p99 <= 5000);
+  Alcotest.(check int) "empty histogram quantile" 0
+    (Obs.Metrics.quantile (Obs.Metrics.histogram m "empty") 0.5);
+  (* exported JSON carries the quantile fields *)
+  match Obs.Metrics.to_json m with
+  | J.Obj kvs -> (
+      match List.assoc "lat" kvs with
+      | J.Obj fields ->
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k fields) then
+                Alcotest.failf "histogram JSON missing %S" k)
+            [ "p50"; "p95"; "p99"; "mean" ]
+      | _ -> Alcotest.fail "lat not an object")
+  | j -> Alcotest.failf "unexpected metrics JSON %s" (J.to_string j)
 
 let test_histogram_observe () =
   let m = Obs.Metrics.create () in
@@ -336,6 +410,7 @@ let suite =
     Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
     Alcotest.test_case "ring partial fill" `Quick test_ring_partial;
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
     Alcotest.test_case "registry handles" `Quick test_registry_handles;
     Alcotest.test_case "gauges" `Quick test_gauges;
