@@ -157,7 +157,32 @@ let interp_insns_per_sec () =
   let dt = Unix.gettimeofday () -. t0 in
   if dt > 0.0 then float_of_int r.Core.Runner.total_insns /. dt else 0.0
 
-let trajectory_entry ~size =
+(* The shard tier's headline number for the trajectory: aggregate served
+   req/s of the HTM-dynamic WEBrick cell at the largest shard count,
+   paired with its single-shard baseline. *)
+let shard_trajectory panels =
+  match
+    List.find_opt
+      (fun (p : Harness.Figures.shard_panel) ->
+        p.Harness.Figures.sp_workload = "webrick")
+      panels
+  with
+  | None -> []
+  | Some p ->
+      let rps shards =
+        Option.map
+          (fun (sp : Harness.Figures.shard_point) ->
+            sp.Harness.Figures.sp_result.Harness.Shard.r_aggregate_rps)
+          (Harness.Figures.shard_cell p "HTM-dynamic" shards)
+      in
+      let shards = List.fold_left max 1 Harness.Figures.shard_counts in
+      let entry name v =
+        match v with Some r -> [ (name, J.Float r) ] | None -> []
+      in
+      (("shard_count", J.Int shards) :: entry "shard_rps" (rps shards))
+      @ entry "shard_rps_single" (rps 1)
+
+let trajectory_entry ~size ~shard_fields =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let stamp =
     Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
@@ -170,7 +195,7 @@ let trajectory_entry ~size =
       0.0 !host_times
   in
   J.Obj
-    [
+    ([
       ("timestamp", J.Str stamp);
       ( "interp",
         J.Str
@@ -188,6 +213,7 @@ let trajectory_entry ~size =
       ("panels", J.Obj (List.rev !host_times));
       ("interp_insns_per_sec", J.Float (interp_insns_per_sec ()));
     ]
+    @ shard_fields)
 
 let figures () =
   let size = size () in
@@ -324,8 +350,19 @@ let figures () =
           (List.map Harness.Figures.load_json
              (Harness.Figures.fig_load ~size fmt)))
   in
+  (* The shard panels get their own member and digest for the same reason:
+     the pre-existing members stay byte-identical to runs that predate the
+     shard tier. The digest must also be identical at any SHARDS value —
+     the CI placement legs compare it across SHARDS=1 and SHARDS=4. *)
+  let shard_panels =
+    time "shard" "Shard figure (sharded serving)" (fun () ->
+        Harness.Figures.fig_shard ~size fmt)
+  in
+  let shard = J.List (List.map Harness.Figures.shard_json shard_panels) in
   let trajectory =
-    J.List (prior_trajectory () @ [ trajectory_entry ~size ])
+    J.List
+      (prior_trajectory ()
+      @ [ trajectory_entry ~size ~shard_fields:(shard_trajectory shard_panels) ])
   in
   let doc =
     J.Obj
@@ -336,6 +373,7 @@ let figures () =
         ("figures", J.Obj (List.rev !figs));
         ("hybrid", hybrid);
         ("load", load);
+        ("shard", shard);
         ("host", J.Obj (List.rev !host_times));
         ("trajectory", trajectory);
       ]
@@ -345,6 +383,7 @@ let figures () =
     (fnv64 (J.to_string (J.Obj (List.rev !figs))));
   Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string hybrid));
   Format.fprintf fmt "load digest: %s@." (fnv64 (J.to_string load));
+  Format.fprintf fmt "shard digest: %s@." (fnv64 (J.to_string shard));
   Format.fprintf fmt "@.results -> %s@." results_file
 
 (* ---- validate: parse-check a results file (used by the smoke script) ---- *)
@@ -379,6 +418,10 @@ let validate path =
           | None -> ());
           (match J.member "load" doc with
           | Some l -> Format.fprintf fmt "load digest: %s@." (fnv64 (J.to_string l))
+          | None -> ());
+          (match J.member "shard" doc with
+          | Some s ->
+              Format.fprintf fmt "shard digest: %s@." (fnv64 (J.to_string s))
           | None -> ())
       | _ ->
           Format.eprintf "%s: parsed, but no \"figures\" object@." path;

@@ -73,6 +73,36 @@ let offered_load_arg =
   in
   Arg.(value & opt float 4_000.0 & info [ "offered-load" ] ~docv:"RPS" ~doc)
 
+(* ---- shard-tier flags (server workloads, open-loop arrivals) ---- *)
+
+let shards_arg =
+  let doc =
+    "Serve the open-loop stream with $(docv) complete VM shards behind the \
+     netsim load balancer (0 = the single-VM path). The SHARDS environment \
+     variable only places shards onto worker domains; results are \
+     bit-identical at any value."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let policy_arg =
+  let doc = "Shard balancing policy: round-robin or least-in-flight." in
+  Arg.(value & opt string "round-robin" & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let session_arg =
+  let doc =
+    "Also replay the shards' completions against one shared cross-shard \
+     session store mediated by the hybrid TM engine (the \
+     contended-vs-shared-nothing ablation)."
+  in
+  Arg.(value & flag & info [ "shared-session" ] ~doc)
+
+let mix_arg =
+  let doc =
+    "Draw each open-loop request from the workload's weighted class mix \
+     (static/ORM/regex) instead of the single default request."
+  in
+  Arg.(value & flag & info [ "mix" ] ~doc)
+
 let latency_json_arg =
   let doc =
     "Write the run's request-latency summary (offered vs achieved load, \
@@ -273,14 +303,56 @@ let print_outcome ~quiet (o : Harness.Exp.outcome) =
     (pct b.bd_txn_overhead) (pct b.bd_committed) (pct b.bd_aborted)
     (pct b.bd_gil_held) (pct b.bd_gil_wait) (pct b.bd_other)
 
+let print_shard_result (r : Harness.Shard.result) =
+  let us c = float_of_int c /. 1_000.0 in
+  Format.printf "@.-- %d shards, %s balancing --@." r.Harness.Shard.r_shards
+    (Harness.Shard.policy_to_string r.Harness.Shard.r_policy);
+  Format.printf
+    "  requests            %d issued: %d completed, %d dropped, %d timed out \
+     (%d clients churned)@."
+    r.Harness.Shard.r_issued r.Harness.Shard.r_completed
+    r.Harness.Shard.r_dropped r.Harness.Shard.r_timed_out
+    r.Harness.Shard.r_churned;
+  Format.printf "  aggregate served    %.0f req/s over %d cycles@."
+    r.Harness.Shard.r_aggregate_rps r.Harness.Shard.r_wall_cycles;
+  Format.printf
+    "  request latency     p50 %.1f us, p95 %.1f us, p99 %.1f us (mean %.1f us)@."
+    (us r.Harness.Shard.r_p50_cycles)
+    (us r.Harness.Shard.r_p95_cycles)
+    (us r.Harness.Shard.r_p99_cycles)
+    (r.Harness.Shard.r_mean_cycles /. 1_000.0);
+  Format.printf "  HTM                 %a@." Htm_sim.Stats.pp
+    r.Harness.Shard.r_htm;
+  if r.Harness.Shard.r_fb_gil > 0 || r.Harness.Shard.r_fb_stm > 0 then
+    Format.printf "  fallbacks           %d to the GIL, %d to the STM@."
+      r.Harness.Shard.r_fb_gil r.Harness.Shard.r_fb_stm;
+  List.iteri
+    (fun i (s : Harness.Shard.shard_slice) ->
+      Format.printf
+        "  shard %-2d            %d assigned, %d completed, %d dropped, %d \
+         timed out, wall %d@."
+        i s.Harness.Shard.sh_assigned s.Harness.Shard.sh_completed
+        s.Harness.Shard.sh_dropped s.Harness.Shard.sh_timed_out
+        s.Harness.Shard.sh_wall_cycles)
+    r.Harness.Shard.r_per_shard;
+  match r.Harness.Shard.r_session with
+  | None -> ()
+  | Some s ->
+      Format.printf
+        "  shared sessions     %d updates in %d waves: %d HTM commits, %d \
+         aborts, %d STM retries committed, %d waves to the GIL@."
+        s.Harness.Shard.sn_updates s.Harness.Shard.sn_waves
+        s.Harness.Shard.sn_htm_commits s.Harness.Shard.sn_htm_aborts
+        s.Harness.Shard.sn_stm_commits s.Harness.Shard.sn_gil_falls
+
 let run_cmd =
   let workload_arg =
     let doc = "Workload name (see list)." in
     Arg.(value & opt string "cg" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
   let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet
-      arrivals offered_load latency_json trace trace_out metrics_json
-      abort_report =
+      arrivals offered_load shards policy shared_session mix latency_json
+      trace trace_out metrics_json abort_report =
     match Workloads.Workload.find workload with
     | None ->
         Format.eprintf "unknown workload %s@." workload;
@@ -296,28 +368,64 @@ let run_cmd =
         | _ ->
             Format.eprintf "--arrivals only applies to server workloads@.";
             exit 1);
-        let tracer = make_tracer ~trace ~trace_out in
-        let o =
-          Harness.Exp.run ?tracer
-            (Harness.Exp.point ~yield_points ~opts ~arrivals ~workload:w
-               ~machine ~scheme ~threads ~size ())
-        in
-        print_outcome ~quiet o;
-        (match (latency_json, o.Harness.Exp.load) with
-        | Some path, Some l ->
-            write_json_or_die path (load_document l);
-            Format.eprintf "latency -> %s@." path
-        | Some _, None ->
-            Format.eprintf "--latency-json only applies to server workloads@."
-        | None, _ -> ());
-        emit_observability ~trace ~trace_out ~metrics_json ~abort_report
-          o.Harness.Exp.result
+        let mix = if mix then w.Workloads.Workload.mix else [] in
+        (match (mix, arrivals) with
+        | _ :: _, Netsim.Closed ->
+            Format.eprintf
+              "--mix needs open-loop arrivals (--arrivals poisson/burst:N)@.";
+            exit 1
+        | _ :: _, _ when w.Workloads.Workload.mix = [] ->
+            Format.eprintf "workload %s has no request mix@." workload;
+            exit 1
+        | _ -> ());
+        if shards > 0 then begin
+          (match arrivals with
+          | Netsim.Poisson _ | Netsim.Burst _ -> ()
+          | _ ->
+              Format.eprintf
+                "--shards needs open-loop arrivals (--arrivals poisson or \
+                 burst:N)@.";
+              exit 1);
+          let policy =
+            try Harness.Shard.policy_of_string policy
+            with Invalid_argument msg ->
+              Format.eprintf "%s@." msg;
+              exit 1
+          in
+          let r =
+            Harness.Shard.run
+              (Harness.Shard.config ~policy ~mix ~shared_session ~workload:w
+                 ~machine ~scheme ~shards ~clients:threads ~size ~arrivals
+                 ~requests:(w.Workloads.Workload.server_requests size)
+                 ())
+          in
+          print_shard_result r
+        end
+        else begin
+          let tracer = make_tracer ~trace ~trace_out in
+          let o =
+            Harness.Exp.run ?tracer
+              (Harness.Exp.point ~yield_points ~opts ~arrivals ~mix ~workload:w
+                 ~machine ~scheme ~threads ~size ())
+          in
+          print_outcome ~quiet o;
+          (match (latency_json, o.Harness.Exp.load) with
+          | Some path, Some l ->
+              write_json_or_die path (load_document l);
+              Format.eprintf "latency -> %s@." path
+          | Some _, None ->
+              Format.eprintf "--latency-json only applies to server workloads@."
+          | None, _ -> ());
+          emit_observability ~trace ~trace_out ~metrics_json ~abort_report
+            o.Harness.Exp.result
+        end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one scheme")
     Term.(
       const run $ workload_arg $ machine_arg $ scheme_arg $ threads_arg
       $ size_arg $ yield_arg $ baseline_opts_arg $ lazy_sweep_arg
       $ refcount_arg $ quiet_arg $ arrivals_arg $ offered_load_arg
+      $ shards_arg $ policy_arg $ session_arg $ mix_arg
       $ latency_json_arg $ trace_arg $ trace_out_arg $ metrics_json_arg
       $ abort_report_arg)
 
@@ -352,8 +460,8 @@ let exec_cmd =
 let fig_cmd =
   let which_arg =
     let doc =
-      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid load ablation \
-       overhead future-work refcount all."
+      "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid load shard \
+       ablation overhead future-work refcount all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
@@ -374,6 +482,7 @@ let fig_cmd =
       | "fig9" -> ignore (Harness.Figures.fig9 ~size fmt)
       | "hybrid" -> ignore (Harness.Figures.fig_hybrid ~size fmt)
       | "load" -> ignore (Harness.Figures.fig_load ~size fmt)
+      | "shard" -> ignore (Harness.Figures.fig_shard ~size fmt)
       | "ablation" -> ignore (Harness.Figures.ablation ~size fmt)
       | "overhead" -> ignore (Harness.Figures.overhead ~size fmt)
       | "future-work" -> ignore (Harness.Figures.future_work ~size fmt)
@@ -386,7 +495,7 @@ let fig_cmd =
       List.iter doit
         [
           "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "hybrid";
-          "load"; "ablation"; "overhead"; "future-work"; "refcount";
+          "load"; "shard"; "ablation"; "overhead"; "future-work"; "refcount";
         ]
     else doit which
   in

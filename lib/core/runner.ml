@@ -175,6 +175,9 @@ type t = {
   prng : Prng.t;  (** scheduling-only randomness (retry backoff) *)
   breakdown : breakdown;
   mutable stop : unit -> bool;
+  mutable horizon : int;
+      (** virtual-time horizon for {!advance}: no step whose start clock
+          exceeds it begins; [max_int] for a plain {!run} *)
   (* observability *)
   tracer : Obs.Trace.t option;
   sites : Obs.Sites.t;
@@ -344,6 +347,7 @@ let create ?(io : Netsim.t option) cfg ~source =
         bd_other = 0;
       };
     stop = (fun () -> false);
+    horizon = max_int;
     tracer = cfg.tracer;
     sites;
     last_tid = -1;
@@ -1134,7 +1138,12 @@ let wake_acceptors t ~at =
     wake t (Queue.pop t.accept_waiters) ~at
   done
 
-let advance_time t =
+(* Advance virtual time to the next sleeper deadline or arrival, waking the
+   due threads — but never past [until]: an event beyond the horizon (or an
+   open feed that may yet supply one) answers [false] so {!advance} can
+   pause instead. With [until = max_int] and no event at all this is a
+   deadlock, like the old unconditional raise. *)
+let advance_time t ~until =
   let vm = t.vm in
   (* earliest sleeper / io wake: the sleeper queue is sorted, so the
      earliest deadline is its root instead of an O(n) fold *)
@@ -1146,25 +1155,37 @@ let advance_time t =
     | _ -> max_int
   in
   let target = min sleeper arrival in
-  if target = max_int then
-    raise
-      (Stuck
-         (Printf.sprintf "deadlock: no runnable threads (live=%d)"
-            (Rvm.Vm.live_count vm)));
-  (* wake sleepers due, each at its own deadline *)
-  while Sched.min_key t.sleepq <= target do
-    let at = Sched.min_key t.sleepq in
-    match Sched.pop_min t.sleepq with
-    | Some th -> wake t th ~at
-    | None -> ()
-  done;
-  (* deliver connections *)
-  (match t.io with
-  | Some io when arrival <= target ->
-      ignore (Netsim.advance io ~now:target);
-      Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_depth io);
-      wake_acceptors t ~at:target
-  | _ -> ())
+  if target = max_int then begin
+    (* a fed arrival stream that is still open can deliver future work, so
+       a bounded advance pauses at the horizon instead of deadlocking *)
+    let feed_open =
+      match t.io with Some io -> Netsim.feed_may_grow io | None -> false
+    in
+    if feed_open && until < max_int then false
+    else
+      raise
+        (Stuck
+           (Printf.sprintf "deadlock: no runnable threads (live=%d)"
+              (Rvm.Vm.live_count vm)))
+  end
+  else if target > until then false
+  else begin
+    (* wake sleepers due, each at its own deadline *)
+    while Sched.min_key t.sleepq <= target do
+      let at = Sched.min_key t.sleepq in
+      match Sched.pop_min t.sleepq with
+      | Some th -> wake t th ~at
+      | None -> ()
+    done;
+    (* deliver connections *)
+    (match t.io with
+    | Some io when arrival <= target ->
+        ignore (Netsim.advance io ~now:target);
+        Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_depth io);
+        wake_acceptors t ~at:target
+    | _ -> ());
+    true
+  end
 
 (* ---- the main loop ------------------------------------------------------ *)
 
@@ -1497,6 +1518,7 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
                  | None -> false)
               || main.V.status = V.Finished
               || t.total_insns >= t.cfg.max_insns
+              || th.clock > t.horizon
               || stop ()
             then continue_ := false
             else begin
@@ -1537,6 +1559,7 @@ let run_slice t ~stop (main : V.t) (th : V.t) =
       main.V.status = V.Finished
       || th.status <> V.Runnable || th.ctx < 0
       || t.total_insns >= t.cfg.max_insns
+      || th.clock > t.horizon
       || stop ()
     then continue_ := false
     else begin
@@ -1550,56 +1573,11 @@ let run_slice t ~stop (main : V.t) (th : V.t) =
   sched_sync t th;
   Obs.Metrics.observe t.m_slice_insns !slice
 
-let run ?(stop = fun () -> false) t =
-  t.stop <- stop;
-  drain_spawned t;
+(* The result record is a pure read of the runner's current state, so a
+   horizon-bounded [advance] can build it exactly when [run] would have. *)
+let snapshot t =
   let vm = t.vm in
   let main = t.session.Rvm.Session.main in
-  (try
-     match t.cfg.sched with
-     | Sched_heap ->
-         let continue_run = ref true in
-         while !continue_run do
-           if
-             main.V.status = V.Finished
-             || stop ()
-             || t.total_insns >= t.cfg.max_insns
-           then continue_run := false
-           else
-             match Sched.pop_min t.sched with
-             | Some th -> run_slice t ~stop main th
-             | None -> advance_time t
-         done
-     | Sched_ref ->
-         while
-           main.V.status <> V.Finished
-           && (not (stop ()))
-           && t.total_insns < t.cfg.max_insns
-         do
-           match pick_runnable_ref t with
-           | Some th ->
-               (* mirror the slice protocol so the heap stays coherent: the
-                  stepped thread leaves the heap while its clock moves *)
-               t.running_tid <- th.tid;
-               Sched.remove t.sched th.tid;
-               Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
-               deliver_io t th;
-               let n =
-                 match t.cfg.interp with
-                 | Interp_threaded -> max 1 (step_thread_d t ~stop main th)
-                 | Interp_ref ->
-                     step_thread t th;
-                     1
-               in
-               t.running_tid <- -1;
-               sched_sync t th;
-               Obs.Metrics.observe t.m_slice_insns n
-           | None -> advance_time t
-         done
-   with Rvm.Value.Guest_error msg ->
-     raise (Guest_failure (msg ^ "\n--- guest output ---\n" ^ Rvm.Vm.output vm)));
-  if t.total_insns >= t.cfg.max_insns then
-    raise (Stuck (Printf.sprintf "instruction budget exhausted (%d)" t.total_insns));
   let wall =
     List.fold_left (fun acc (th : V.t) -> max acc th.clock) 0 vm.Rvm.Vm.threads
   in
@@ -1631,6 +1609,102 @@ let run ?(stop = fun () -> false) t =
     abort_sites = t.sites;
     trace = t.tracer;
   }
+
+(* Run events up to the virtual-time horizon [until]: every step whose
+   start clock is <= [until] executes (steps and fused superinstructions
+   are atomic, so the clock may overshoot by one step's cost — callers that
+   compare state across shards at a horizon must read virtual-time-stamped
+   accessors, not raw counters). Pausing and resuming never changes the
+   executed instruction sequence — scheduling stays (clock, tid)-minimal —
+   so a horizon-stepped run is bit-identical to an unbounded one. *)
+let advance ?(stop = fun () -> false) t ~until =
+  (* several sessions may interleave on this domain (N shards on one
+     worker): make this session's interning/uid state the active one *)
+  Rvm.Session.activate t.session;
+  t.stop <- stop;
+  t.horizon <- until;
+  drain_spawned t;
+  let vm = t.vm in
+  let main = t.session.Rvm.Session.main in
+  let paused = ref false in
+  (try
+     match t.cfg.sched with
+     | Sched_heap ->
+         let continue_run = ref true in
+         while !continue_run do
+           if
+             main.V.status = V.Finished
+             || stop ()
+             || t.total_insns >= t.cfg.max_insns
+           then continue_run := false
+           else
+             match Sched.pop_min t.sched with
+             | Some th ->
+                 if th.V.clock > until then begin
+                   (* runnable, but its next step starts beyond the
+                      horizon: put it back and pause *)
+                   Sched.push t.sched ~key:th.V.clock th;
+                   paused := true;
+                   continue_run := false
+                 end
+                 else run_slice t ~stop main th
+             | None ->
+                 if not (advance_time t ~until) then begin
+                   paused := true;
+                   continue_run := false
+                 end
+         done
+     | Sched_ref ->
+         let continue_run = ref true in
+         while
+           !continue_run
+           && main.V.status <> V.Finished
+           && (not (stop ()))
+           && t.total_insns < t.cfg.max_insns
+         do
+           match pick_runnable_ref t with
+           | Some th when th.V.clock > until ->
+               paused := true;
+               continue_run := false
+           | Some th ->
+               (* mirror the slice protocol so the heap stays coherent: the
+                  stepped thread leaves the heap while its clock moves *)
+               t.running_tid <- th.tid;
+               Sched.remove t.sched th.tid;
+               Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
+               deliver_io t th;
+               let n =
+                 match t.cfg.interp with
+                 | Interp_threaded -> max 1 (step_thread_d t ~stop main th)
+                 | Interp_ref ->
+                     step_thread t th;
+                     1
+               in
+               t.running_tid <- -1;
+               sched_sync t th;
+               Obs.Metrics.observe t.m_slice_insns n
+           | None ->
+               if not (advance_time t ~until) then begin
+                 paused := true;
+                 continue_run := false
+               end
+         done
+   with Rvm.Value.Guest_error msg ->
+     raise (Guest_failure (msg ^ "\n--- guest output ---\n" ^ Rvm.Vm.output vm)));
+  if !paused then `Paused
+  else begin
+    if t.total_insns >= t.cfg.max_insns then
+      raise
+        (Stuck (Printf.sprintf "instruction budget exhausted (%d)" t.total_insns));
+    `Done (snapshot t)
+  end
+
+let run ?(stop = fun () -> false) t =
+  match advance ~stop t ~until:max_int with
+  | `Done r -> r
+  | `Paused ->
+      (* unreachable: with an unbounded horizon nothing pauses *)
+      assert false
 
 (* Convenience one-shot entry point. *)
 let run_source ?io ?stop ?setup cfg ~source =

@@ -14,12 +14,15 @@ type point = {
   arrivals : Netsim.arrivals;
       (** [Closed] (default) = the paper's closed loop; [Poisson]/[Burst]
           = open-loop offered load for server workloads *)
+  mix : Netsim.mix;
+      (** weighted request classes for open-loop server runs; [[]]
+          (default) keeps the workload's single default request *)
 }
 
 let point ?(yield_points = Core.Yield_points.Extended)
-    ?(opts = Rvm.Options.default) ?(arrivals = Netsim.Closed) ~workload
-    ~machine ~scheme ~threads ~size () =
-  { workload; machine; scheme; threads; size; yield_points; opts; arrivals }
+    ?(opts = Rvm.Options.default) ?(arrivals = Netsim.Closed) ?(mix = [])
+    ~workload ~machine ~scheme ~threads ~size () =
+  { workload; machine; scheme; threads; size; yield_points; opts; arrivals; mix }
 
 (* The request-latency summary of one server run: offered vs achieved load,
    the loss accounting, and the latency quantiles from the runner's
@@ -88,7 +91,7 @@ let run ?tracer (p : point) : outcome =
             | None -> invalid_arg "server workload without io")
         | arrivals -> (
             match p.workload.make_io_open with
-            | Some f -> f ~clients:p.threads ~requests ~arrivals
+            | Some f -> f ~clients:p.threads ~requests ~arrivals ~mix:p.mix
             | None -> invalid_arg "server workload without open-loop io")
       in
       let t = Core.Runner.create ~io cfg ~source in

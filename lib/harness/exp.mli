@@ -12,12 +12,16 @@ type point = {
   arrivals : Netsim.arrivals;
       (** [Closed] (default) = the paper's closed loop; [Poisson]/[Burst]
           = open-loop offered load (server workloads only) *)
+  mix : Netsim.mix;
+      (** weighted request classes for open-loop server runs; [[]]
+          (default) keeps the workload's single default request *)
 }
 
 val point :
   ?yield_points:Core.Yield_points.set ->
   ?opts:Rvm.Options.t ->
   ?arrivals:Netsim.arrivals ->
+  ?mix:Netsim.mix ->
   workload:Workloads.Workload.t ->
   machine:Htm_sim.Machine.t ->
   scheme:Core.Scheme.kind ->

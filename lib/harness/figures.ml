@@ -611,6 +611,211 @@ let fig_load ?(size = Workloads.Size.S) fmt =
       p)
     combos
 
+(* ---- Sharded serving: aggregate throughput vs shard count -------------------- *)
+
+let schemes_shard =
+  [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ]
+
+let shard_counts = [ 1; 2; 4 ]
+
+(* One strongly oversaturating rate per workload: a single shard is
+   queue-bound (arrivals swamp its accept queue), so aggregate served
+   req/s tracks how many shards drain the same stream in parallel. *)
+let shard_rate = function "rails" -> 300_000.0 | _ -> 400_000.0
+
+type shard_point = {
+  sp_scheme : string;
+  sp_shards : int;
+  sp_result : Shard.result;
+}
+
+type shard_panel = {
+  sp_workload : string;
+  sp_machine : string;
+  sp_policy : string;
+  sp_rate : float;
+  sp_requests : int;
+  sp_clients : int;
+  sp_points : shard_point list;  (** scheme-major, shard-count-minor *)
+}
+
+(* The request count amortises the per-shard VM boot cost (which would
+   otherwise dominate a 4-shard split of a short stream); capped so the
+   size-S sweep stays within the bench budget. *)
+let shard_requests workload size =
+  min 480 (8 * workload.Workloads.Workload.server_requests size)
+
+(* Cells run sequentially on purpose: Shard.run owns a worker pool sized
+   by the SHARDS placement knob (results are placement-invariant), and
+   keeping the outer loop off the BENCH_JOBS pool means the family never
+   nests pools — the shard member is byte-identical at any BENCH_JOBS x
+   SHARDS combination. Every cell runs with the shared session store on:
+   the replay is a post-hoc pure function of the completion logs, so the
+   serving results are exactly the shared-nothing ones and the session
+   counters give the contended-vs-shared-nothing ablation for free. *)
+let run_shard_panel ?(schemes = schemes_shard) ?(size = Workloads.Size.S)
+    ?(clients = 8) ~machine workload_name =
+  let workload = wl workload_name in
+  let rate = shard_rate workload_name in
+  let requests = shard_requests workload size in
+  let points =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun shards ->
+            let cfg =
+              Shard.config ~policy:Shard.Round_robin ~shared_session:true
+                ~workload ~machine ~scheme ~shards ~clients ~size
+                ~arrivals:(Netsim.Poisson { rate; seed = load_seed })
+                ~requests ()
+            in
+            {
+              sp_scheme = Core.Scheme.to_string scheme;
+              sp_shards = shards;
+              sp_result = Shard.run cfg;
+            })
+          shard_counts)
+      schemes
+  in
+  {
+    sp_workload = workload_name;
+    sp_machine = machine.Machine.name;
+    sp_policy = Shard.policy_to_string Shard.Round_robin;
+    sp_rate = rate;
+    sp_requests = requests;
+    sp_clients = clients;
+    sp_points = points;
+  }
+
+let shard_cell panel scheme shards =
+  List.find_opt
+    (fun sp -> sp.sp_scheme = scheme && sp.sp_shards = shards)
+    panel.sp_points
+
+let print_shard_panel fmt panel ~schemes =
+  let xs = List.map string_of_int shard_counts in
+  let rows = List.map Core.Scheme.to_string schemes in
+  Report.series_table fmt
+    ~title:
+      (Printf.sprintf
+         "%s on %s, %.0f req/s offered over %d requests: served req/s vs shards"
+         panel.sp_workload panel.sp_machine panel.sp_rate panel.sp_requests)
+    ~xlabel:"scheme \\ shards" ~rows ~xs
+    ~cell:(fun row i ->
+      Option.map
+        (fun sp -> sp.sp_result.Shard.r_aggregate_rps)
+        (shard_cell panel row (List.nth shard_counts i)));
+  List.iter
+    (fun (label, pick) ->
+      Report.series_table fmt
+        ~title:
+          (Printf.sprintf "%s on %s: %s request latency (us)" panel.sp_workload
+             panel.sp_machine label)
+        ~xlabel:"scheme \\ shards" ~rows ~xs
+        ~cell:(fun row i ->
+          Option.map
+            (fun sp -> float_of_int (pick sp.sp_result) /. 1_000.0)
+            (shard_cell panel row (List.nth shard_counts i))))
+    [
+      ("p50", fun (r : Shard.result) -> r.Shard.r_p50_cycles);
+      ("p95", fun r -> r.Shard.r_p95_cycles);
+      ("p99", fun r -> r.Shard.r_p99_cycles);
+    ];
+  (* the session-store ablation: contention grows with the shard count *)
+  List.iter
+    (fun sp ->
+      match sp.sp_result.Shard.r_session with
+      | Some s when sp.sp_scheme = "HTM-dynamic" ->
+          Format.fprintf fmt
+            "%s x%d shared sessions: %d updates in %d waves — %d HTM commits, \
+             %d aborts, %d STM retries committed, %d waves to the GIL@."
+            sp.sp_scheme sp.sp_shards s.Shard.sn_updates s.Shard.sn_waves
+            s.Shard.sn_htm_commits s.Shard.sn_htm_aborts s.Shard.sn_stm_commits
+            s.Shard.sn_gil_falls
+      | _ -> ())
+    panel.sp_points
+
+(* Deterministic JSON for the "shard" member: plain data, fixed field
+   order, merged in shard order — the FNV digest over this is the
+   placement/tier acceptance gate. *)
+let shard_json panel =
+  let module J = Obs.Json in
+  let slice_json (s : Shard.shard_slice) =
+    J.Obj
+      [
+        ("assigned", J.Int s.Shard.sh_assigned);
+        ("completed", J.Int s.Shard.sh_completed);
+        ("dropped", J.Int s.Shard.sh_dropped);
+        ("timed_out", J.Int s.Shard.sh_timed_out);
+        ("wall_cycles", J.Int s.Shard.sh_wall_cycles);
+        ("htm_commits", J.Int s.Shard.sh_htm_commits);
+        ("htm_aborts", J.Int s.Shard.sh_htm_aborts);
+        ("fallback_gil", J.Int s.Shard.sh_fb_gil);
+        ("fallback_stm", J.Int s.Shard.sh_fb_stm);
+      ]
+  in
+  let session_json (s : Shard.session_stats) =
+    J.Obj
+      [
+        ("updates", J.Int s.Shard.sn_updates);
+        ("waves", J.Int s.Shard.sn_waves);
+        ("htm_commits", J.Int s.Shard.sn_htm_commits);
+        ("htm_aborts", J.Int s.Shard.sn_htm_aborts);
+        ("stm_commits", J.Int s.Shard.sn_stm_commits);
+        ("stm_aborts", J.Int s.Shard.sn_stm_aborts);
+        ("gil_falls", J.Int s.Shard.sn_gil_falls);
+      ]
+  in
+  let point_json sp =
+    let r = sp.sp_result in
+    J.Obj
+      ([
+         ("scheme", J.Str sp.sp_scheme);
+         ("shards", J.Int sp.sp_shards);
+         ("issued", J.Int r.Shard.r_issued);
+         ("completed", J.Int r.Shard.r_completed);
+         ("dropped", J.Int r.Shard.r_dropped);
+         ("timed_out", J.Int r.Shard.r_timed_out);
+         ("churned", J.Int r.Shard.r_churned);
+         ("p50_cycles", J.Int r.Shard.r_p50_cycles);
+         ("p95_cycles", J.Int r.Shard.r_p95_cycles);
+         ("p99_cycles", J.Int r.Shard.r_p99_cycles);
+         ("mean_cycles", J.Float r.Shard.r_mean_cycles);
+         ("aggregate_rps", J.Float r.Shard.r_aggregate_rps);
+         ("wall_cycles", J.Int r.Shard.r_wall_cycles);
+         ("htm_commits", J.Int r.Shard.r_htm.Htm_sim.Stats.commits);
+         ("htm_aborts", J.Int (Htm_sim.Stats.aborts r.Shard.r_htm));
+         ("fallback_gil", J.Int r.Shard.r_fb_gil);
+         ("fallback_stm", J.Int r.Shard.r_fb_stm);
+         ("per_shard", J.List (List.map slice_json r.Shard.r_per_shard));
+       ]
+      @
+      match r.Shard.r_session with
+      | Some s -> [ ("session", session_json s) ]
+      | None -> [])
+  in
+  J.Obj
+    [
+      ("workload", J.Str panel.sp_workload);
+      ("machine", J.Str panel.sp_machine);
+      ("policy", J.Str panel.sp_policy);
+      ("rate_rps", J.Float panel.sp_rate);
+      ("requests", J.Int panel.sp_requests);
+      ("clients", J.Int panel.sp_clients);
+      ("points", J.List (List.map point_json panel.sp_points));
+    ]
+
+let fig_shard ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Shard figure: aggregate served req/s and latency quantiles vs shard count";
+  let combos = [ ("webrick", Machine.zec12); ("rails", Machine.xeon_e3) ] in
+  List.map
+    (fun (name, machine) ->
+      let p = run_shard_panel ~machine ~size name in
+      print_shard_panel fmt p ~schemes:schemes_shard;
+      p)
+    combos
+
 (* ---- Section 5.4 ablations -------------------------------------------------- *)
 
 let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =

@@ -131,6 +131,61 @@ val fig_load : ?size:Workloads.Size.t -> Format.formatter -> load_panel list
 (** Throughput vs offered load with p50/p95/p99 request latency per scheme:
     WEBrick/zEC12 (Poisson and burst-8) and Rails/Xeon (Poisson). *)
 
+val schemes_shard : Core.Scheme.kind list
+(** [GIL; HTM-dynamic; hybrid] — the sharded-serving comparison grid. *)
+
+val shard_counts : int list
+(** The shard-count sweep: 1, 2, 4 full VM instances. *)
+
+val shard_rate : string -> float
+(** The offered load (req/s) for a workload's shard panel — strongly
+    oversaturating, so a single shard is queue-bound and aggregate served
+    req/s tracks the shard count. *)
+
+type shard_point = {
+  sp_scheme : string;
+  sp_shards : int;
+  sp_result : Shard.result;
+}
+
+type shard_panel = {
+  sp_workload : string;
+  sp_machine : string;
+  sp_policy : string;
+  sp_rate : float;
+  sp_requests : int;
+  sp_clients : int;
+  sp_points : shard_point list;  (** scheme-major, shard-count-minor *)
+}
+
+val run_shard_panel :
+  ?schemes:Core.Scheme.kind list ->
+  ?size:Workloads.Size.t ->
+  ?clients:int ->
+  machine:Htm_sim.Machine.t ->
+  string ->
+  shard_panel
+(** Sharded-serving sweep of one server workload: schemes x
+    {!shard_counts}, round-robin split of one global Poisson schedule,
+    shared session store replayed post-hoc on every cell. Cells run
+    sequentially (Shard.run owns its own SHARDS-sized pool), so the
+    result never depends on BENCH_JOBS. *)
+
+val shard_cell : shard_panel -> string -> int -> shard_point option
+(** [shard_cell panel scheme shards]: one grid cell, if present. *)
+
+val print_shard_panel :
+  Format.formatter -> shard_panel -> schemes:Core.Scheme.kind list -> unit
+
+val shard_json : shard_panel -> Obs.Json.t
+(** Deterministic JSON for one panel — the member the bench digests
+    (FNV-1a) and the placement/tier CI legs compare. *)
+
+val fig_shard : ?size:Workloads.Size.t -> Format.formatter -> shard_panel list
+(** Aggregate served req/s and p50/p95/p99 latency vs shard count x
+    scheme: WEBrick/zEC12 and Rails/Xeon, with the shared-session
+    contention ablation. *)
+
 val ablation :
   ?size:Workloads.Size.t ->
   ?threads:int ->

@@ -26,6 +26,16 @@ type arrivals =
   | Closed
   | Poisson of { rate : float; seed : int }
   | Burst of { rate : float; size : int; seed : int }
+  | Fed
+      (** arrivals are pushed by a load balancer via [feed]: the shard tier
+          splits one globally-generated schedule across N per-shard sockets *)
+
+(* A weighted request class: (name, weight, per-client request builder).
+   With a non-empty mix, every issued open-loop arrival draws its class
+   from the arrival Prng — one extra draw per arrival, dropped or not, so
+   the class stream stays aligned with the gap stream whatever the server
+   does. *)
+type mix = (string * int * (int -> string)) list
 
 type conn = {
   conn_id : int;
@@ -71,6 +81,24 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   mutable completed : int;
   mutable completions : (int * int) list;  (** (finish cycle, latency) *)
+  (* request mix (open loop only) *)
+  mix : mix;
+  mix_total : int;  (** sum of weights; 0 = no mix *)
+  mix_counts : int array;  (** issued arrivals per class *)
+  mix_prng : Htm_sim.Prng.t;
+      (** class-draw randomness, derived from the arrival seed but its own
+          stream: enabling a mix never perturbs the arrival schedule, so
+          mixed and unmixed runs compare under identical offered load *)
+  (* fed-arrivals state: the balancer's assigned sub-schedule *)
+  feed_q : (int * int * string) Queue.t;  (** (at, client, request) *)
+  mutable feed_closed : bool;  (** no further [feed] calls will come *)
+  (* virtual-time stamps, so shard balancers can observe state "as of
+     cycle T" independently of how far any runner has overshot T *)
+  mutable drop_stamps : int list;  (** arrival cycle of each refused request *)
+  mutable timeout_stamps : int list;  (** [arrived + queue_timeout] of each expiry *)
+  mutable completion_log : (int * int * int) list;
+      (** (finish cycle, conn id, client) — conn ids give equal-stamp
+          completions a deterministic total order *)
 }
 
 (* Exponential inter-arrival gap with the given mean, in whole cycles,
@@ -82,10 +110,10 @@ let exp_gap t mean =
 
 let create ?(think_cycles = 2_000) ?(request_limit = max_int)
     ?(arrivals = Closed) ?(queue_cap = max_int) ?(queue_timeout = max_int)
-    ?(keepalive = max_int) ~n_clients make_request =
+    ?(keepalive = max_int) ?(mix = []) ~n_clients make_request =
   let seed =
     match arrivals with
-    | Closed -> 0
+    | Closed | Fed -> 0
     | Poisson { rate; seed } | Burst { rate; seed; _ } ->
         if rate <= 0.0 then invalid_arg "Netsim.create: offered load <= 0";
         seed
@@ -94,6 +122,16 @@ let create ?(think_cycles = 2_000) ?(request_limit = max_int)
   | Burst { size; _ } when size <= 0 ->
       invalid_arg "Netsim.create: burst size <= 0"
   | _ -> ());
+  (match (mix, arrivals) with
+  | [], _ | _, (Poisson _ | Burst _) -> ()
+  | _ -> invalid_arg "Netsim.create: request mixes need open-loop arrivals");
+  List.iter
+    (fun (name, w, _) ->
+      if w <= 0 then
+        invalid_arg
+          (Printf.sprintf "Netsim.create: mix weight for %S must be positive"
+             name))
+    mix;
   let t =
     {
     n_clients;
@@ -125,13 +163,22 @@ let create ?(think_cycles = 2_000) ?(request_limit = max_int)
       conns = Hashtbl.create 64;
       completed = 0;
       completions = [];
+      mix;
+      mix_total = List.fold_left (fun acc (_, w, _) -> acc + w) 0 mix;
+      mix_counts = Array.make (max 1 (List.length mix)) 0;
+      mix_prng = Htm_sim.Prng.create (seed lxor 0x6D6978 (* "mix" *));
+      feed_q = Queue.create ();
+      feed_closed = false;
+      drop_stamps = [];
+      timeout_stamps = [];
+      completion_log = [];
     }
   in
   (* the first open-loop arrival waits one inter-arrival gap, so no request
      lands on cycle 0 (the "never stamped" sentinel of the lifecycle
      fields) and the schedule is exponential from the start *)
   (match arrivals with
-  | Closed -> ()
+  | Closed | Fed -> ()
   | Poisson { rate; _ } -> t.next_open <- exp_gap t (1e9 /. rate)
   | Burst { rate; size; _ } ->
       t.next_open <- exp_gap t (1e9 /. rate *. float_of_int size));
@@ -142,7 +189,7 @@ let set_on_close t f = t.on_close <- f
 (* Advance the open-loop schedule past the arrival just issued. *)
 let schedule_next t =
   match t.arrivals with
-  | Closed -> ()
+  | Closed | Fed -> ()
   | Poisson { rate; _ } -> t.next_open <- t.next_open + exp_gap t (1e9 /. rate)
   | Burst { rate; size; _ } ->
       if t.burst_left > 1 then t.burst_left <- t.burst_left - 1
@@ -152,6 +199,25 @@ let schedule_next t =
         t.next_open <-
           t.next_open + exp_gap t (1e9 /. rate *. float_of_int size)
       end
+
+(* The weighted class draw for this arrival. One Prng draw per issued
+   arrival, taken whether or not the request survives the queue bound, so
+   the class stream is a pure function of the seed. *)
+let draw_class t =
+  let r = Htm_sim.Prng.int t.mix_prng t.mix_total in
+  let rec pick i acc = function
+    | [] -> i - 1
+    | (_, w, _) :: rest -> if r < acc + w then i else pick (i + 1) (acc + w) rest
+  in
+  let cls = pick 0 0 t.mix in
+  t.mix_counts.(cls) <- t.mix_counts.(cls) + 1;
+  cls
+
+let class_request t cls client =
+  if cls < 0 then t.make_request client
+  else
+    let _, _, builder = List.nth t.mix cls in
+    builder client
 
 (* Earliest future time a new request can arrive, if any. *)
 let next_arrival t =
@@ -168,6 +234,9 @@ let next_arrival t =
       !best
   | Poisson _ | Burst _ ->
       if t.issued < t.request_limit then Some t.next_open else None
+  | Fed -> ( match Queue.peek_opt t.feed_q with
+    | Some (at, _, _) -> Some at
+    | None -> None)
 
 (* The client identity of the next open-loop arrival: keep-alive slots
    round-robin, and a slot that has spent its budget churns to a fresh
@@ -200,7 +269,11 @@ let purge_expired t ~now =
         ignore (Queue.pop t.pending);
         c.closed <- true;
         Hashtbl.remove t.conns c.conn_id;
-        t.timed_out <- t.timed_out + 1
+        t.timed_out <- t.timed_out + 1;
+        (* the logical expiry instant, not the purge call's [now]: accept
+           always purges first, so whether a request times out is a pure
+           function of virtual time and the stamp must be too *)
+        t.timeout_stamps <- (c.arrived + t.queue_timeout) :: t.timeout_stamps
       end
       else continue_ := false
     done
@@ -246,17 +319,22 @@ let advance t ~now =
       while t.issued < t.request_limit && t.next_open <= now do
         let at = t.next_open in
         t.issued <- t.issued + 1;
-        if Queue.length t.pending >= t.queue_cap then
+        (* the class draw happens for every issued arrival — dropped or not
+           — so the class stream stays aligned with the gap stream *)
+        let cls = if t.mix_total > 0 then draw_class t else -1 in
+        if Queue.length t.pending >= t.queue_cap then begin
           (* bounded accept queue: the listener's backlog is full, the
              kernel refuses the connection *)
-          t.dropped <- t.dropped + 1
+          t.dropped <- t.dropped + 1;
+          t.drop_stamps <- at :: t.drop_stamps
+        end
         else begin
           let client = open_client t in
           let conn =
             {
               conn_id = t.next_conn_id;
               client;
-              request = t.make_request client;
+              request = class_request t cls client;
               response = [];
               arrived = at;
               accepted_at = 0;
@@ -271,6 +349,41 @@ let advance t ~now =
           arrived := true
         end;
         schedule_next t
+      done;
+      !arrived
+  | Fed ->
+      purge_expired t ~now;
+      let arrived = ref false in
+      let continue_ = ref true in
+      while !continue_ do
+        match Queue.peek_opt t.feed_q with
+        | Some (at, client, request) when at <= now ->
+            ignore (Queue.pop t.feed_q);
+            t.issued <- t.issued + 1;
+            if Queue.length t.pending >= t.queue_cap then begin
+              t.dropped <- t.dropped + 1;
+              t.drop_stamps <- at :: t.drop_stamps
+            end
+            else begin
+              let conn =
+                {
+                  conn_id = t.next_conn_id;
+                  client;
+                  request;
+                  response = [];
+                  arrived = at;
+                  accepted_at = 0;
+                  first_byte_at = 0;
+                  served_by = -1;
+                  closed = false;
+                  completed_at = 0;
+                }
+              in
+              t.next_conn_id <- t.next_conn_id + 1;
+              enqueue t conn;
+              arrived := true
+            end
+        | _ -> continue_ := false
       done;
       !arrived
 
@@ -307,12 +420,13 @@ let close t id ~now =
       c.completed_at <- now;
       t.completed <- t.completed + 1;
       t.completions <- (now, now - c.arrived) :: t.completions;
+      t.completion_log <- (now, c.conn_id, c.client) :: t.completion_log;
       t.in_flight <- max 0 (t.in_flight - 1);
       (match t.arrivals with
       | Closed ->
           t.client_busy.(c.client) <- false;
           t.client_free_at.(c.client) <- now + t.think_cycles
-      | Poisson _ | Burst _ -> ());
+      | Poisson _ | Burst _ | Fed -> ());
       t.on_close c ~now;
       Hashtbl.remove t.conns id
   | _ -> ()
@@ -321,8 +435,17 @@ let completed t = t.completed
 
 (* Every issued request is eventually completed, dropped or timed out; in
    the closed loop only completions happen, so this reduces to the old
-   [completed >= request_limit]. *)
-let done_all t = t.completed + t.dropped + t.timed_out >= t.request_limit
+   [completed >= request_limit]. Fed sockets have no request limit of
+   their own: they are done when the balancer has closed the feed and
+   everything assigned has been resolved. *)
+let done_all t =
+  match t.arrivals with
+  | Closed | Poisson _ | Burst _ ->
+      t.completed + t.dropped + t.timed_out >= t.request_limit
+  | Fed ->
+      t.feed_closed
+      && Queue.is_empty t.feed_q
+      && t.completed + t.dropped + t.timed_out >= t.issued
 
 let issued t = t.issued
 let dropped t = t.dropped
@@ -335,8 +458,92 @@ let in_flight_peak t = t.in_flight_peak
 
 let offered_load t =
   match t.arrivals with
-  | Closed -> 0.0
+  | Closed | Fed -> 0.0
   | Poisson { rate; _ } | Burst { rate; _ } -> rate
+
+(* --- the fed-arrivals interface used by the shard load balancer --- *)
+
+let feed t ~at ~client ~request =
+  (match t.arrivals with
+  | Fed -> ()
+  | _ -> invalid_arg "Netsim.feed: socket was not created with Fed arrivals");
+  if t.feed_closed then invalid_arg "Netsim.feed: feed already closed";
+  Queue.add (at, client, request) t.feed_q
+
+let close_feed t = t.feed_closed <- true
+
+(* True while the balancer may still push arrivals: an idle runner must
+   pause rather than declare deadlock. *)
+let feed_may_grow t = t.arrivals = Fed && not t.feed_closed
+
+(* --- virtual-time-stamped observations ---
+
+   A shard runner paused at horizon H may have overshot H by the cost of
+   one run-ahead slice, and by *different amounts* under different
+   interpreter/scheduler tiers. Raw counters at a barrier are therefore
+   placement- and tier-dependent; counts filtered by stamp <= H are pure
+   functions of virtual time and safe for balancer decisions. *)
+
+let completed_by t ~time =
+  List.fold_left
+    (fun acc (fin, _, _) -> if fin <= time then acc + 1 else acc)
+    0 t.completion_log
+
+let dropped_by t ~time =
+  List.fold_left (fun acc at -> if at <= time then acc + 1 else acc) 0
+    t.drop_stamps
+
+let timed_out_by t ~time =
+  List.fold_left (fun acc at -> if at <= time then acc + 1 else acc) 0
+    t.timeout_stamps
+
+(* (finish cycle, conn id, client), oldest first. *)
+let completion_log t = List.rev t.completion_log
+
+let last_completion t =
+  List.fold_left (fun acc (fin, _, _) -> max acc fin) 0 t.completion_log
+
+let mix_counts t =
+  List.mapi (fun i (name, _, _) -> (name, t.mix_counts.(i))) t.mix
+
+(* --- the pure schedule generator ---
+
+   The shard tier generates ONE global arrival schedule (identical to what
+   a single socket with the same parameters would produce) and splits it
+   across shards; this factors the open-loop arrival logic out of the
+   socket so the split is a pure function of the seed. Implemented by
+   draining an internal unbounded socket, so churn/keep-alive/mix
+   semantics can never diverge from the served path. *)
+
+type sched_entry = { se_at : int; se_client : int; se_request : string }
+
+let schedule ?(mix = []) ?keepalive ~arrivals ~n_clients ~requests make_request
+    =
+  (match arrivals with
+  | Poisson _ | Burst _ -> ()
+  | Closed | Fed ->
+      invalid_arg "Netsim.schedule: needs Poisson or Burst arrivals");
+  let t =
+    create ~request_limit:requests ~arrivals ?keepalive ~mix ~n_clients
+      make_request
+  in
+  let entries = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match next_arrival t with
+    | None -> continue_ := false
+    | Some at ->
+        ignore (advance t ~now:at);
+        Queue.iter
+          (fun c ->
+            entries :=
+              { se_at = c.arrived; se_client = c.client; se_request = c.request }
+              :: !entries)
+          t.pending;
+        Queue.clear t.pending;
+        Hashtbl.reset t.conns
+  done;
+  (Array.of_list (List.rev !entries), t.churned)
 
 (* Requests per second at a 1 GHz virtual clock, measured over the middle of
    the run to avoid warmup/drain artefacts. Total for every input: with no

@@ -25,6 +25,18 @@ type arrivals =
   | Burst of { rate : float; size : int; seed : int }
       (** groups of [size] simultaneous arrivals, fronts exponentially
           spaced so the long-run offered load is still [rate] *)
+  | Fed
+      (** arrivals pushed by a load balancer via {!feed}: the shard tier
+          splits one globally-generated schedule across N per-shard
+          sockets *)
+
+type mix = (string * int * (int -> string)) list
+(** Weighted request classes [(name, weight, per-client builder)]. With a
+    non-empty mix, every issued open-loop arrival draws its class from a
+    dedicated Prng stream derived from the arrival seed — one draw per
+    arrival, dropped or not, so the class sequence is a pure function of
+    the seed, and the arrival schedule itself is untouched (mixed and
+    unmixed runs compare under identical offered load). *)
 
 type conn = {
   conn_id : int;
@@ -48,14 +60,17 @@ val create :
   ?queue_cap:int ->
   ?queue_timeout:int ->
   ?keepalive:int ->
+  ?mix:mix ->
   n_clients:int ->
   (int -> string) ->
   t
 (** [create ~n_clients make_request]: [make_request client] builds each
     request payload. [arrivals] defaults to [Closed]; [queue_cap],
     [queue_timeout] and [keepalive] default to unbounded and only matter
-    for open-loop modes.
-    @raise Invalid_argument on a non-positive rate or burst size. *)
+    for open-loop modes. A non-empty [mix] replaces [make_request] with a
+    weighted per-arrival class draw (open-loop arrivals only).
+    @raise Invalid_argument on a non-positive rate, burst size or mix
+    weight, or a mix without open-loop arrivals. *)
 
 val next_arrival : t -> int option
 (** Earliest future cycle a new request can arrive, if any. *)
@@ -90,7 +105,9 @@ val completed : t -> int
 
 val done_all : t -> bool
 (** Every one of the [request_limit] requests is accounted for: completed,
-    dropped at the full queue, or timed out waiting. *)
+    dropped at the full queue, or timed out waiting. A [Fed] socket is done
+    when the feed is closed, the backlog drained and every issued request
+    resolved. *)
 
 val issued : t -> int
 val dropped : t -> int
@@ -123,3 +140,72 @@ val achieved_load : t -> float
 
 val mean_latency : t -> float
 (** Mean completion latency in cycles; 0 with no completions. *)
+
+(** {2 Fed arrivals — the shard load balancer's interface} *)
+
+val feed : t -> at:int -> client:int -> request:string -> unit
+(** Push one assigned arrival onto a [Fed] socket's backlog. The balancer
+    replays a time-sorted schedule, so calls must come in non-decreasing
+    [at] order. @raise Invalid_argument on a non-[Fed] socket or after
+    {!close_feed}. *)
+
+val close_feed : t -> unit
+(** No further {!feed} calls will come: lets {!done_all} turn true and
+    stops the runner pausing for more arrivals. *)
+
+val feed_may_grow : t -> bool
+(** True while the balancer may still push arrivals — an idle runner must
+    pause rather than declare deadlock. *)
+
+(** {2 Virtual-time-stamped observations}
+
+    A shard runner paused at horizon [H] may have overshot [H] by the cost
+    of one run-ahead slice, and by different amounts under different
+    interpreter/scheduler tiers. Raw counters compared at a barrier are
+    therefore placement- and tier-dependent; these stamp-filtered counts
+    are pure functions of virtual time and safe for balancer decisions
+    and merged digests. *)
+
+val completed_by : t -> time:int -> int
+(** Completions whose finish cycle is [<= time]. *)
+
+val dropped_by : t -> time:int -> int
+(** Queue-bound refusals whose arrival cycle is [<= time]. *)
+
+val timed_out_by : t -> time:int -> int
+(** Expiries whose logical expiry instant [arrived + queue_timeout] is
+    [<= time] (accept purges before popping, so expiry is a pure function
+    of virtual time). *)
+
+val completion_log : t -> (int * int * int) list
+(** [(finish cycle, conn id, client)] per completion, oldest first; conn
+    ids give equal-stamp completions a deterministic total order. *)
+
+val last_completion : t -> int
+(** Finish cycle of the latest completion; 0 with none. *)
+
+val mix_counts : t -> (string * int) list
+(** Issued arrivals per request class, in mix order; [[]] without a mix. *)
+
+(** {2 The pure schedule generator} *)
+
+type sched_entry = {
+  se_at : int;  (** arrival cycle *)
+  se_client : int;  (** keep-alive client identity (already churned) *)
+  se_request : string;  (** request payload (mix class already drawn) *)
+}
+
+val schedule :
+  ?mix:mix ->
+  ?keepalive:int ->
+  arrivals:arrivals ->
+  n_clients:int ->
+  requests:int ->
+  (int -> string) ->
+  sched_entry array * int
+(** The full open-loop arrival schedule as data, plus the churn count:
+    exactly the arrivals a single socket with the same parameters would
+    materialise (implemented by draining one, so keep-alive / churn / mix
+    semantics cannot diverge). The shard balancer splits this one global
+    schedule across per-shard [Fed] sockets.
+    @raise Invalid_argument unless [arrivals] is [Poisson] or [Burst]. *)

@@ -4,14 +4,30 @@
 
 open Htm_sim
 
-type t = { vm : Vm.t; program : Value.program; main : Vmthread.t }
+type t = {
+  vm : Vm.t;
+  program : Value.program;
+  main : Vmthread.t;
+  syms : Sym.state;
+  uids : Value.uid_state;
+}
+
+(* Make this session's interning and uid state the domain's active one.
+   The runner calls this on every entry, so N shard sessions can interleave
+   on one domain (or resume on different domains) without sharing state. *)
+let activate t =
+  Sym.activate t.syms;
+  Value.activate_uid_state t.uids
 
 let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine ~source =
-  (* Reset the domain-local interning and uid state so everything this
-     session assigns is a pure function of its own program — required for
-     parallel sweeps to reproduce sequential results exactly. *)
-  Sym.reset ();
-  Value.reset_code_uids ();
+  (* A fresh per-session interning context and uid counter, activated for
+     the whole boot: everything this session assigns is a pure function of
+     its own program — required for parallel (and interleaved) sweeps to
+     reproduce sequential results exactly. *)
+  let syms = Sym.fresh () in
+  let uids = Value.fresh_uid_state () in
+  Sym.activate syms;
+  Value.activate_uid_state uids;
   let vm = Vm.create ~opts ~htm_mode machine in
   Builtins.install vm;
   Vm.install_gc_hooks vm;
@@ -45,4 +61,4 @@ let create ?(opts = Options.default) ?(htm_mode = Htm.Htm_mode) machine ~source 
   main.sp <- base + Vmthread.frame_hdr + program.main.nlocals;
   main.pc <- 0;
   Store.set vm.Vm.store vm.Vm.g_live (Value.VInt 1);
-  { vm; program; main }
+  { vm; program; main; syms; uids }

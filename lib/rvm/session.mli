@@ -2,7 +2,19 @@
     unit (sharing the inline-cache space), builtins are installed, and the
     main thread is created with its toplevel frame. *)
 
-type t = { vm : Vm.t; program : Value.program; main : Vmthread.t }
+type t = {
+  vm : Vm.t;
+  program : Value.program;
+  main : Vmthread.t;
+  syms : Sym.state;  (** this session's interning context *)
+  uids : Value.uid_state;  (** this session's code-uid counter *)
+}
+
+val activate : t -> unit
+(** Make this session's interning context and uid counter the domain's
+    active ones. The runner calls it on every entry ([run]/[advance]), so
+    several sessions — e.g. N VM shards — can interleave on one domain or
+    migrate across domains without sharing state. *)
 
 val create :
   ?opts:Options.t ->

@@ -1,8 +1,10 @@
-(* Interned symbols. The interning state is domain-local (the parallel
-   figure harness runs one VM session per domain task), and [reset]
-   truncates it back to the pre-interned baseline below, so the ids a
-   session assigns are a pure function of its own program — independent of
-   which other sessions ran before it or on which domain. That invariant is
+(* Interned symbols. Interning state is a first-class [state] value owned
+   by a VM session; the domain-local slot below only holds the *active*
+   state, so what a session interns is a pure function of its own program —
+   independent of which other sessions ran before it, on which domain, or
+   interleaved with it (the shard tier resumes several sessions on one
+   domain). [Session.create] builds a fresh state via {!fresh} and
+   re-{!activate}s it on every entry into the runner. That invariant is
    what makes parallel experiment sweeps bit-identical to sequential ones:
    symbol ids feed guest hash buckets, so they must not depend on
    scheduling. *)
@@ -43,6 +45,17 @@ let dls_key =
       s)
 
 let state () = Domain.DLS.get dls_key
+
+(* A state that starts from the pre-interned baseline, like a fresh
+   domain's. *)
+let fresh () =
+  let s = make_state () in
+  Array.iter (fun n -> ignore (intern_in s n)) !baseline;
+  s
+
+let activate s = Domain.DLS.set dls_key s
+let current = state
+let count () = (state ()).count
 
 let intern name = intern_in (state ()) name
 

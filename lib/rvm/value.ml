@@ -120,10 +120,20 @@ let vint n =
     Array.unsafe_get small_ints (n - small_int_min)
   else VInt n
 
-(* Domain-local so parallel harness domains never race, reset per session so
+(* The uid counter is a first-class per-session cell; the domain-local slot
+   holds the *active* one (parallel harness domains never race, and the
+   shard tier re-activates its session's cell on every runner entry), so
    uids are a pure function of the compiled program (they key the dynamic
-   transaction-length tables). *)
-let code_uid_key = Domain.DLS.new_key (fun () -> ref 0)
+   transaction-length tables). Runtime code also draws uids — [defclass]
+   synthesizes accessor codes — so activation matters during runs, not just
+   at session boot. *)
+type uid_state = int ref
+
+let code_uid_key : uid_state Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let fresh_uid_state () : uid_state = ref 0
+let activate_uid_state (r : uid_state) = Domain.DLS.set code_uid_key r
+let current_uid_state () = Domain.DLS.get code_uid_key
 
 let fresh_code_uid () =
   let r = Domain.DLS.get code_uid_key in

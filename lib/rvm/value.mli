@@ -112,11 +112,21 @@ val vint : int -> t
     Interpreter and runner hot paths construct ints through this instead of
     [VInt] to keep the per-instruction step loop allocation-free. *)
 
+type uid_state = int ref
+(** A per-session code-uid counter. The domain-local slot holds the
+    {e active} one; sessions own theirs and re-activate it on runner entry
+    (uids are drawn at runtime too — [defclass] synthesizes accessor
+    codes). *)
+
+val fresh_uid_state : unit -> uid_state
+val activate_uid_state : uid_state -> unit
+val current_uid_state : unit -> uid_state
+
 val fresh_code_uid : unit -> int
 
 val reset_code_uids : unit -> unit
-(** Reset the (domain-local) uid counter; called by [Session.create] so
-    uids are a pure function of the compiled program. *)
+(** Zero the {e active} uid counter, so uids are a pure function of the
+    compiled program. *)
 
 val truthy : t -> bool
 val type_name : t -> string

@@ -118,15 +118,48 @@ let make_request counter _client =
         (17 + (!counter mod 40))
   | _ -> "GET /missing HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
 
+(* Weighted request classes for the open-loop mix, pure per client (the
+   class draw comes from the arrival Prng): the 404 static path, the
+   ORM-ish per-book query, and the full listing whose large page makes the
+   final gsub regex pass the dominant cost. *)
+let request_static _client =
+  "GET /missing HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+
+let request_orm client =
+  Printf.sprintf
+    "GET /books/%d HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+    (17 + (client mod 40))
+
+let request_regex _client =
+  "GET /books HTTP/1.1\r\nHost: rails.local\r\nAccept: text/html\r\n\r\n"
+
+let mix =
+  [
+    ("static", 2, request_static);
+    ("orm", 5, request_orm);
+    ("regex", 3, request_regex);
+  ]
+
 let make_io ~clients ~requests =
   Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
     (make_request (ref 0))
 
 (* Open-loop variant; same bounded queue and churn policy as WEBrick so the
    fig_load panels compare schemes, not queue configurations. *)
-let make_io_open ~clients ~requests ~arrivals =
+let make_io_open ~clients ~requests ~arrivals ~mix =
   Netsim.create ~request_limit:requests ~n_clients:clients ~arrivals
-    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8
+    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8 ~mix
+    (make_request (ref 0))
+
+(* A shard's balancer-fed socket; queue parameters as above. *)
+let make_io_fed () =
+  Netsim.create ~arrivals:Netsim.Fed ~n_clients:1 ~queue_cap:64
+    ~queue_timeout:4_000_000
+    (make_request (ref 0))
+
+(* The global arrival schedule the balancer splits across shards. *)
+let make_schedule ~clients ~requests ~arrivals ~mix =
+  Netsim.schedule ~mix ~keepalive:8 ~arrivals ~n_clients:clients ~requests
     (make_request (ref 0))
 
 let setup io vm =

@@ -11,11 +11,30 @@ val make_request : int ref -> int -> string
     [counter], which each {!make_io} owns — keeping every run's request
     sequence a pure function of its own configuration. *)
 
+val mix : Netsim.mix
+(** Weighted request classes: static 404, ORM per-book query, and the full
+    listing whose page size makes the gsub regex pass dominant. *)
+
 val make_io : clients:int -> requests:int -> Netsim.t
 
 val make_io_open :
-  clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t
+  clients:int ->
+  requests:int ->
+  arrivals:Netsim.arrivals ->
+  mix:Netsim.mix ->
+  Netsim.t
 (** Open-loop variant with the same bounded-queue and churn policy as
     {!Webrick.make_io_open}. *)
+
+val make_io_fed : unit -> Netsim.t
+(** A balancer-fed shard socket with the same queue bounds. *)
+
+val make_schedule :
+  clients:int ->
+  requests:int ->
+  arrivals:Netsim.arrivals ->
+  mix:Netsim.mix ->
+  Netsim.sched_entry array * int
+(** The global arrival schedule the shard balancer splits. *)
 
 val setup : Netsim.t -> Rvm.Vm.t -> unit

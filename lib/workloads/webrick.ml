@@ -82,6 +82,18 @@ let make_request client =
     "GET /index%d.html HTTP/1.1\r\nHost: bench.local\r\nUser-Agent: loadgen/1.0\r\nAccept: */*\r\nConnection: close\r\n\r\n"
     (client mod 4)
 
+(* Weighted request classes for the open-loop mix: the default static page
+   fetch plus a query-string request whose routing exercises the regex and
+   header/query parsing loops harder (more headers, a query to split off).
+   Builders are pure per client — the class draw itself comes from the
+   arrival Prng stream. *)
+let request_regex client =
+  Printf.sprintf
+    "GET /search/items?q=term%d&page=%d HTTP/1.1\r\nHost: bench.local\r\nUser-Agent: loadgen/1.0\r\nAccept: text/html\r\nAccept-Language: en\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    (client mod 8) (client mod 5)
+
+let mix = [ ("static", 3, make_request); ("regex", 1, request_regex) ]
+
 let make_io ~clients ~requests =
   Netsim.create ~think_cycles:1_000 ~request_limit:requests ~n_clients:clients
     make_request
@@ -89,9 +101,21 @@ let make_io ~clients ~requests =
 (* Open-loop variant: arrivals keep coming at the offered rate whether or
    not the server keeps up, so the accept queue must be bounded (64 slots,
    4 ms virtual patience) and keep-alive clients churn every 8 requests. *)
-let make_io_open ~clients ~requests ~arrivals =
+let make_io_open ~clients ~requests ~arrivals ~mix =
   Netsim.create ~request_limit:requests ~n_clients:clients ~arrivals
-    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8 make_request
+    ~queue_cap:64 ~queue_timeout:4_000_000 ~keepalive:8 ~mix make_request
+
+(* A shard's socket: arrivals come from the balancer's feed, everything
+   else (bounded queue, patience) identical to the open-loop variant so the
+   sharded and single-socket tiers compare queue behaviour, not configs. *)
+let make_io_fed () =
+  Netsim.create ~arrivals:Netsim.Fed ~n_clients:1 ~queue_cap:64
+    ~queue_timeout:4_000_000 make_request
+
+(* The global arrival schedule the balancer splits across shards. *)
+let make_schedule ~clients ~requests ~arrivals ~mix =
+  Netsim.schedule ~mix ~keepalive:8 ~arrivals ~n_clients:clients ~requests
+    make_request
 
 let setup io vm =
   Extensions.install_net vm io;

@@ -4,11 +4,31 @@
 
 val guest_source : string
 val make_request : int -> string
+
+val mix : Netsim.mix
+(** Weighted request classes: the static page fetch plus a query-string
+    request that works the regex / header parsing loops harder. *)
+
 val make_io : clients:int -> requests:int -> Netsim.t
 
 val make_io_open :
-  clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t
+  clients:int ->
+  requests:int ->
+  arrivals:Netsim.arrivals ->
+  mix:Netsim.mix ->
+  Netsim.t
 (** Open-loop variant: bounded accept queue (64 slots, 4 ms virtual
     timeout), keep-alive clients churned every 8 requests. *)
+
+val make_io_fed : unit -> Netsim.t
+(** A balancer-fed shard socket with the same queue bounds. *)
+
+val make_schedule :
+  clients:int ->
+  requests:int ->
+  arrivals:Netsim.arrivals ->
+  mix:Netsim.mix ->
+  Netsim.sched_entry array * int
+(** The global arrival schedule the shard balancer splits. *)
 
 val setup : Netsim.t -> Rvm.Vm.t -> unit

@@ -15,8 +15,25 @@ type t = {
       (** for [Server] workloads, [threads] is the number of clients *)
   make_io : (clients:int -> requests:int -> Netsim.t) option;
   make_io_open :
-    (clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t)
+    (clients:int ->
+    requests:int ->
+    arrivals:Netsim.arrivals ->
+    mix:Netsim.mix ->
+    Netsim.t)
     option;
+  make_io_fed : (unit -> Netsim.t) option;
+      (** a balancer-fed shard socket with this workload's queue bounds *)
+  make_schedule :
+    (clients:int ->
+    requests:int ->
+    arrivals:Netsim.arrivals ->
+    mix:Netsim.mix ->
+    Netsim.sched_entry array * int)
+    option;
+      (** the global open-loop arrival schedule the shard balancer splits *)
+  mix : Netsim.mix;
+      (** this workload's weighted request classes ([--mix]); [[]] keeps the
+          single default request *)
   setup : Netsim.t option -> Rvm.Vm.t -> unit;
   server_requests : Size.t -> int;
 }
@@ -30,6 +47,9 @@ let compute ?(parallel_work = false) name describe source =
     source;
     make_io = None;
     make_io_open = None;
+    make_io_fed = None;
+    make_schedule = None;
+    mix = [];
     setup = (fun _ _ -> ());
     server_requests = (fun _ -> 0);
   }
@@ -70,8 +90,14 @@ let webrick =
     make_io = Some (fun ~clients ~requests -> Webrick.make_io ~clients ~requests);
     make_io_open =
       Some
-        (fun ~clients ~requests ~arrivals ->
-          Webrick.make_io_open ~clients ~requests ~arrivals);
+        (fun ~clients ~requests ~arrivals ~mix ->
+          Webrick.make_io_open ~clients ~requests ~arrivals ~mix);
+    make_io_fed = Some Webrick.make_io_fed;
+    make_schedule =
+      Some
+        (fun ~clients ~requests ~arrivals ~mix ->
+          Webrick.make_schedule ~clients ~requests ~arrivals ~mix);
+    mix = Webrick.mix;
     setup =
       (fun io vm ->
         match io with Some io -> Webrick.setup io vm | None -> ());
@@ -88,8 +114,14 @@ let rails =
     make_io = Some (fun ~clients ~requests -> Rails.make_io ~clients ~requests);
     make_io_open =
       Some
-        (fun ~clients ~requests ~arrivals ->
-          Rails.make_io_open ~clients ~requests ~arrivals);
+        (fun ~clients ~requests ~arrivals ~mix ->
+          Rails.make_io_open ~clients ~requests ~arrivals ~mix);
+    make_io_fed = Some Rails.make_io_fed;
+    make_schedule =
+      Some
+        (fun ~clients ~requests ~arrivals ~mix ->
+          Rails.make_schedule ~clients ~requests ~arrivals ~mix);
+    mix = Rails.mix;
     setup = (fun io vm -> match io with Some io -> Rails.setup io vm | None -> ());
     server_requests = (fun size -> Size.pick size ~test:40 ~s:250 ~w:800);
   }

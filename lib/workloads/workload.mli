@@ -15,10 +15,30 @@ type t = {
       (** for [Server] workloads, [threads] is the number of clients *)
   make_io : (clients:int -> requests:int -> Netsim.t) option;
   make_io_open :
-    (clients:int -> requests:int -> arrivals:Netsim.arrivals -> Netsim.t)
+    (clients:int ->
+    requests:int ->
+    arrivals:Netsim.arrivals ->
+    mix:Netsim.mix ->
+    Netsim.t)
     option;
       (** open-loop variant: bounded accept queue + keep-alive churn, driven
-          by a [Netsim.Poisson] or [Netsim.Burst] arrival process *)
+          by a [Netsim.Poisson] or [Netsim.Burst] arrival process; [mix]
+          ([[]] = single default request) selects weighted request classes *)
+  make_io_fed : (unit -> Netsim.t) option;
+      (** a balancer-fed shard socket ([Netsim.Fed]) with this workload's
+          queue bounds *)
+  make_schedule :
+    (clients:int ->
+    requests:int ->
+    arrivals:Netsim.arrivals ->
+    mix:Netsim.mix ->
+    Netsim.sched_entry array * int)
+    option;
+      (** the global open-loop arrival schedule (plus churn count) the shard
+          balancer splits across [Fed] sockets *)
+  mix : Netsim.mix;
+      (** this workload's weighted request classes ([--mix]); [[]] for
+          compute workloads *)
   setup : Netsim.t option -> Rvm.Vm.t -> unit;
       (** installs extension classes (sockets, regexp, db) into the VM *)
   server_requests : Size.t -> int;

@@ -3,7 +3,9 @@
 # figure regeneration under 1 and 4 worker domains, under both schedulers
 # and under both interpreter tiers, and checks that every run's "figures"
 # member is byte-identical (host wall times live outside that member and
-# may legitimately differ).
+# may legitimately differ). The sharded-serving panels additionally vary
+# SHARDS (1 on the first leg, 4 on every other): shard-domain placement is
+# a host knob and must never leak into the simulated data.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,17 +16,19 @@ dune runtest
 # must stay allocation-free in steady state
 dune exec bench/main.exe -- gates
 
-BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
+SHARDS=1 BENCH_SIZE=test BENCH_JOBS=1 dune exec bench/main.exe -- figures
 v1=$(dune exec bench/main.exe -- validate BENCH_results.json)
 d1=$(echo "$v1" | sed -n 's/^figures digest: //p')
 h1=$(echo "$v1" | sed -n 's/^hybrid digest: //p')
 l1=$(echo "$v1" | sed -n 's/^load digest: //p')
+s1=$(echo "$v1" | sed -n 's/^shard digest: //p')
 
-BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+SHARDS=4 BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 v4=$(dune exec bench/main.exe -- validate BENCH_results.json)
 d4=$(echo "$v4" | sed -n 's/^figures digest: //p')
 h4=$(echo "$v4" | sed -n 's/^hybrid digest: //p')
 l4=$(echo "$v4" | sed -n 's/^load digest: //p')
+s4=$(echo "$v4" | sed -n 's/^shard digest: //p')
 
 if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
   echo "smoke: FAIL: figures differ between BENCH_JOBS=1 ($d1) and BENCH_JOBS=4 ($d4)" >&2
@@ -48,13 +52,23 @@ if [ -z "$l1" ] || [ "$l1" != "$l4" ]; then
 fi
 echo "smoke: load panels identical across worker counts (digest $l1)"
 
+# the sharded-serving panels must be byte-identical whether the N shards ran
+# in one domain (SHARDS=1) or four (SHARDS=4): the merge is deterministic in
+# shard order, so placement never shows in the data
+if [ -z "$s1" ] || [ "$s1" != "$s4" ]; then
+  echo "smoke: FAIL: shard panels differ between SHARDS=1 ($s1) and SHARDS=4 ($s4)" >&2
+  exit 1
+fi
+echo "smoke: shard panels identical across shard-domain placements (digest $s1)"
+
 # the event-driven scheduler must reproduce the reference linear scan's
 # interleaving exactly: regenerate under BENCH_SCHED=ref and compare
-BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+SHARDS=4 BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 vref=$(dune exec bench/main.exe -- validate BENCH_results.json)
 dref=$(echo "$vref" | sed -n 's/^figures digest: //p')
 href=$(echo "$vref" | sed -n 's/^hybrid digest: //p')
 lref=$(echo "$vref" | sed -n 's/^load digest: //p')
+sref=$(echo "$vref" | sed -n 's/^shard digest: //p')
 
 if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
   echo "smoke: FAIL: figures differ between heap ($d1) and reference ($dref) schedulers" >&2
@@ -68,15 +82,20 @@ if [ -z "$lref" ] || [ "$l1" != "$lref" ]; then
   echo "smoke: FAIL: load panels differ between heap ($l1) and reference ($lref) schedulers" >&2
   exit 1
 fi
+if [ -z "$sref" ] || [ "$s1" != "$sref" ]; then
+  echo "smoke: FAIL: shard panels differ between heap ($s1) and reference ($sref) schedulers" >&2
+  exit 1
+fi
 echo "smoke: figures identical across schedulers (digest $dref)"
 
 # the pre-decoded threaded interpreter must reproduce the reference switch
 # loop's runs exactly: regenerate under BENCH_INTERP=ref and compare
-BENCH_INTERP=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+SHARDS=4 BENCH_INTERP=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 viref=$(dune exec bench/main.exe -- validate BENCH_results.json)
 diref=$(echo "$viref" | sed -n 's/^figures digest: //p')
 hiref=$(echo "$viref" | sed -n 's/^hybrid digest: //p')
 liref=$(echo "$viref" | sed -n 's/^load digest: //p')
+siref=$(echo "$viref" | sed -n 's/^shard digest: //p')
 
 if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
   echo "smoke: FAIL: figures differ between threaded ($d1) and reference ($diref) interpreters" >&2
@@ -88,6 +107,10 @@ if [ -z "$hiref" ] || [ "$h1" != "$hiref" ]; then
 fi
 if [ -z "$liref" ] || [ "$l1" != "$liref" ]; then
   echo "smoke: FAIL: load panels differ between threaded ($l1) and reference ($liref) interpreters" >&2
+  exit 1
+fi
+if [ -z "$siref" ] || [ "$s1" != "$siref" ]; then
+  echo "smoke: FAIL: shard panels differ between threaded ($s1) and reference ($siref) interpreters" >&2
   exit 1
 fi
 echo "smoke: figures identical across interpreters (digest $diref)"

@@ -33,5 +33,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("obs", Test_obs.suite);
       ("load", Test_load.suite);
+      ("shard", Test_shard.suite);
+      ("domain-audit", Test_domain_audit.suite);
       ("stm", Test_stm.suite);
     ]

@@ -160,6 +160,113 @@ let test_keepalive_churn () =
   in
   Alcotest.(check int) "fresh identities appear" 20 distinct
 
+(* ---- Fed arrivals: the shard balancer's interface ---- *)
+
+let test_fed_socket () =
+  let t =
+    Netsim.create ~arrivals:Netsim.Fed ~n_clients:1 (fun _ ->
+        "GET / HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check bool) "feed may grow" true (Netsim.feed_may_grow t);
+  Netsim.feed t ~at:100 ~client:0 ~request:"GET /a HTTP/1.1\r\n\r\n";
+  Netsim.feed t ~at:300 ~client:1 ~request:"GET /b HTTP/1.1\r\n\r\n";
+  Alcotest.(check bool) "not done while the feed is open" false
+    (Netsim.done_all t);
+  ignore (Netsim.advance t ~now:200);
+  (match Netsim.accept t ~now:200 with
+  | Some c ->
+      Alcotest.(check string) "the fed payload is served"
+        "GET /a HTTP/1.1\r\n\r\n" c.Netsim.request;
+      Alcotest.(check int) "the fed client identity sticks" 0 c.Netsim.client;
+      Netsim.close t c.Netsim.conn_id ~now:250
+  | None -> Alcotest.fail "fed arrival not materialised");
+  Netsim.close_feed t;
+  Alcotest.(check bool) "no growth after close_feed" false
+    (Netsim.feed_may_grow t);
+  Alcotest.check_raises "feed after close rejected"
+    (Invalid_argument "Netsim.feed: feed already closed") (fun () ->
+      Netsim.feed t ~at:400 ~client:0 ~request:"x");
+  Alcotest.(check bool) "backlog keeps it alive" false (Netsim.done_all t);
+  ignore (Netsim.advance t ~now:400);
+  (match Netsim.accept t ~now:400 with
+  | Some c -> Netsim.close t c.Netsim.conn_id ~now:450
+  | None -> Alcotest.fail "second fed arrival not materialised");
+  Alcotest.(check bool) "done once drained" true (Netsim.done_all t);
+  Alcotest.check_raises "feed on a non-Fed socket rejected"
+    (Invalid_argument "Netsim.feed: socket was not created with Fed arrivals")
+    (fun () ->
+      Netsim.feed
+        (mk_open (Netsim.Poisson { rate = 1000.0; seed = 1 }))
+        ~at:0 ~client:0 ~request:"x")
+
+(* The pure generator must reproduce exactly the arrivals a live socket
+   with the same parameters materialises. *)
+let test_schedule_matches_socket () =
+  let arrivals = Netsim.Poisson { rate = 2_000_000.0; seed = 42 } in
+  let entries, churned =
+    Netsim.schedule ~keepalive:8 ~arrivals ~n_clients:4 ~requests:50 (fun c ->
+        Printf.sprintf "GET /c%d HTTP/1.1\r\n\r\n" c)
+  in
+  Alcotest.(check int) "every request scheduled" 50 (Array.length entries);
+  let live = drain (mk_open ~keepalive:8 arrivals) in
+  Alcotest.(check (list (pair int int))) "same (client, at) schedule"
+    (List.map (fun e -> (e.Netsim.se_client, e.Netsim.se_at)) (Array.to_list entries))
+    live;
+  Alcotest.(check bool) "monotone arrival times" true
+    (Array.for_all2
+       (fun a b -> a.Netsim.se_at <= b.Netsim.se_at)
+       (Array.sub entries 0 49)
+       (Array.sub entries 1 49));
+  let entries2, churned2 =
+    Netsim.schedule ~keepalive:8 ~arrivals ~n_clients:4 ~requests:50 (fun c ->
+        Printf.sprintf "GET /c%d HTTP/1.1\r\n\r\n" c)
+  in
+  Alcotest.(check bool) "generator deterministic" true
+    (entries = entries2 && churned = churned2);
+  Alcotest.check_raises "closed-loop schedule rejected"
+    (Invalid_argument "Netsim.schedule: needs Poisson or Burst arrivals")
+    (fun () ->
+      ignore
+        (Netsim.schedule ~arrivals:Netsim.Closed ~n_clients:1 ~requests:1
+           (fun _ -> "x")))
+
+(* Virtual-time-stamped observations: pure functions of the stamp, however
+   far a runner overshot when it recorded them. *)
+let test_stamp_accessors () =
+  let t =
+    Netsim.create ~arrivals:Netsim.Fed ~queue_cap:1 ~queue_timeout:500
+      ~n_clients:1
+      (fun _ -> "GET / HTTP/1.1\r\n\r\n")
+  in
+  Netsim.feed t ~at:100 ~client:0 ~request:"a";
+  Netsim.feed t ~at:110 ~client:1 ~request:"b";
+  (* cap 1: the second arrival drops at its arrival instant *)
+  ignore (Netsim.advance t ~now:150);
+  Alcotest.(check int) "drop stamped at arrival" 1
+    (Netsim.dropped_by t ~time:110);
+  Alcotest.(check int) "no drops before it" 0 (Netsim.dropped_by t ~time:109);
+  (* the queued arrival expires 500 cycles after it arrived *)
+  ignore (Netsim.advance t ~now:2_000);
+  Alcotest.(check int) "timeout stamped at logical expiry" 1
+    (Netsim.timed_out_by t ~time:600);
+  Alcotest.(check int) "no expiry before it" 0 (Netsim.timed_out_by t ~time:599);
+  (* completions: stamp, total order, last_completion *)
+  Netsim.feed t ~at:2_100 ~client:2 ~request:"c";
+  Netsim.close_feed t;
+  ignore (Netsim.advance t ~now:2_200);
+  (match Netsim.accept t ~now:2_200 with
+  | Some c -> Netsim.close t c.Netsim.conn_id ~now:2_300
+  | None -> Alcotest.fail "third arrival not materialised");
+  Alcotest.(check int) "completion stamped" 1 (Netsim.completed_by t ~time:2_300);
+  Alcotest.(check int) "not before" 0 (Netsim.completed_by t ~time:2_299);
+  Alcotest.(check int) "last completion" 2_300 (Netsim.last_completion t);
+  (match Netsim.completion_log t with
+  | [ (fin, _, client) ] ->
+      Alcotest.(check (pair int int)) "log entry" (2_300, 2) (fin, client)
+  | l -> Alcotest.failf "unexpected completion log length %d" (List.length l));
+  Alcotest.(check bool) "everything accounted, socket done" true
+    (Netsim.done_all t)
+
 let test_stat_guards () =
   (* no completions: both stats answer 0, never NaN/infinity *)
   let t = mk_open ~limit:5 (Netsim.Poisson { rate = 1_000_000.0; seed = 2 }) in
@@ -214,6 +321,11 @@ let suite =
     Alcotest.test_case "bounded queue drops" `Quick test_queue_bound_drops;
     Alcotest.test_case "queue timeout" `Quick test_queue_timeout;
     Alcotest.test_case "keep-alive churn" `Quick test_keepalive_churn;
+    Alcotest.test_case "fed socket" `Quick test_fed_socket;
+    Alcotest.test_case "schedule generator matches socket" `Quick
+      test_schedule_matches_socket;
+    Alcotest.test_case "virtual-time stamp accessors" `Quick
+      test_stamp_accessors;
     Alcotest.test_case "stat guards" `Quick test_stat_guards;
     Alcotest.test_case "lifecycle hook" `Quick test_lifecycle_hook;
   ]

@@ -131,6 +131,61 @@ let test_histogram_observe () =
   Alcotest.(check int) "min (clamped)" 0 h.Obs.Metrics.min_v;
   Alcotest.(check (float 0.001)) "mean" 21.2 (Obs.Metrics.mean h)
 
+(* The shard tier's merge path: K disjoint per-shard registries, merged in
+   shard order, must report the same quantiles as one registry that saw
+   every sample — exactly (buckets sum), and both within one sub-bucket
+   (1/16 relative error) of the exact sample quantile. *)
+let test_merge_quantiles () =
+  let k = 4 and n = 4000 in
+  let whole = Obs.Metrics.create () in
+  let hw = Obs.Metrics.histogram whole "lat" in
+  let parts = Array.init k (fun _ -> Obs.Metrics.create ()) in
+  let samples = Array.make n 0 in
+  let seed = ref 0x5eed in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  for i = 0 to n - 1 do
+    let v = 1 + (next () mod 100_000) in
+    samples.(i) <- v;
+    Obs.Metrics.observe hw v;
+    let p = parts.(i mod k) in
+    Obs.Metrics.observe (Obs.Metrics.histogram p "lat") v;
+    Obs.Metrics.gauge_max (Obs.Metrics.gauge p "peak") v;
+    Obs.Metrics.gauge_max (Obs.Metrics.gauge whole "peak") v
+  done;
+  let merged = Obs.Metrics.create () in
+  Array.iter (fun p -> Obs.Metrics.merge merged p) parts;
+  let hm = Obs.Metrics.histogram merged "lat" in
+  Alcotest.(check int) "merged count" n hm.Obs.Metrics.n;
+  Alcotest.(check int) "merged sum" hw.Obs.Metrics.sum hm.Obs.Metrics.sum;
+  Alcotest.(check int) "merged min" hw.Obs.Metrics.min_v hm.Obs.Metrics.min_v;
+  Alcotest.(check int) "merged max" hw.Obs.Metrics.max_v hm.Obs.Metrics.max_v;
+  Array.sort compare samples;
+  List.iter
+    (fun q ->
+      let est_whole = Obs.Metrics.quantile hw q in
+      let est_merged = Obs.Metrics.quantile hm q in
+      Alcotest.(check int)
+        (Printf.sprintf "q=%.2f: merged = single-registry" q)
+        est_whole est_merged;
+      let exact = samples.(max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+      let tol = (exact / Obs.Metrics.sub_count) + 1 in
+      if est_merged < exact - tol || est_merged > exact + tol then
+        Alcotest.failf "q=%.2f: merged estimate %d not within %d of exact %d" q
+          est_merged tol exact)
+    [ 0.25; 0.50; 0.90; 0.95; 0.99 ];
+  (* gauges are high watermarks: the merge takes the max across shards *)
+  Alcotest.(check int) "merged gauge = global high watermark"
+    (Obs.Metrics.gauge whole "peak").Obs.Metrics.value
+    (Obs.Metrics.gauge merged "peak").Obs.Metrics.value;
+  (* merging copies: the merged handles never alias a shard's *)
+  Alcotest.(check bool) "merged histogram does not alias a shard's" true
+    (Array.for_all
+       (fun p -> Obs.Metrics.histogram p "lat" != hm)
+       parts)
+
 let test_registry_handles () =
   let m = Obs.Metrics.create () in
   let c = Obs.Metrics.counter m "c" in
@@ -412,6 +467,8 @@ let suite =
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "merge quantiles across registries" `Quick
+      test_merge_quantiles;
     Alcotest.test_case "registry handles" `Quick test_registry_handles;
     Alcotest.test_case "gauges" `Quick test_gauges;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
