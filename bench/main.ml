@@ -200,6 +200,7 @@ let trajectory_entry ~size ~shard_fields =
       ( "interp",
         J.Str
           (match Core.Runner.default_interp_kind () with
+          | Core.Runner.Interp_compiled -> "compiled"
           | Core.Runner.Interp_threaded -> "threaded"
           | Core.Runner.Interp_ref -> "ref") );
       ( "sched",
@@ -524,6 +525,12 @@ let micro_tests =
       (Staged.stage
          (run_guest ~interp:Core.Runner.Interp_ref Core.Scheme.Htm_dynamic
             mt_source));
+    (* Tier-3 tentpole: hot superblocks compiled to chained closures, with
+       deoptimization back to the threaded tier at yields and guard misses *)
+    Test.make ~name:"interp:compiled"
+      (Staged.stage
+         (run_guest ~interp:Core.Runner.Interp_compiled Core.Scheme.Htm_dynamic
+            mt_source));
   ]
 
 let estimate test =
@@ -802,6 +809,41 @@ let threaded_step_alloc_check () =
     exit 1
   end
 
+(* Acceptance gate for the compiled (tier-3) superblocks: compilation itself
+   allocates (one closure per fused instruction plus the entry record), but
+   it happens once per hot head; the difference method below runs the same
+   guest at two lengths so the one-time compile allocation cancels and only
+   the marginal per-instruction cost remains, which must stay at the
+   threaded tier's zero budget. *)
+let compiled_step_alloc_check () =
+  Format.fprintf fmt
+    "@.=== steady-state allocation per compiled-tier instruction ===@.";
+  let loop_source n =
+    Printf.sprintf
+      "x = 0\ni = 0\nwhile i < %d\n  x = (x + i) %% 256\n  i += 1\nend\nputs x"
+      n
+  in
+  let measure n =
+    let cfg =
+      Core.Runner.config ~scheme:Core.Scheme.Gil_only
+        ~interp:Core.Runner.Interp_compiled Htm_sim.Machine.zec12
+    in
+    let w0 = Gc.minor_words () in
+    let r = Core.Runner.run_source cfg ~source:(loop_source n) in
+    (Gc.minor_words () -. w0, float_of_int r.Core.Runner.total_insns)
+  in
+  ignore (measure 1_000);
+  (* warm: intern table, dcode cache *)
+  let w_short, i_short = measure 1_000 in
+  let w_long, i_long = measure 50_000 in
+  let per_insn = (w_long -. w_short) /. (i_long -. i_short) in
+  Format.fprintf fmt "%.5f minor words per instruction (budget 0.01)@."
+    per_insn;
+  if per_insn > 0.01 then begin
+    Format.eprintf "FAIL: compiled superblock loop allocates in steady state@.";
+    exit 1
+  end
+
 (* Acceptance gate for the STM engine's flat redo/read-set state: once the
    generation-stamped tables are warm, a software-transactional access
    (begin / read / write / validate / commit loop) must not allocate. Uses
@@ -850,7 +892,8 @@ let gates () =
   zero_alloc_check ();
   stm_alloc_check ();
   step_alloc_check ();
-  threaded_step_alloc_check ()
+  threaded_step_alloc_check ();
+  compiled_step_alloc_check ()
 
 let micro () =
   Format.fprintf fmt "@.=== Bechamel: simulator micro-benchmarks ===@.";
@@ -860,7 +903,8 @@ let micro () =
   zero_alloc_check ();
   stm_alloc_check ();
   step_alloc_check ();
-  threaded_step_alloc_check ()
+  threaded_step_alloc_check ();
+  compiled_step_alloc_check ()
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -871,6 +915,9 @@ let () =
   | "validate" ->
       let path = if Array.length Sys.argv > 2 then Sys.argv.(2) else results_file in
       validate path
+  | "insns" ->
+      (* quick throughput probe of the selected tier, for perf work *)
+      Format.fprintf fmt "interp insns/sec: %.3e@." (interp_insns_per_sec ())
   | _ ->
       figures ();
       micro ());

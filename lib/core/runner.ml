@@ -34,15 +34,17 @@ let default_sched_kind () =
   | Some ("ref" | "REF" | "scan") -> Sched_ref
   | _ -> Sched_heap
 
-type interp_kind = Interp_threaded | Interp_ref
+type interp_kind = Interp_compiled | Interp_threaded | Interp_ref
 
-(* Same pattern for the interpreter tier: BENCH_INTERP=ref regenerates
-   everything under the reference switch loop so the smoke script and CI
-   can compare figure digests across tiers. *)
+(* Same pattern for the interpreter tier: BENCH_INTERP=ref (or =threaded)
+   regenerates everything under the reference switch loop (or the threaded
+   tier without superblock compilation) so the smoke script and CI can
+   compare figure digests across tiers. The compiled tier is the default. *)
 let default_interp_kind () =
   match Sys.getenv_opt "BENCH_INTERP" with
   | Some ("ref" | "REF" | "switch") -> Interp_ref
-  | _ -> Interp_threaded
+  | Some ("threaded" | "THREADED") -> Interp_threaded
+  | _ -> Interp_compiled
 
 type config = {
   machine : Machine.t;
@@ -96,6 +98,9 @@ type result = {
   request_throughput : float;  (** requests/sec where netsim is used *)
   metrics : Obs.Metrics.t;  (** the VM's registry, runner histograms included *)
   abort_sites : Obs.Sites.t;  (** abort-site attribution for this run *)
+  jit_profile : (int * int * int * bool) list;
+      (** hot superblock heads as [(uid, pc, count, compiled)], most-executed
+          first — empty unless the compiled tier ran *)
   trace : Obs.Trace.t option;  (** the sink passed in the config, if any *)
 }
 
@@ -192,6 +197,10 @@ type t = {
       (** cycles per committed software transaction *)
   m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
   m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
+  m_deopt_rollback : Obs.Metrics.counter;
+      (** compiled-tier components re-routed through [Interp.step_d]
+          because the thread's registers left the superblock (window
+          rollback, call/return, branch out) *)
   m_slice_insns : Obs.Metrics.histogram;
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;
@@ -360,6 +369,7 @@ let create ?(io : Netsim.t option) cfg ~source =
     m_stm_committed = Obs.Metrics.histogram metrics "stm.committed_cycles";
     m_fb_gil = Obs.Metrics.counter metrics "fallback.gil";
     m_fb_stm = Obs.Metrics.counter metrics "fallback.stm";
+    m_deopt_rollback = Obs.Metrics.counter metrics "deopt.rollback";
     m_slice_insns = Obs.Metrics.histogram metrics "sched.slice_insns";
     g_runnable_peak = Obs.Metrics.gauge metrics "sched.runnable_peak";
     g_accept_queue_peak = Obs.Metrics.gauge metrics "net.accept_queue_peak";
@@ -1364,7 +1374,7 @@ let deliver_io t (th : V.t) =
    stage 3 and the decoded form is refetched after it.
 
    Returns the number of component steps attempted, for slice accounting. *)
-let step_thread_d t ~stop (main : V.t) (th : V.t) =
+let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
   let vm = t.vm in
   let scheme = t.cfg.scheme in
   if th.tid <> t.last_tid then begin
@@ -1402,12 +1412,190 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
     else begin
       let d = ref (Rvm.Vm.dcode vm th.code) in
       let steps = ref 0 in
+      let head = th.pc in
+      let fuse0 = Array.unsafe_get (!d).Rvm.Compiler.Dcode.fuse head in
       (* components left in the current superblock, counting this one *)
-      let budget =
-        ref (max 1 (Array.unsafe_get (!d).Rvm.Compiler.Dcode.fuse th.pc))
+      let budget = ref (max 1 fuse0) in
+      (* Tier 3: when this pc heads a superblock, look up its compiled
+         entry (guarded by physical identity of the code, like the dcode
+         cache); on a miss, bump the head's profile counter and compile
+         once it crosses the threshold. Profiling and compilation are pure
+         host-side work — no simulated access happens before stage 3. *)
+      let entry =
+        if compiled && fuse0 >= 2 then begin
+          let e = Rvm.Vm.jit_entry vm th.code head in
+          if e.Rvm.Compiler.Jit.e_src == th.code then e
+          else if Rvm.Vm.jit_hot vm !d head >= Rvm.Compiler.jit_threshold
+          then begin
+            let e = Rvm.Interp.compile_block vm !d ~head in
+            Rvm.Vm.jit_store vm e;
+            e
+          end
+          else Rvm.Compiler.jit_dummy
+        end
+        else Rvm.Compiler.jit_dummy
       in
+      let e_head = entry.Rvm.Compiler.Jit.e_head in
+      let e_len = entry.Rvm.Compiler.Jit.e_len in
+      let e_comps = entry.Rvm.Compiler.Jit.e_comps in
+      let e_src = entry.Rvm.Compiler.Jit.e_src in
+      let have_entry = e_head >= 0 in
+      (* Loop-invariant bindings for the fast window below. [fw_yield] is
+         the byte table stage 3 would consult ([fw_stage3] false means
+         stage 3 is a no-op for this scheme and the table is never read);
+         both are derived from the entry's own code, so they stay valid
+         whenever the window's [th.code == e_src] guard holds. *)
+      let fw_stage3 =
+        match scheme with
+        | Scheme.Fine_grained | Scheme.Free_parallel -> false
+        | _ -> true
+      in
+      let fw_yield =
+        match scheme with
+        | Scheme.Gil_only -> (!d).Rvm.Compiler.Dcode.yield_orig
+        | _ -> (
+            match t.cfg.yield_points with
+            | Yield_points.Original -> (!d).Rvm.Compiler.Dcode.yield_orig
+            | Yield_points.Extended -> (!d).Rvm.Compiler.Dcode.yield_ext)
+      in
+      let fw_skip =
+        (* schemes whose stage 3 consumes the skip-yield flag *)
+        match scheme with
+        | Scheme.Htm_fixed _ | Scheme.Htm_dynamic | Scheme.Hybrid
+        | Scheme.Stm_only -> true
+        | Scheme.Gil_only | Scheme.Fine_grained | Scheme.Free_parallel ->
+            false
+      in
+      let fw_cost = (!d).Rvm.Compiler.Dcode.cost in
+      let uses_htm = Scheme.uses_htm scheme
+      and uses_stm = Scheme.uses_stm scheme in
+      let horizon = t.horizon in
+      let max_insns = t.cfg.max_insns in
+      let cyc_mem = (costs t).cyc_mem in
       let continue_ = ref true in
       while !continue_ do
+        (* ---- tier-3 fast window ----------------------------------------
+           Run consecutive compiled, yield-free components in a stripped
+           loop. Between yield points nothing can move this thread in or
+           out of a transaction or the GIL except the component itself
+           aborting or blocking — both leave through an exception handler —
+           so [Gil.held_by] and the in-transaction test are hoisted to the
+           window entry. Every observable effect (the simulated access
+           sequence, per-component cost and clock accounting, wake/spawn
+           draining, every bail decision the generic body makes, IO
+           delivery) is replayed per component exactly as below; only
+           host-side bookkeeping that provably cannot change inside the
+           window is elided. *)
+        (if have_entry && th.code == e_src then begin
+           let p0 = th.pc - e_head in
+           if
+             p0 >= 0 && p0 < e_len
+             && not
+                  (fw_stage3 && Bytes.unsafe_get fw_yield th.pc = '\001')
+             && not (fw_skip && t.skip_yield.(th.tid))
+           then begin
+             let fw_held = Gil.held_by t.gil th in
+             let fw_in_txn =
+               Htm.in_txn vm.Rvm.Vm.htm th.ctx
+               || (match t.stm with
+                  | Some s -> Stm.in_txn s th.ctx
+                  | None -> false)
+             in
+             let fast = ref true in
+             while !fast do
+               let cpc = th.pc in
+               incr steps;
+               let cost_class = Array.unsafe_get fw_cost cpc in
+               let pre_fp = th.fp and pre_sp = th.sp
+               and pre_pc = th.pc and pre_code = th.code in
+               (try
+                  let r = (Array.unsafe_get e_comps (cpc - e_head)) th in
+                  let extra = Htm.step_extra_cycles vm.Rvm.Vm.htm
+                  and accesses = Htm.step_accesses vm.Rvm.Vm.htm in
+                  Htm.reset_step_cost vm.Rvm.Vm.htm;
+                  let cost =
+                    Array.unsafe_get t.cost_tbl cost_class
+                    + (accesses * cyc_mem) + extra
+                  in
+                  th.clock <- th.clock + cost;
+                  th.work <- th.work + 1;
+                  if fw_held then begin
+                    th.cyc_gil_held <- th.cyc_gil_held + cost;
+                    t.breakdown.bd_gil_held <-
+                      t.breakdown.bd_gil_held + cost
+                  end
+                  else if not fw_in_txn then
+                    t.breakdown.bd_other <- t.breakdown.bd_other + cost;
+                  t.total_insns <- t.total_insns + 1;
+                  if r <> 0 then begin
+                    let closed =
+                      match t.stm with
+                      | Some stm when Stm.in_txn stm th.ctx ->
+                          stm_commit t th
+                      | _ -> true
+                    in
+                    if closed then on_thread_done t th
+                    else th.status <- V.Runnable
+                  end
+                with
+               | Htm.Abort_now _ -> Htm.reset_step_cost vm.Rvm.Vm.htm
+               | V.Block reason ->
+                   Htm.reset_step_cost vm.Rvm.Vm.htm;
+                   th.fp <- pre_fp;
+                   th.sp <- pre_sp;
+                   th.pc <- pre_pc;
+                   th.code <- pre_code;
+                   on_block t th reason);
+               if vm.Rvm.Vm.pending_wakes != [] then drain_wakes t th;
+               if vm.Rvm.Vm.spawned != [] then drain_spawned t;
+               decr budget;
+               if
+                 !budget <= 0
+                 || th.status <> V.Runnable
+                 || th.ctx < 0
+                 || t.outside.(th.tid)
+                 || th.code != e_src
+                 || th.pc <> cpc + 1
+                 || (uses_htm
+                    && Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None)
+                 || (uses_stm
+                    &&
+                    match t.stm with
+                    | Some s -> Stm.pending_abort s th.ctx <> None
+                    | None -> false)
+                 || main.V.status = V.Finished
+                 || t.total_insns >= max_insns
+                 || th.clock > horizon
+                 || stop ()
+               then begin
+                 fast := false;
+                 continue_ := false
+               end
+               else begin
+                 let mk = Sched.min_key t.sched in
+                 if
+                   mk < th.clock
+                   || (mk = th.clock && Sched.min_tid t.sched > th.tid)
+                 then begin
+                   fast := false;
+                   continue_ := false
+                 end
+                 else begin
+                   deliver_io t th;
+                   (* next component still fast-eligible? *)
+                   let p = th.pc - e_head in
+                   if
+                     p >= e_len
+                     || (fw_stage3
+                        && Bytes.unsafe_get fw_yield th.pc = '\001')
+                     || (fw_skip && t.skip_yield.(th.tid))
+                   then fast := false
+                 end
+               end
+             done
+           end
+         end);
+        if !continue_ then begin
         let dd = !d in
         let cpc = th.pc in
         incr steps;
@@ -1454,7 +1642,25 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
                | None -> false)
           in
           (try
-             let r = Rvm.Interp.step_d vm th d4 in
+             (* compiled components only run while the registers sit
+                exactly on the entry's straight line in its own code;
+                anywhere else — stage-3 rollback moved the pc, a call
+                switched the method — this component deoptimizes to
+                [step_d], which re-derives everything from the live
+                registers. Both paths execute the identical simulated
+                access sequence. *)
+             let r =
+               let p = th.pc - e_head in
+               if
+                 have_entry && th.code == e_src && p >= 0 && p < e_len
+               then (Array.unsafe_get e_comps p) th
+               else begin
+                 if have_entry then Obs.Metrics.incr t.m_deopt_rollback;
+                 match Rvm.Interp.step_d vm th d4 with
+                 | Rvm.Interp.Continue -> 0
+                 | Rvm.Interp.Done _ -> 1
+               end
+             in
              let extra = Htm.step_extra_cycles vm.Rvm.Vm.htm
              and accesses = Htm.step_accesses vm.Rvm.Vm.htm in
              Htm.reset_step_cost vm.Rvm.Vm.htm;
@@ -1472,16 +1678,15 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
              else if not in_txn_before then
                t.breakdown.bd_other <- t.breakdown.bd_other + cost;
              t.total_insns <- t.total_insns + 1;
-             match r with
-             | Rvm.Interp.Continue -> ()
-             | Rvm.Interp.Done _ ->
-                 let closed =
-                   match t.stm with
-                   | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
-                   | _ -> true
-                 in
-                 if closed then on_thread_done t th
-                 else th.status <- V.Runnable
+             if r <> 0 then begin
+               let closed =
+                 match t.stm with
+                 | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
+                 | _ -> true
+               in
+               if closed then on_thread_done t th
+               else th.status <- V.Runnable
+             end
            with
           | Htm.Abort_now _ -> Htm.reset_step_cost vm.Rvm.Vm.htm
           | V.Block reason ->
@@ -1531,6 +1736,7 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
             end
           end
         end
+        end
       done;
       !steps
     end
@@ -1545,12 +1751,14 @@ let step_thread_d t ~stop (main : V.t) (th : V.t) =
 let run_slice t ~stop (main : V.t) (th : V.t) =
   t.running_tid <- th.tid;
   Obs.Metrics.gauge_max t.g_runnable_peak (Sched.size t.sched + 1);
-  let threaded = t.cfg.interp = Interp_threaded in
+  let compiled = t.cfg.interp = Interp_compiled in
+  let threaded = compiled || t.cfg.interp = Interp_threaded in
   let slice = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     deliver_io t th;
-    if threaded then slice := !slice + max 1 (step_thread_d t ~stop main th)
+    if threaded then
+      slice := !slice + max 1 (step_thread_d t ~compiled ~stop main th)
     else begin
       step_thread t th;
       incr slice
@@ -1607,6 +1815,7 @@ let snapshot t =
     request_throughput = (match t.io with Some io -> Netsim.throughput io | None -> 0.0);
     metrics = vm.Rvm.Vm.metrics;
     abort_sites = t.sites;
+    jit_profile = Rvm.Vm.jit_profile vm;
     trace = t.tracer;
   }
 
@@ -1675,7 +1884,10 @@ let advance ?(stop = fun () -> false) t ~until =
                deliver_io t th;
                let n =
                  match t.cfg.interp with
-                 | Interp_threaded -> max 1 (step_thread_d t ~stop main th)
+                 | Interp_compiled ->
+                     max 1 (step_thread_d t ~compiled:true ~stop main th)
+                 | Interp_threaded ->
+                     max 1 (step_thread_d t ~compiled:false ~stop main th)
                  | Interp_ref ->
                      step_thread t th;
                      1

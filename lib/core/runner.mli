@@ -21,18 +21,30 @@ val default_sched_kind : unit -> sched_kind
     ["ref"]/["REF"]/["scan"]. *)
 
 type interp_kind =
+  | Interp_compiled
+      (** tier 3 (the default): the threaded tier plus hot superblocks
+          compiled into chained OCaml closures ([Interp.compile_block])
+          once their head's execution count crosses
+          [Compiler.jit_threshold]. Compiled components deoptimize back to
+          [Interp.step_d] whenever the registers leave the straight line
+          (window rollback, call/return — counted as [deopt.rollback]); a
+          compiled send whose inline-cache guard misses runs the generic
+          resolver and counts [deopt.guard]; [Defmethod]/[Defclass] flush
+          every compiled entry ([deopt.invalidate]). Simulated semantics —
+          access sequence, yield placement, txlen, abort attribution —
+          identical to [Interp_threaded], host wall time lower *)
   | Interp_threaded
       (** pre-decoded threaded dispatch with superinstruction fusion and
-          specialized monomorphic send paths (the default); simulated
-          semantics identical to [Interp_ref], host wall time much lower *)
+          specialized monomorphic send paths; simulated semantics identical
+          to [Interp_ref], host wall time much lower *)
   | Interp_ref
       (** the original switch-style loop over the tagged bytecode variants,
-          retained as the executable specification the threaded tier is
+          retained as the executable specification the other tiers are
           differentially tested against *)
 
 val default_interp_kind : unit -> interp_kind
-(** [Interp_threaded], unless the [BENCH_INTERP] environment variable is
-    set to ["ref"]/["REF"]/["switch"]. *)
+(** [Interp_compiled], unless the [BENCH_INTERP] environment variable is
+    set to ["ref"]/["REF"]/["switch"] or ["threaded"]/["THREADED"]. *)
 
 type config = {
   machine : Htm_sim.Machine.t;
@@ -88,6 +100,10 @@ type result = {
       (** the VM's registry: interpreter counters, GC pause / txn / GIL-wait
           histograms added by the runner *)
   abort_sites : Obs.Sites.t;  (** abort-site attribution for this run *)
+  jit_profile : (int * int * int * bool) list;
+      (** hot superblock heads as [(uid, pc, count, compiled)], most-executed
+          first — empty unless the compiled tier ran (see
+          {!Rvm.Vm.jit_profile}) *)
   trace : Obs.Trace.t option;  (** the sink passed in the config, if any *)
 }
 
@@ -149,6 +165,9 @@ type t = {
       (** cycles per committed software transaction *)
   m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
   m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
+  m_deopt_rollback : Obs.Metrics.counter;
+      (** compiled-tier components re-routed through [Interp.step_d]
+          because the registers left the superblock *)
   m_slice_insns : Obs.Metrics.histogram;
       (** instructions executed per run-ahead slice *)
   g_runnable_peak : Obs.Metrics.gauge;

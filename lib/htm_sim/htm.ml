@@ -77,7 +77,15 @@ type 'a t = {
           simulation interleaves whole bytecodes, so there is exactly one);
           lets {!peek} route engine-invisible fast-path reads through the
           executing context's redo log *)
+  mutable fast : bool;
+      (** cached [mode <> Coherent && active = 0 && sw_mask = 0]: no
+          transaction is live anywhere and no coherence charges apply, so
+          [read]/[write] reduce to counting the access and touching the
+          store. Recomputed at every [active]/[sw_mask] transition. *)
 }
+
+let[@inline] update_fast t =
+  t.fast <- t.mode <> Coherent && t.active = 0 && t.sw_mask = 0
 
 let grow_line_tables t cap_cells =
   let n = Store.line_of t.store (max 1 cap_cells - 1) + 1 in
@@ -123,6 +131,7 @@ let create ?(mode = Htm_mode) ?(seed = 42) machine store =
       step_extra_cycles = 0;
       step_accesses = 0;
       cur_ctx = 0;
+      fast = mode <> Coherent;
     }
   in
   Store.set_on_grow store (grow_line_tables t);
@@ -149,7 +158,8 @@ let set_software_hooks t ~read ~write ~track_read ~abort =
 
 let set_software_active t ctx v =
   if v then t.sw_mask <- t.sw_mask lor (1 lsl ctx)
-  else t.sw_mask <- t.sw_mask land lnot (1 lsl ctx)
+  else t.sw_mask <- t.sw_mask land lnot (1 lsl ctx);
+  update_fast t
 
 let software_active t ctx = t.sw_mask land (1 lsl ctx) <> 0
 let software_any_active t = t.sw_mask <> 0
@@ -225,7 +235,8 @@ let clear_marks t (txn : 'a Txn.t) =
 let finish_txn t (txn : 'a Txn.t) =
   txn.active <- false;
   txn.undo_len <- 0;
-  t.active <- t.active - 1
+  t.active <- t.active - 1;
+  update_fast t
 
 (* Abort [txn]: restore memory, clear footprint marks, restore the owning
    thread's registers, leave the reason for its scheme. [line] is the cache
@@ -286,6 +297,7 @@ let tbegin t ~ctx ~rollback =
   txn.pending_abort <- None;
   txn.abort_line <- -1;
   t.active <- t.active + 1;
+  update_fast t;
   t.stats.begins <- t.stats.begins + 1;
   if t.machine.learning then
     t.suspicion.(ctx) <- t.suspicion.(ctx) *. suspicion_decay_per_attempt
@@ -385,8 +397,7 @@ let nontxn_write t ~ctx addr v =
   end;
   Store.set_unsafe t.store addr v
 
-let read t ~ctx addr =
-  t.step_accesses <- t.step_accesses + 1;
+let read_slow t ~ctx addr =
   let txn = t.txns.(ctx) in
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
@@ -413,8 +424,18 @@ let read t ~ctx addr =
   else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_read ctx addr
   else nontxn_read t ~ctx addr
 
-let write t ~ctx addr v =
+let read t ~ctx addr =
   t.step_accesses <- t.step_accesses + 1;
+  if t.fast then begin
+    (* no transaction live anywhere, no coherence charges: the access is
+       exactly a counted committed read ([read_slow] via [nontxn_read]
+       with every branch statically false) *)
+    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+    Store.get_unsafe t.store addr
+  end
+  else read_slow t ~ctx addr
+
+let write_slow t ~ctx addr v =
   let txn = t.txns.(ctx) in
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
@@ -441,6 +462,17 @@ let write t ~ctx addr v =
   end
   else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_write ctx addr v
   else nontxn_write t ~ctx addr v
+
+let write t ~ctx addr v =
+  t.step_accesses <- t.step_accesses + 1;
+  if t.fast then begin
+    (* committed write with nothing to conflict with, no version to stamp
+       ([write_slow] via [nontxn_write] with every branch statically
+       false) *)
+    t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+    Store.set_unsafe t.store addr v
+  end
+  else write_slow t ~ctx addr v
 
 (* Footprint-only touches: used by "C extension" code (regex, database) to
    model scanning large buffers without materialising a value per cell. *)

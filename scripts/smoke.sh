@@ -1,8 +1,9 @@
 #!/bin/sh
 # Smoke pass: build, full test suite, the Gc allocation gates, a quick
 # figure regeneration under 1 and 4 worker domains, under both schedulers
-# and under both interpreter tiers, and checks that every run's "figures"
-# member is byte-identical (host wall times live outside that member and
+# and under all three interpreter tiers (compiled superblocks — the
+# default — plus the threaded and reference loops), and checks that every
+# run's "figures" member is byte-identical (host wall times live outside that member and
 # may legitimately differ). The sharded-serving panels additionally vary
 # SHARDS (1 on the first leg, 4 on every other): shard-domain placement is
 # a host knob and must never leak into the simulated data.
@@ -88,8 +89,9 @@ if [ -z "$sref" ] || [ "$s1" != "$sref" ]; then
 fi
 echo "smoke: figures identical across schedulers (digest $dref)"
 
-# the pre-decoded threaded interpreter must reproduce the reference switch
-# loop's runs exactly: regenerate under BENCH_INTERP=ref and compare
+# the compiled superblock tier (the default on the legs above) must
+# reproduce the reference switch loop's runs exactly: regenerate under
+# BENCH_INTERP=ref and compare
 SHARDS=4 BENCH_INTERP=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 viref=$(dune exec bench/main.exe -- validate BENCH_results.json)
 diref=$(echo "$viref" | sed -n 's/^figures digest: //p')
@@ -98,21 +100,48 @@ liref=$(echo "$viref" | sed -n 's/^load digest: //p')
 siref=$(echo "$viref" | sed -n 's/^shard digest: //p')
 
 if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
-  echo "smoke: FAIL: figures differ between threaded ($d1) and reference ($diref) interpreters" >&2
+  echo "smoke: FAIL: figures differ between compiled ($d1) and reference ($diref) interpreters" >&2
   exit 1
 fi
 if [ -z "$hiref" ] || [ "$h1" != "$hiref" ]; then
-  echo "smoke: FAIL: hybrid panel differs between threaded ($h1) and reference ($hiref) interpreters" >&2
+  echo "smoke: FAIL: hybrid panel differs between compiled ($h1) and reference ($hiref) interpreters" >&2
   exit 1
 fi
 if [ -z "$liref" ] || [ "$l1" != "$liref" ]; then
-  echo "smoke: FAIL: load panels differ between threaded ($l1) and reference ($liref) interpreters" >&2
+  echo "smoke: FAIL: load panels differ between compiled ($l1) and reference ($liref) interpreters" >&2
   exit 1
 fi
 if [ -z "$siref" ] || [ "$s1" != "$siref" ]; then
-  echo "smoke: FAIL: shard panels differ between threaded ($s1) and reference ($siref) interpreters" >&2
+  echo "smoke: FAIL: shard panels differ between compiled ($s1) and reference ($siref) interpreters" >&2
   exit 1
 fi
-echo "smoke: figures identical across interpreters (digest $diref)"
+echo "smoke: figures identical across compiled/ref interpreters (digest $diref)"
+
+# the middle tier: the pre-decoded threaded loop the compiled superblocks
+# deoptimize into must hash identically too, so all three tiers agree
+SHARDS=4 BENCH_INTERP=threaded BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
+vthr=$(dune exec bench/main.exe -- validate BENCH_results.json)
+dthr=$(echo "$vthr" | sed -n 's/^figures digest: //p')
+hthr=$(echo "$vthr" | sed -n 's/^hybrid digest: //p')
+lthr=$(echo "$vthr" | sed -n 's/^load digest: //p')
+sthr=$(echo "$vthr" | sed -n 's/^shard digest: //p')
+
+if [ -z "$dthr" ] || [ "$d1" != "$dthr" ]; then
+  echo "smoke: FAIL: figures differ between compiled ($d1) and threaded ($dthr) interpreters" >&2
+  exit 1
+fi
+if [ -z "$hthr" ] || [ "$h1" != "$hthr" ]; then
+  echo "smoke: FAIL: hybrid panel differs between compiled ($h1) and threaded ($hthr) interpreters" >&2
+  exit 1
+fi
+if [ -z "$lthr" ] || [ "$l1" != "$lthr" ]; then
+  echo "smoke: FAIL: load panels differ between compiled ($l1) and threaded ($lthr) interpreters" >&2
+  exit 1
+fi
+if [ -z "$sthr" ] || [ "$s1" != "$sthr" ]; then
+  echo "smoke: FAIL: shard panels differ between compiled ($s1) and threaded ($sthr) interpreters" >&2
+  exit 1
+fi
+echo "smoke: figures identical across all three interpreter tiers (digest $dthr)"
 
 echo "smoke: OK"

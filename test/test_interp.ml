@@ -767,8 +767,11 @@ let test_tier_corpus () =
           in
           let thr =
             run_tier ~interp:Core.Runner.Interp_threaded ~scheme source
+          and cmp =
+            run_tier ~interp:Core.Runner.Interp_compiled ~scheme source
           and ref_ = run_tier ~interp:Core.Runner.Interp_ref ~scheme source in
-          assert_same_tier nm thr ref_)
+          assert_same_tier (nm ^ " (threaded)") thr ref_;
+          assert_same_tier (nm ^ " (compiled)") cmp ref_)
         [
           Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid;
           Core.Scheme.Fine_grained;
@@ -801,10 +804,14 @@ let test_tier_workloads () =
               let thr =
                 run_workload ~interp:Core.Runner.Interp_threaded ~scheme w
                   ~threads
+              and cmp =
+                run_workload ~interp:Core.Runner.Interp_compiled ~scheme w
+                  ~threads
               and ref_ =
                 run_workload ~interp:Core.Runner.Interp_ref ~scheme w ~threads
               in
-              assert_same_tier name thr ref_)
+              assert_same_tier (name ^ " (threaded)") thr ref_;
+              assert_same_tier (name ^ " (compiled)") cmp ref_)
             [ 1; 2; 4 ])
         [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ])
     workloads
@@ -826,9 +833,10 @@ let test_tier_env_default () =
         in
         o.Harness.Exp.result)
   in
-  let thr = run "" and ref_ = run "ref" in
-  Alcotest.(check bool) "served requests" true (thr.requests_completed > 0);
-  assert_same_tier "webrick/htm-dynamic/3c (env)" thr ref_
+  let dflt = run "" and thr = run "threaded" and ref_ = run "ref" in
+  Alcotest.(check bool) "served requests" true (dflt.requests_completed > 0);
+  assert_same_tier "webrick/htm-dynamic/3c (env default=compiled)" dflt ref_;
+  assert_same_tier "webrick/htm-dynamic/3c (env threaded)" thr ref_
 
 (* ---- randomized-program fuzz across tiers ----------------------------- *)
 
@@ -888,8 +896,9 @@ let test_tier_fuzz =
   Tutil.qtest "random programs agree across tiers" ~count:60
     (QCheck.make ~print:(fun s -> s) gen_program)
     (fun source ->
-      outcome ~interp:Core.Runner.Interp_threaded source
-      = outcome ~interp:Core.Runner.Interp_ref source)
+      let ref_ = outcome ~interp:Core.Runner.Interp_ref source in
+      outcome ~interp:Core.Runner.Interp_threaded source = ref_
+      && outcome ~interp:Core.Runner.Interp_compiled source = ref_)
 
 let suite =
   suite
@@ -955,20 +964,116 @@ let test_tier_capacity_pressure () =
                 run_pressure ~interp:Core.Runner.Interp_ref ~scheme ~threads
                   ~machine w
               in
+              let budget = (3 * ref_.Core.Runner.total_insns) + 10_000 in
               let thr =
                 run_pressure ~interp:Core.Runner.Interp_threaded ~scheme
-                  ~threads ~machine
-                  ~max_insns:((3 * ref_.Core.Runner.total_insns) + 10_000)
-                  w
+                  ~threads ~machine ~max_insns:budget w
+              and cmp =
+                run_pressure ~interp:Core.Runner.Interp_compiled ~scheme
+                  ~threads ~machine ~max_insns:budget w
               in
-              assert_same_tier name thr ref_)
+              assert_same_tier (name ^ " (threaded)") thr ref_;
+              assert_same_tier (name ^ " (compiled)") cmp ref_)
             [ 1; 2; 4; 6; 8; 12 ])
         [ Core.Scheme.Gil_only; Core.Scheme.Htm_dynamic; Core.Scheme.Hybrid ])
     [ "bt"; "cg"; "ft"; "is"; "lu"; "mg"; "sp"; "webrick" ]
+
+(* ---- compiled-tier deoptimization on method/class redefinition ----
+   A hot loop compiles (the profile counter crosses the threshold), then a
+   mid-run [Defmethod]/[Defclass] flushes every compiled superblock — each
+   drop counting one [deopt.invalidate] — and the second hot loop must
+   recompile against the new method table. Stale dispatch would show up as
+   a wrong sum; the tier differential also pins the instruction stream to
+   the reference interpreter's. *)
+
+let jit_counter (r : Core.Runner.result) name =
+  (Obs.Metrics.counter r.Core.Runner.metrics name).Obs.Metrics.count
+
+let defmethod_deopt_src =
+  {|def f(v)
+  v + 1
+end
+s = 0
+i = 0
+while i < 200
+  s = f(s)
+  i += 1
+end
+def f(v)
+  v + 2
+end
+j = 0
+while j < 200
+  s = f(s)
+  j += 1
+end
+puts s|}
+
+let defclass_deopt_src =
+  {|class C
+  def g
+    1
+  end
+end
+c = C.new
+s = 0
+i = 0
+while i < 200
+  s += c.g
+  i += 1
+end
+class C
+  def g
+    2
+  end
+end
+j = 0
+while j < 200
+  s += c.g
+  j += 1
+end
+puts s|}
+
+let test_compiled_deopt_recompile () =
+  List.iter
+    (fun (name, src, expected) ->
+      let run interp =
+        let cfg =
+          Core.Runner.config ~scheme:Core.Scheme.Gil_only ~interp
+            Htm_sim.Machine.zec12
+        in
+        Core.Runner.run_source cfg ~source:src
+      in
+      let c = run Core.Runner.Interp_compiled in
+      let r = run Core.Runner.Interp_ref in
+      Alcotest.(check string) (name ^ ": output") expected c.Core.Runner.output;
+      assert_same_tier (name ^ " (compiled vs ref)") c r;
+      Alcotest.(check bool)
+        (name ^ ": compiled before and after the flush")
+        true
+        (jit_counter c "compile.blocks" >= 2);
+      Alcotest.(check bool)
+        (name ^ ": redefinition dropped compiled blocks")
+        true
+        (jit_counter c "deopt.invalidate" >= 1);
+      Alcotest.(check bool)
+        (name ^ ": hot head recompiled after the flush")
+        true
+        (List.exists
+           (fun (_, _, _, compiled) -> compiled)
+           c.Core.Runner.jit_profile))
+    [
+      ("defmethod deopt", defmethod_deopt_src, "600
+");
+      ("defclass deopt", defclass_deopt_src, "600
+");
+    ]
 
 let suite =
   suite
   @ [
       Alcotest.test_case "tier differential: capacity pressure" `Quick
         test_tier_capacity_pressure;
+      Alcotest.test_case "compiled tier: defmethod/defclass deopt" `Quick
+        test_compiled_deopt_recompile;
     ]
