@@ -182,6 +182,44 @@ let shard_trajectory panels =
       (("shard_count", J.Int shards) :: entry "shard_rps" (rps shards))
       @ entry "shard_rps_single" (rps 1)
 
+(* Per-pass clock-scheme results for the trajectory: one compact row per
+   grid cell of the STM-fallback-heavy compute panel — which scheme ran,
+   how often the commit-clock cell was actually written, and how much of
+   the hybrid's window traffic went to each fallback. *)
+let clock_trajectory panels =
+  match
+    List.find_opt
+      (fun (p : Harness.Figures.clock_panel) ->
+        p.Harness.Figures.cl_workload = "is")
+      panels
+  with
+  | None -> []
+  | Some p ->
+      let row (cp : Harness.Figures.clock_point) =
+        let windows =
+          max 1
+            (cp.Harness.Figures.cp_fb_gil + cp.Harness.Figures.cp_fb_stm
+           + cp.Harness.Figures.cp_htm_commits)
+        in
+        J.Obj
+          [
+            ("scheme", J.Str cp.Harness.Figures.cp_clock);
+            ("subscription", J.Str cp.Harness.Figures.cp_subscription);
+            ("outcome", J.Str cp.Harness.Figures.cp_outcome);
+            ("bumps", J.Int cp.Harness.Figures.cp_bumps);
+            ("skipped", J.Int cp.Harness.Figures.cp_skipped);
+            ( "fallback_stm_rate",
+              J.Float
+                (float_of_int cp.Harness.Figures.cp_fb_stm
+                /. float_of_int windows) );
+            ( "fallback_gil_rate",
+              J.Float
+                (float_of_int cp.Harness.Figures.cp_fb_gil
+                /. float_of_int windows) );
+          ]
+      in
+      [ ("clock", J.List (List.map row p.Harness.Figures.cl_points)) ]
+
 let trajectory_entry ~size ~shard_fields =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let stamp =
@@ -360,10 +398,22 @@ let figures () =
         Harness.Figures.fig_shard ~size fmt)
   in
   let shard = J.List (List.map Harness.Figures.shard_json shard_panels) in
+  (* The commit-clock/subscription ablation: its own member and digest,
+     like hybrid/load/shard, so the pre-existing members stay byte-identical
+     to runs that predate the clock subsystem. *)
+  let clock_panels =
+    time "clock" "Clock figure (commit clocks + subscription)" (fun () ->
+        Harness.Figures.fig_clock ~size fmt)
+  in
+  let clock = J.List (List.map Harness.Figures.clock_json clock_panels) in
   let trajectory =
     J.List
       (prior_trajectory ()
-      @ [ trajectory_entry ~size ~shard_fields:(shard_trajectory shard_panels) ])
+      @ [
+          trajectory_entry ~size
+            ~shard_fields:
+              (shard_trajectory shard_panels @ clock_trajectory clock_panels);
+        ])
   in
   let doc =
     J.Obj
@@ -375,6 +425,7 @@ let figures () =
         ("hybrid", hybrid);
         ("load", load);
         ("shard", shard);
+        ("clock", clock);
         ("host", J.Obj (List.rev !host_times));
         ("trajectory", trajectory);
       ]
@@ -385,6 +436,7 @@ let figures () =
   Format.fprintf fmt "hybrid digest: %s@." (fnv64 (J.to_string hybrid));
   Format.fprintf fmt "load digest: %s@." (fnv64 (J.to_string load));
   Format.fprintf fmt "shard digest: %s@." (fnv64 (J.to_string shard));
+  Format.fprintf fmt "clock digest: %s@." (fnv64 (J.to_string clock));
   Format.fprintf fmt "@.results -> %s@." results_file
 
 (* ---- validate: parse-check a results file (used by the smoke script) ---- *)
@@ -423,6 +475,10 @@ let validate path =
           (match J.member "shard" doc with
           | Some s ->
               Format.fprintf fmt "shard digest: %s@." (fnv64 (J.to_string s))
+          | None -> ());
+          (match J.member "clock" doc with
+          | Some c ->
+              Format.fprintf fmt "clock digest: %s@." (fnv64 (J.to_string c))
           | None -> ())
       | _ ->
           Format.eprintf "%s: parsed, but no \"figures\" object@." path;

@@ -57,6 +57,50 @@ let quiet_arg =
   let doc = "Suppress guest output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* ---- TM clock / subscription flags (schemes with a software fallback) ---- *)
+
+let clock_arg =
+  let doc =
+    "Global commit-clock scheme for the software fallback: gv1 (eager — \
+     every writing software commit rewrites the shared clock cell), gv5 \
+     (delayed increment — commits stamp clock+1 without touching the \
+     cell, so they kill no hardware window), or gv6 (adaptive — switches \
+     between the two on the observed validation-failure rate). Defaults \
+     to the BENCH_CLOCK environment variable, else gv1."
+  in
+  Arg.(value & opt (some string) None & info [ "clock" ] ~docv:"SCHEME" ~doc)
+
+let subscription_arg =
+  let doc =
+    "How hardware windows subscribe to the GIL word and the commit-clock \
+     cell: eager (right after tbegin, the paper's protocol), lazy (defer \
+     to the commit point — the published HyTM optimisation whose \
+     unsafety the simulator reproduces: expect corrupted runs under GC \
+     pressure), or lazy-safe (lazy plus abort-all-hardware at GC start; \
+     needs a machine with the lazy_sub_safe capability). Defaults to the \
+     BENCH_SUB environment variable, else eager."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "subscription" ] ~docv:"POLICY" ~doc)
+
+let parse_clock = function
+  | None -> None
+  | Some s -> (
+      try Some (Tm_clock.scheme_of_string s)
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1)
+
+let parse_subscription = function
+  | None -> None
+  | Some s -> (
+      try Some (Htm_sim.Subscription.of_string s)
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 1)
+
 (* ---- open-loop load-generation flags (server workloads) ---- *)
 
 let arrivals_arg =
@@ -296,6 +340,18 @@ let emit_observability ~trace ~trace_out ~metrics_json ~abort_report
   | None -> ());
   if abort_report then begin
     Obs.Sites.report Format.std_formatter r.abort_sites;
+    (* Lock-word attribution: which of the two fallback-published words
+       (the GIL word vs the STM commit-clock cell) killed hardware
+       windows, from the runner's per-line abort counters. *)
+    let kcount name =
+      (Obs.Metrics.counter r.Core.Runner.metrics name).Obs.Metrics.count
+    in
+    let kg = kcount "abort.gil_word" and kc = kcount "abort.stm_clock" in
+    if kg > 0 || kc > 0 then
+      Format.printf
+        "@.-- lock-word kills: %d on the GIL word, %d on the commit-clock \
+         cell --@."
+        kg kc;
     jit_report Format.std_formatter r
   end
 
@@ -419,8 +475,8 @@ let run_cmd =
     Arg.(value & opt string "cg" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
   let run workload machine scheme threads size yield_points no_removal lazy_sweep refcount quiet
-      arrivals offered_load shards policy shared_session mix latency_json
-      trace trace_out metrics_json abort_report profile_json =
+      clock subscription arrivals offered_load shards policy shared_session mix
+      latency_json trace trace_out metrics_json abort_report profile_json =
     match Workloads.Workload.find workload with
     | None ->
         Format.eprintf "unknown workload %s@." workload;
@@ -430,6 +486,8 @@ let run_cmd =
           parse_common machine scheme yield_points no_removal lazy_sweep refcount
         in
         let size = Workloads.Size.of_string size in
+        let clock = parse_clock clock in
+        let subscription = parse_subscription subscription in
         let arrivals = parse_arrivals arrivals offered_load in
         (match (arrivals, w.Workloads.Workload.kind) with
         | Netsim.Closed, _ | _, Workloads.Workload.Server -> ()
@@ -473,8 +531,8 @@ let run_cmd =
           let tracer = make_tracer ~trace ~trace_out in
           let o =
             Harness.Exp.run ?tracer
-              (Harness.Exp.point ~yield_points ~opts ~arrivals ~mix ~workload:w
-                 ~machine ~scheme ~threads ~size ())
+              (Harness.Exp.point ?clock ?subscription ~yield_points ~opts
+                 ~arrivals ~mix ~workload:w ~machine ~scheme ~threads ~size ())
           in
           print_outcome ~quiet o;
           (match (latency_json, o.Harness.Exp.load) with
@@ -492,10 +550,10 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ machine_arg $ scheme_arg $ threads_arg
       $ size_arg $ yield_arg $ baseline_opts_arg $ lazy_sweep_arg
-      $ refcount_arg $ quiet_arg $ arrivals_arg $ offered_load_arg
-      $ shards_arg $ policy_arg $ session_arg $ mix_arg
-      $ latency_json_arg $ trace_arg $ trace_out_arg $ metrics_json_arg
-      $ abort_report_arg $ profile_json_arg)
+      $ refcount_arg $ quiet_arg $ clock_arg $ subscription_arg
+      $ arrivals_arg $ offered_load_arg $ shards_arg $ policy_arg
+      $ session_arg $ mix_arg $ latency_json_arg $ trace_arg $ trace_out_arg
+      $ metrics_json_arg $ abort_report_arg $ profile_json_arg)
 
 let exec_cmd =
   let file_arg =
@@ -503,16 +561,22 @@ let exec_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
   let run file machine scheme yield_points no_removal lazy_sweep refcount quiet
-      trace trace_out metrics_json abort_report profile_json =
+      clock subscription trace trace_out metrics_json abort_report profile_json
+      =
     let machine, scheme, yield_points, opts =
       parse_common machine scheme yield_points no_removal lazy_sweep refcount
     in
+    let clock = parse_clock clock in
+    let subscription = parse_subscription subscription in
     let ic = open_in file in
     let n = in_channel_length ic in
     let source = really_input_string ic n in
     close_in ic;
     let tracer = make_tracer ~trace ~trace_out in
-    let cfg = Core.Runner.config ?tracer ~scheme ~yield_points ~opts machine in
+    let cfg =
+      Core.Runner.config ?tracer ?clock ?subscription ~scheme ~yield_points
+        ~opts machine
+    in
     let r = Core.Runner.run_source cfg ~source in
     if not quiet then print_string r.Core.Runner.output;
     Format.printf "@.wall=%d cycles, %d instructions, %a@." r.wall_cycles
@@ -524,14 +588,14 @@ let exec_cmd =
     Term.(
       const run $ file_arg $ machine_arg $ scheme_arg $ yield_arg
       $ baseline_opts_arg $ lazy_sweep_arg $ refcount_arg $ quiet_arg
-      $ trace_arg $ trace_out_arg $ metrics_json_arg $ abort_report_arg
-      $ profile_json_arg)
+      $ clock_arg $ subscription_arg $ trace_arg $ trace_out_arg
+      $ metrics_json_arg $ abort_report_arg $ profile_json_arg)
 
 let fig_cmd =
   let which_arg =
     let doc =
       "Figure: fig4 fig5 fig6a fig6b fig7 fig8 fig9 hybrid load shard \
-       ablation overhead future-work refcount all."
+       clock ablation overhead future-work refcount all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
@@ -553,6 +617,7 @@ let fig_cmd =
       | "hybrid" -> ignore (Harness.Figures.fig_hybrid ~size fmt)
       | "load" -> ignore (Harness.Figures.fig_load ~size fmt)
       | "shard" -> ignore (Harness.Figures.fig_shard ~size fmt)
+      | "clock" -> ignore (Harness.Figures.fig_clock ~size fmt)
       | "ablation" -> ignore (Harness.Figures.ablation ~size fmt)
       | "overhead" -> ignore (Harness.Figures.overhead ~size fmt)
       | "future-work" -> ignore (Harness.Figures.future_work ~size fmt)
@@ -565,7 +630,8 @@ let fig_cmd =
       List.iter doit
         [
           "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "hybrid";
-          "load"; "shard"; "ablation"; "overhead"; "future-work"; "refcount";
+          "load"; "shard"; "clock"; "ablation"; "overhead"; "future-work";
+          "refcount";
         ]
     else doit which
   in

@@ -58,19 +58,32 @@ type config = {
           (the default) keeps every instrumentation site at one branch *)
   sched : sched_kind;
   interp : interp_kind;
+  clock : Tm_clock.scheme;
+      (** global commit-clock scheme the STM publishes under (GV1 unless
+          BENCH_CLOCK or --clock says otherwise); irrelevant for schemes
+          without a software fallback *)
+  subscription : Subscription.t;
+      (** how hardware windows subscribe to the GIL/clock words (eager
+          unless BENCH_SUB or --subscription says otherwise) *)
 }
 
 let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
-    ?tracer ?sched ?interp machine =
+    ?tracer ?sched ?interp ?clock ?subscription machine =
   let sched =
     match sched with Some s -> s | None -> default_sched_kind ()
   in
   let interp =
     match interp with Some i -> i | None -> default_interp_kind ()
   in
+  let clock =
+    match clock with Some c -> c | None -> Tm_clock.default_scheme ()
+  in
+  let subscription =
+    match subscription with Some s -> s | None -> Subscription.default ()
+  in
   { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer;
-    sched; interp }
+    sched; interp; clock; subscription }
 
 type breakdown = {
   mutable bd_txn_overhead : int;
@@ -125,6 +138,11 @@ type tle_state = {
       (** the (code uid, pc) the software window opened at, for rewarding /
           punishing the per-site retry budget after rollback moved th.pc *)
   mutable stm_site_pc : int;
+  mutable clock_at_begin : Rvm.Value.t;
+      (** (lazy subscription) the commit-clock cell's value when the
+          hardware window began; the commit point re-reads the cell and
+          any difference kills the window — the deferred equivalent of
+          the eager subscribe read *)
 }
 
 let transient_retry_max = 3
@@ -197,6 +215,17 @@ type t = {
       (** cycles per committed software transaction *)
   m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
   m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
+  m_kill_gil : Obs.Metrics.counter;
+      (** hardware aborts attributed to the GIL word's line *)
+  m_kill_clock : Obs.Metrics.counter;
+      (** hardware aborts attributed to the STM commit-clock cell's line
+          (the subscription kills GV5/GV6 exist to avoid) *)
+  m_clock_bumps : Obs.Metrics.counter;
+      (** clock-cell writes performed (mirrors [Tm_clock.bumps]) *)
+  m_clock_skipped : Obs.Metrics.counter;
+      (** clock-cell writes avoided (mirrors [Tm_clock.skipped]) *)
+  m_clock_switches : Obs.Metrics.counter;
+      (** GV6 regime switches (mirrors [Tm_clock.switches]) *)
   m_deopt_rollback : Obs.Metrics.counter;
       (** compiled-tier components re-routed through [Interp.step_d]
           because the thread's registers left the superblock (window
@@ -223,6 +252,7 @@ let fresh_tle () =
     stm_retry_init = 0;
     stm_site_uid = 0;
     stm_site_pc = 0;
+    clock_at_begin = Rvm.Value.vint 0;
   }
 
 let create ?(io : Netsim.t option) cfg ~source =
@@ -249,12 +279,28 @@ let create ?(io : Netsim.t option) cfg ~source =
   let gil = Gil.create vm in
   gil.Gil.tracer <- cfg.tracer;
   vm.Rvm.Vm.heap.Rvm.Heap.tracer <- cfg.tracer;
+  (* Lazy_safe models Dice et al.'s hardware fix — it only exists on
+     machines whose descriptor advertises the capability. *)
+  if
+    cfg.subscription = Subscription.Lazy_safe
+    && not cfg.machine.Machine.lazy_sub_safe
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Runner.create: machine %s does not support safe lazy subscription \
+          (Machine.lazy_sub_safe is false)"
+         cfg.machine.Machine.name);
+  Htm.set_subscription vm.Rvm.Vm.htm cfg.subscription;
   (* the software fallback engine: created (and its commit-clock cell
      reserved) only for the schemes that can use it, so every other
      scheme's store layout — and therefore its figures — is untouched *)
   let stm =
     if Scheme.uses_stm cfg.scheme then
-      Some (Stm.create ~mk_clock:(fun n -> Rvm.Value.vint n) vm.Rvm.Vm.htm)
+      Some
+        (Stm.create
+           ~clock:(Tm_clock.create cfg.clock)
+           ~mk_clock:(fun n -> Rvm.Value.vint n)
+           vm.Rvm.Vm.htm)
     else None
   in
   let sites = Obs.Sites.create () in
@@ -270,7 +316,17 @@ let create ?(io : Netsim.t option) cfg ~source =
         match stm with
         | Some s -> line = lof (Stm.clock_cell s)
         | None -> false
-      then Some "STM commit clock"
+      then Some "stm.clock (commit-clock cell)"
+      else if
+        match stm with
+        | Some s -> line = lof (Stm.bumps_cell s)
+        | None -> false
+      then Some "stm.clock bumps stat cell"
+      else if
+        match stm with
+        | Some s -> line = lof (Stm.skipped_cell s)
+        | None -> false
+      then Some "stm.clock skipped stat cell"
       else if line = lof vm.Rvm.Vm.g_current_thread then
         Some "current-thread global"
       else if line = lof vm.Rvm.Vm.g_live then Some "live-thread count"
@@ -369,6 +425,11 @@ let create ?(io : Netsim.t option) cfg ~source =
     m_stm_committed = Obs.Metrics.histogram metrics "stm.committed_cycles";
     m_fb_gil = Obs.Metrics.counter metrics "fallback.gil";
     m_fb_stm = Obs.Metrics.counter metrics "fallback.stm";
+    m_kill_gil = Obs.Metrics.counter metrics "abort.gil_word";
+    m_kill_clock = Obs.Metrics.counter metrics "abort.stm_clock";
+    m_clock_bumps = Obs.Metrics.counter metrics "clock.bumps";
+    m_clock_skipped = Obs.Metrics.counter metrics "clock.skipped";
+    m_clock_switches = Obs.Metrics.counter metrics "clock.switches";
     m_deopt_rollback = Obs.Metrics.counter metrics "deopt.rollback";
     m_slice_insns = Obs.Metrics.histogram metrics "sched.slice_insns";
     g_runnable_peak = Obs.Metrics.gauge metrics "sched.runnable_peak";
@@ -558,6 +619,18 @@ let rollback_hook t (th : V.t) (reason : Txn.abort_reason) =
   t.breakdown.bd_aborted <- t.breakdown.bd_aborted + wasted;
   let htm = t.vm.Rvm.Vm.htm in
   let line = Htm.abort_line htm th.ctx in
+  (* split the subscription-kill attribution the ablation cares about:
+     GIL-word kills (TLE's lemming cost) vs commit-clock kills (the STM
+     publication cost GV5/GV6 exist to shrink) *)
+  (if line >= 0 then
+     let store = t.vm.Rvm.Vm.store in
+     if line = Store.line_of store t.vm.Rvm.Vm.g_gil then
+       Obs.Metrics.incr t.m_kill_gil
+     else
+       match t.stm with
+       | Some stm when line = Store.line_of store (Stm.clock_cell stm) ->
+           Obs.Metrics.incr t.m_kill_clock
+       | _ -> ());
   let rs, ws = Htm.txn_footprint htm th.ctx in
   let reason_s = Txn.reason_to_string reason in
   Obs.Sites.record t.sites ~code ~pc ~op ~reason:reason_s ~line;
@@ -812,19 +885,35 @@ let rec transaction_begin t (th : V.t) =
        else
          Htm.write vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_current_thread
            (Rvm.Value.vint th.tid));
-      (* subscribe to the GIL (line 15); abort if it got acquired meanwhile *)
-      (try
-         if Gil.read_acquired t.gil th then
-           Htm.tabort vm.Rvm.Vm.htm ~ctx:th.ctx Txn.Explicit
-       with Htm.Abort_now _ -> ());
-      (* (hybrid) subscribe to the STM commit clock the same way: any
-         software commit while this hardware window runs conflicts it out,
-         which is what makes the two engines mutually serializable *)
-      (match t.stm with
-      | Some stm -> (
-          try ignore (Htm.read vm.Rvm.Vm.htm ~ctx:th.ctx (Stm.clock_cell stm))
-          with Htm.Abort_now _ -> ())
-      | None -> ());
+      (match t.cfg.subscription with
+      | Subscription.Eager ->
+          (* subscribe to the GIL (line 15); abort if it got acquired
+             meanwhile *)
+          (try
+             if Gil.read_acquired t.gil th then
+               Htm.tabort vm.Rvm.Vm.htm ~ctx:th.ctx Txn.Explicit
+           with Htm.Abort_now _ -> ());
+          (* (hybrid) subscribe to the STM commit clock the same way: any
+             software commit while this hardware window runs conflicts it
+             out, which is what makes the two engines mutually
+             serializable *)
+          (match t.stm with
+          | Some stm -> (
+              try
+                ignore (Htm.read vm.Rvm.Vm.htm ~ctx:th.ctx (Stm.clock_cell stm))
+              with Htm.Abort_now _ -> ())
+          | None -> ())
+      | Subscription.Lazy | Subscription.Lazy_safe ->
+          (* deferred subscription: neither word enters the read set, so a
+             GIL acquisition or software commit cannot conflict this window
+             out mid-flight — [transaction_end] re-checks both values at
+             the commit point instead. Record the clock-cell value the
+             commit-point check compares against. *)
+          (match t.stm with
+          | Some stm ->
+              st.clock_at_begin <-
+                Store.get vm.Rvm.Vm.store (Stm.clock_cell stm)
+          | None -> ()));
       if Htm.pending_abort vm.Rvm.Vm.htm th.ctx <> None then begin
         handle_abort t th;
         th.status = V.Runnable
@@ -932,30 +1021,76 @@ let gil_release_and_wake t (th : V.t) =
   let waiters = Gil.release t.gil th in
   List.iter (fun w -> wake_gil_waiter t w ~at:th.clock) waiters
 
-(* transaction_end (Figure 2 lines 1-4). *)
+(* transaction_end (Figure 2 lines 1-4). Returns false when a deferred
+   (lazy) subscription check killed the hardware window at its commit
+   point: the registers are rolled back and the pending abort recorded, so
+   the caller must not treat the window as closed — the retry policy runs
+   on the next scheduling step. Always true under eager subscription
+   (hardware commits cannot fail there; aborts arrive as [Abort_now]
+   during execution). *)
 let transaction_end t (th : V.t) =
   let vm = t.vm in
-  if Gil.held_by t.gil th then gil_release_and_wake t th
+  if Gil.held_by t.gil th then begin
+    gil_release_and_wake t th;
+    reset_retries t th;
+    true
+  end
   else if Htm.in_txn vm.Rvm.Vm.htm th.ctx then begin
-    let in_txn_cycles = max 0 (th.clock - th.txn_start_clock) in
-    let rs, ws = Htm.txn_footprint vm.Rvm.Vm.htm th.ctx in
-    Htm.tend vm.Rvm.Vm.htm ~ctx:th.ctx;
-    charge_txn_overhead t th (costs t).cyc_tend;
-    th.cyc_committed <- th.cyc_committed + in_txn_cycles;
-    t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles;
-    let st = t.tle.(th.tid) in
-    let retries =
-      transient_retry_max - st.transient_retry_counter
-      + (gil_retry_max - st.gil_retry_counter)
+    let store = vm.Rvm.Vm.store in
+    let lazy_killed =
+      match t.cfg.subscription with
+      | Subscription.Eager -> false
+      | Subscription.Lazy | Subscription.Lazy_safe -> (
+          (* the deferred subscription, checked at the commit point. Value
+             checks only: a GIL acquire/release cycle (or a software
+             commit whose clock value wrapped back — impossible here, the
+             clock is monotone) that ran entirely inside this window
+             passes them. Under Eager the acquisition itself would have
+             killed the window; that gap is the modeled hazard. *)
+          if t.gil.owner <> -1 then begin
+            Htm.abort_at vm.Rvm.Vm.htm ~ctx:th.ctx
+              ~line:(Store.line_of store vm.Rvm.Vm.g_gil)
+              Txn.Conflict;
+            true
+          end
+          else
+            match t.stm with
+            | Some stm
+              when Store.get store (Stm.clock_cell stm)
+                   <> t.tle.(th.tid).clock_at_begin ->
+                Htm.abort_at vm.Rvm.Vm.htm ~ctx:th.ctx
+                  ~line:(Store.line_of store (Stm.clock_cell stm))
+                  Txn.Conflict;
+                true
+            | _ -> false)
     in
-    Obs.Metrics.observe t.m_txn_committed in_txn_cycles;
-    Obs.Metrics.observe t.m_txn_rs rs;
-    Obs.Metrics.observe t.m_txn_ws ws;
-    Obs.Metrics.observe t.m_txn_retries retries;
-    emit t th
-      (Obs.Event.Txn_commit { cycles = in_txn_cycles; rs; ws; retries })
-  end;
-  reset_retries t th
+    if lazy_killed then false
+    else begin
+      let in_txn_cycles = max 0 (th.clock - th.txn_start_clock) in
+      let rs, ws = Htm.txn_footprint vm.Rvm.Vm.htm th.ctx in
+      Htm.tend vm.Rvm.Vm.htm ~ctx:th.ctx;
+      charge_txn_overhead t th (costs t).cyc_tend;
+      th.cyc_committed <- th.cyc_committed + in_txn_cycles;
+      t.breakdown.bd_committed <- t.breakdown.bd_committed + in_txn_cycles;
+      let st = t.tle.(th.tid) in
+      let retries =
+        transient_retry_max - st.transient_retry_counter
+        + (gil_retry_max - st.gil_retry_counter)
+      in
+      Obs.Metrics.observe t.m_txn_committed in_txn_cycles;
+      Obs.Metrics.observe t.m_txn_rs rs;
+      Obs.Metrics.observe t.m_txn_ws ws;
+      Obs.Metrics.observe t.m_txn_retries retries;
+      emit t th
+        (Obs.Event.Txn_commit { cycles = in_txn_cycles; rs; ws; retries });
+      reset_retries t th;
+      true
+    end
+  end
+  else begin
+    reset_retries t th;
+    true
+  end
 
 (* Open the next window in whatever mode the scheme (and, for the hybrid,
    the thread's episode state) dictates. *)
@@ -965,17 +1100,26 @@ let window_begin t (th : V.t) =
   | Scheme.Hybrid when t.stm_mode.(th.tid) -> stm_begin t th
   | _ -> transaction_begin t th
 
-(* Close the current window. Hardware commits cannot fail (aborts arrive as
-   [Abort_now] during execution); a software commit can — it returns false
-   with the registers rolled back and the pending abort recorded, and the
-   caller must not reopen a window (the retry policy runs on the next
-   scheduling step). *)
+(* Close the current window. A software commit can fail — and so can a
+   hardware commit under lazy subscription, at its deferred commit-point
+   check. Either way the close returns false with the registers rolled back
+   and the pending abort recorded, and the caller must not reopen a window
+   (the retry policy runs on the next scheduling step). *)
 let window_end t (th : V.t) =
   match t.stm with
   | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
+  | _ -> transaction_end t th
+
+(* Close the final window before a thread retires. Same failure contract as
+   [window_end]; the Done handlers revive the thread on a failed close so
+   the retry policy re-runs the window to completion. (A held GIL is not a
+   window — [on_thread_done] releases it after the retire commits.) *)
+let window_close_for_retire t (th : V.t) =
+  match t.stm with
+  | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
   | _ ->
-      transaction_end t th;
-      true
+      if Htm.in_txn t.vm.Rvm.Vm.htm th.ctx then transaction_end t th
+      else true
 
 (* transaction_yield (Figure 2 lines 8-16), called at yield points. *)
 let transaction_yield t (th : V.t) =
@@ -1121,9 +1265,9 @@ let drain_spawned t =
 
 let on_thread_done t (th : V.t) =
   Sched.remove t.sched th.tid;
-  (* close the window *)
-  if Htm.in_txn t.vm.Rvm.Vm.htm th.ctx || Gil.held_by t.gil th then
-    transaction_end t th;
+  (* any hardware/software window was already closed (and its close
+     confirmed) by [window_close_for_retire]; only a held GIL remains *)
+  if Gil.held_by t.gil th then ignore (transaction_end t th);
   let vm = t.vm in
   let live =
     match Htm.read vm.Rvm.Vm.htm ~ctx:th.ctx vm.Rvm.Vm.g_live with
@@ -1301,14 +1445,12 @@ let step_thread t (th : V.t) =
            match r with
            | Rvm.Interp.Continue -> ()
            | Rvm.Interp.Done _ ->
-               (* a software window must commit before the thread can
-                  retire; on failure the registers are rolled back and the
-                  thread re-runs the window (reaching Done again) *)
-               let closed =
-                 match t.stm with
-                 | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
-                 | _ -> true
-               in
+               (* the window must close before the thread can retire — a
+                  software commit, or under lazy subscription a hardware
+                  commit-point check, can fail: the registers are rolled
+                  back and the thread re-runs the window (reaching Done
+                  again) *)
+               let closed = window_close_for_retire t th in
                if closed then on_thread_done t th
                else
                  (* [leave_from] already marked the thread finished, but
@@ -1528,12 +1670,7 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
                     t.breakdown.bd_other <- t.breakdown.bd_other + cost;
                   t.total_insns <- t.total_insns + 1;
                   if r <> 0 then begin
-                    let closed =
-                      match t.stm with
-                      | Some stm when Stm.in_txn stm th.ctx ->
-                          stm_commit t th
-                      | _ -> true
-                    in
+                    let closed = window_close_for_retire t th in
                     if closed then on_thread_done t th
                     else th.status <- V.Runnable
                   end
@@ -1679,11 +1816,7 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
                t.breakdown.bd_other <- t.breakdown.bd_other + cost;
              t.total_insns <- t.total_insns + 1;
              if r <> 0 then begin
-               let closed =
-                 match t.stm with
-                 | Some stm when Stm.in_txn stm th.ctx -> stm_commit t th
-                 | _ -> true
-               in
+               let closed = window_close_for_retire t th in
                if closed then on_thread_done t th
                else th.status <- V.Runnable
              end
@@ -1795,6 +1928,15 @@ let snapshot t =
   | Some io ->
       Obs.Metrics.gauge_max t.g_accept_queue_peak (Netsim.queue_peak io);
       Obs.Metrics.gauge_max t.g_in_flight_peak (Netsim.in_flight_peak io)
+  | None -> ());
+  (* mirror the clock scheme's counters into the registry (idempotent
+     sets, so repeated snapshots of a paused runner stay correct) *)
+  (match t.stm with
+  | Some stm ->
+      let c = Stm.clock stm in
+      t.m_clock_bumps.Obs.Metrics.count <- Tm_clock.bumps c;
+      t.m_clock_skipped.Obs.Metrics.count <- Tm_clock.skipped c;
+      t.m_clock_switches.Obs.Metrics.count <- Tm_clock.switches c
   | None -> ());
   let at_one, mean_len = Txlen.stats t.txlen in
   {

@@ -58,6 +58,19 @@ type config = {
           (the default) keeps every instrumentation site at one branch *)
   sched : sched_kind;
   interp : interp_kind;
+  clock : Tm_clock.scheme;
+      (** global commit-clock scheme the STM publishes under; defaults to
+          [Tm_clock.default_scheme ()] (GV1 unless [BENCH_CLOCK] says
+          otherwise). Irrelevant for schemes without a software fallback. *)
+  subscription : Htm_sim.Subscription.t;
+      (** how hardware windows subscribe to the GIL word and the STM
+          commit-clock cell; defaults to [Subscription.default ()] (eager
+          unless [BENCH_SUB] says otherwise). [Lazy] defers both reads to
+          the window's commit point, reproducing the unsafety Alistarh et
+          al. describe; [Lazy_safe] additionally aborts all hardware
+          windows when GC starts and requires
+          [Machine.lazy_sub_safe = true] ({!create} rejects it
+          otherwise). *)
 }
 
 val config :
@@ -69,6 +82,8 @@ val config :
   ?tracer:Obs.Trace.t ->
   ?sched:sched_kind ->
   ?interp:interp_kind ->
+  ?clock:Tm_clock.scheme ->
+  ?subscription:Htm_sim.Subscription.t ->
   Htm_sim.Machine.t ->
   config
 
@@ -165,6 +180,16 @@ type t = {
       (** cycles per committed software transaction *)
   m_fb_gil : Obs.Metrics.counter;  (** windows that fell back to the GIL *)
   m_fb_stm : Obs.Metrics.counter;  (** windows that fell back to the STM *)
+  m_kill_gil : Obs.Metrics.counter;
+      (** hardware aborts attributed to the GIL word's line *)
+  m_kill_clock : Obs.Metrics.counter;
+      (** hardware aborts attributed to the STM commit-clock cell's line *)
+  m_clock_bumps : Obs.Metrics.counter;
+      (** clock-cell writes performed (mirrors [Tm_clock.bumps]) *)
+  m_clock_skipped : Obs.Metrics.counter;
+      (** clock-cell writes avoided (mirrors [Tm_clock.skipped]) *)
+  m_clock_switches : Obs.Metrics.counter;
+      (** GV6 regime switches (mirrors [Tm_clock.switches]) *)
   m_deopt_rollback : Obs.Metrics.counter;
       (** compiled-tier components re-routed through [Interp.step_d]
           because the registers left the superblock *)
@@ -189,6 +214,9 @@ and tle_state = {
   mutable stm_retry_init : int;
   mutable stm_site_uid : int;  (** the site the software window opened at *)
   mutable stm_site_pc : int;
+  mutable clock_at_begin : Rvm.Value.t;
+      (** (lazy subscription) commit-clock cell value at window begin,
+          re-checked at the commit point *)
 }
 
 val create : ?io:Netsim.t -> config -> source:string -> t

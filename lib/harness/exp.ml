@@ -17,12 +17,23 @@ type point = {
   mix : Netsim.mix;
       (** weighted request classes for open-loop server runs; [[]]
           (default) keeps the workload's single default request *)
+  clock : Tm_clock.scheme;
+      (** commit-clock scheme for the STM fallback (GV1 by default) *)
+  subscription : Subscription.t;
+      (** hardware-window subscription policy (eager by default) *)
 }
 
 let point ?(yield_points = Core.Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?(arrivals = Netsim.Closed) ?(mix = [])
-    ~workload ~machine ~scheme ~threads ~size () =
-  { workload; machine; scheme; threads; size; yield_points; opts; arrivals; mix }
+    ?clock ?subscription ~workload ~machine ~scheme ~threads ~size () =
+  let clock =
+    match clock with Some c -> c | None -> Tm_clock.default_scheme ()
+  in
+  let subscription =
+    match subscription with Some s -> s | None -> Subscription.default ()
+  in
+  { workload; machine; scheme; threads; size; yield_points; opts; arrivals;
+    mix; clock; subscription }
 
 (* The request-latency summary of one server run: offered vs achieved load,
    the loss accounting, and the latency quantiles from the runner's
@@ -55,7 +66,7 @@ type outcome = {
 let run ?tracer (p : point) : outcome =
   let cfg =
     Core.Runner.config ?tracer ~scheme:p.scheme ~yield_points:p.yield_points
-      ~opts:p.opts p.machine
+      ~opts:p.opts ~clock:p.clock ~subscription:p.subscription p.machine
   in
   let source = p.workload.source ~threads:p.threads ~size:p.size in
   match p.workload.kind with

@@ -15,6 +15,12 @@ type point = {
   mix : Netsim.mix;
       (** weighted request classes for open-loop server runs; [[]]
           (default) keeps the workload's single default request *)
+  clock : Tm_clock.scheme;
+      (** commit-clock scheme for the STM fallback; defaults to
+          [Tm_clock.default_scheme ()] (GV1 unless [BENCH_CLOCK] is set) *)
+  subscription : Htm_sim.Subscription.t;
+      (** hardware-window subscription policy; defaults to
+          [Subscription.default ()] (eager unless [BENCH_SUB] is set) *)
 }
 
 val point :
@@ -22,6 +28,8 @@ val point :
   ?opts:Rvm.Options.t ->
   ?arrivals:Netsim.arrivals ->
   ?mix:Netsim.mix ->
+  ?clock:Tm_clock.scheme ->
+  ?subscription:Htm_sim.Subscription.t ->
   workload:Workloads.Workload.t ->
   machine:Htm_sim.Machine.t ->
   scheme:Core.Scheme.kind ->

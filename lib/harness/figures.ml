@@ -816,6 +816,187 @@ let fig_shard ?(size = Workloads.Size.S) fmt =
       p)
     combos
 
+(* ---- Commit-clock and subscription ablation ---------------------------------- *)
+
+(* The capability variant of the hybrid machine: Dice et al.'s hardware fix
+   for lazy subscription (abort-all-on-quiesce), advertised through the
+   descriptor flag [Runner.create] checks before accepting [Lazy_safe]. *)
+let clock_safe_machine = { hybrid_machine with Machine.lazy_sub_safe = true }
+
+(* The grid: clock schemes under eager subscription (the clock ablation
+   proper), then lazy and safe-lazy subscription under GV1 (the safety
+   ablation). Lazy runs on the stock machine reproduce the real hazard —
+   a GC concurrent with unsubscribed zombie windows — so a cell is allowed
+   to fail; the failure class is part of the recorded (and digested) data. *)
+let clock_variants =
+  [
+    (Tm_clock.Gv1, Subscription.Eager, hybrid_machine);
+    (Tm_clock.Gv5, Subscription.Eager, hybrid_machine);
+    (Tm_clock.Gv6, Subscription.Eager, hybrid_machine);
+    (Tm_clock.Gv1, Subscription.Lazy, hybrid_machine);
+    (Tm_clock.Gv1, Subscription.Lazy_safe, clock_safe_machine);
+  ]
+
+type clock_point = {
+  cp_clock : string;
+  cp_subscription : string;
+  cp_outcome : string;  (** "ok", "stuck", "guest-failure" or "error" *)
+  cp_wall : int;
+  cp_completed : int;  (** requests (servers) — 0 for compute workloads *)
+  cp_htm_commits : int;
+  cp_htm_aborts : int;
+  cp_fb_gil : int;
+  cp_fb_stm : int;
+  cp_stm_commits : int;
+  cp_stm_validation_aborts : int;
+  cp_bumps : int;  (** commit-clock cell writes (what hardware sees) *)
+  cp_skipped : int;  (** GV5-mode commits that avoided the cell write *)
+  cp_switches : int;  (** GV6 regime changes *)
+  cp_kill_gil : int;  (** hardware aborts on the GIL word's line *)
+  cp_kill_clock : int;  (** hardware aborts on the clock cell's line *)
+}
+
+type clock_panel = {
+  cl_workload : string;
+  cl_machine : string;
+  cl_threads : int;
+  cl_points : clock_point list;  (** in {!clock_variants} order *)
+}
+
+let run_clock_panel ?(size = Workloads.Size.S) ?(threads = 4) workload_name =
+  let workload = wl workload_name in
+  let cell (clock, subscription, machine) =
+    let label_c = Tm_clock.scheme_to_string clock
+    and label_s = Subscription.to_string subscription in
+    let zero outcome =
+      {
+        cp_clock = label_c;
+        cp_subscription = label_s;
+        cp_outcome = outcome;
+        cp_wall = 0;
+        cp_completed = 0;
+        cp_htm_commits = 0;
+        cp_htm_aborts = 0;
+        cp_fb_gil = 0;
+        cp_fb_stm = 0;
+        cp_stm_commits = 0;
+        cp_stm_validation_aborts = 0;
+        cp_bumps = 0;
+        cp_skipped = 0;
+        cp_switches = 0;
+        cp_kill_gil = 0;
+        cp_kill_clock = 0;
+      }
+    in
+    match
+      Exp.run
+        (Exp.point ~workload ~machine ~scheme:Core.Scheme.Hybrid ~threads
+           ~size ~clock ~subscription ())
+    with
+    | o ->
+        let r = o.Exp.result in
+        let c name =
+          (Obs.Metrics.counter r.Core.Runner.metrics name).Obs.Metrics.count
+        in
+        {
+          cp_clock = label_c;
+          cp_subscription = label_s;
+          cp_outcome = "ok";
+          cp_wall = r.Core.Runner.wall_cycles;
+          cp_completed = r.Core.Runner.requests_completed;
+          cp_htm_commits = r.Core.Runner.htm_stats.Stats.commits;
+          cp_htm_aborts = Stats.aborts r.Core.Runner.htm_stats;
+          cp_fb_gil = c "fallback.gil";
+          cp_fb_stm = c "fallback.stm";
+          cp_stm_commits = r.Core.Runner.stm_stats.Stm.commits;
+          cp_stm_validation_aborts =
+            r.Core.Runner.stm_stats.Stm.aborts_validation;
+          cp_bumps = c "clock.bumps";
+          cp_skipped = c "clock.skipped";
+          cp_switches = c "clock.switches";
+          cp_kill_gil = c "abort.gil_word";
+          cp_kill_clock = c "abort.stm_clock";
+        }
+    | exception Core.Runner.Stuck _ -> zero "stuck"
+    | exception Core.Runner.Guest_failure _ -> zero "guest-failure"
+    | exception _ -> zero "error"
+  in
+  {
+    cl_workload = workload_name;
+    cl_machine = hybrid_machine.Machine.name;
+    cl_threads = threads;
+    cl_points = pmap cell clock_variants;
+  }
+
+let clock_cell panel ~clock ~subscription =
+  List.find_opt
+    (fun cp -> cp.cp_clock = clock && cp.cp_subscription = subscription)
+    panel.cl_points
+
+let print_clock_panel fmt panel =
+  Report.header fmt
+    (Printf.sprintf
+       "%s on %s (hybrid, %d threads): commit-clock schemes x subscription"
+       panel.cl_workload panel.cl_machine panel.cl_threads);
+  Format.fprintf fmt "%-18s %9s %10s %10s %8s %8s %8s %8s %9s %9s@."
+    "clock/subscription" "outcome" "wall(Mcyc)" "hw-aborts" "fb-gil"
+    "fb-stm" "bumps" "skipped" "kill-gil" "kill-clk";
+  List.iter
+    (fun cp ->
+      Format.fprintf fmt "%-18s %9s %10.1f %10d %8d %8d %8d %8d %9d %9d@."
+        (cp.cp_clock ^ "/" ^ cp.cp_subscription)
+        cp.cp_outcome
+        (float_of_int cp.cp_wall /. 1e6)
+        cp.cp_htm_aborts cp.cp_fb_gil cp.cp_fb_stm cp.cp_bumps cp.cp_skipped
+        cp.cp_kill_gil cp.cp_kill_clock)
+    panel.cl_points
+
+(* Deterministic JSON for the "clock" member: plain data, fixed field
+   order — the FNV digest over this is the ablation's acceptance gate. *)
+let clock_json panel =
+  let module J = Obs.Json in
+  let point_json cp =
+    J.Obj
+      [
+        ("clock", J.Str cp.cp_clock);
+        ("subscription", J.Str cp.cp_subscription);
+        ("outcome", J.Str cp.cp_outcome);
+        ("wall_cycles", J.Int cp.cp_wall);
+        ("completed", J.Int cp.cp_completed);
+        ("htm_commits", J.Int cp.cp_htm_commits);
+        ("htm_aborts", J.Int cp.cp_htm_aborts);
+        ("fallback_gil", J.Int cp.cp_fb_gil);
+        ("fallback_stm", J.Int cp.cp_fb_stm);
+        ("stm_commits", J.Int cp.cp_stm_commits);
+        ("stm_validation_aborts", J.Int cp.cp_stm_validation_aborts);
+        ("clock_bumps", J.Int cp.cp_bumps);
+        ("clock_skipped", J.Int cp.cp_skipped);
+        ("clock_switches", J.Int cp.cp_switches);
+        ("kill_gil_word", J.Int cp.cp_kill_gil);
+        ("kill_stm_clock", J.Int cp.cp_kill_clock);
+      ]
+  in
+  J.Obj
+    [
+      ("workload", J.Str panel.cl_workload);
+      ("machine", J.Str panel.cl_machine);
+      ("threads", J.Int panel.cl_threads);
+      ("points", J.List (List.map point_json panel.cl_points));
+    ]
+
+let fig_clock ?(size = Workloads.Size.S) fmt =
+  Report.header fmt
+    "Clock figure: adaptive commit clocks and lazy subscription (hybrid TM)";
+  (* WEBrick exercises the GC-heavy server path where lazy subscription is
+     unsafe; IS is the STM-fallback-heavy compute panel (shared histogram +
+     shrunken store buffer) where the clock schemes separate. *)
+  List.map
+    (fun name ->
+      let p = run_clock_panel ~size name in
+      print_clock_panel fmt p;
+      p)
+    [ "webrick"; "is" ]
+
 (* ---- Section 5.4 ablations -------------------------------------------------- *)
 
 let ablation ?(size = Workloads.Size.S) ?(threads = 8) fmt =

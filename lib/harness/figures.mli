@@ -186,6 +186,64 @@ val fig_shard : ?size:Workloads.Size.t -> Format.formatter -> shard_panel list
     scheme: WEBrick/zEC12 and Rails/Xeon, with the shared-session
     contention ablation. *)
 
+val clock_safe_machine : Htm_sim.Machine.t
+(** {!hybrid_machine} with [Machine.lazy_sub_safe = true]: the descriptor
+    variant advertising Dice et al.'s hardware fix, required for the
+    [Lazy_safe] cell of the clock grid. *)
+
+val clock_variants :
+  (Tm_clock.scheme * Htm_sim.Subscription.t * Htm_sim.Machine.t) list
+(** The clock-figure grid: GV1/GV5/GV6 under eager subscription, then
+    GV1 under lazy and (on {!clock_safe_machine}) safe-lazy subscription. *)
+
+type clock_point = {
+  cp_clock : string;
+  cp_subscription : string;
+  cp_outcome : string;
+      (** "ok", or the failure class when the modeled lazy-subscription
+          hazard corrupts the run ("stuck" / "guest-failure" / "error") —
+          deterministic, so it digests like any other cell *)
+  cp_wall : int;
+  cp_completed : int;
+  cp_htm_commits : int;
+  cp_htm_aborts : int;
+  cp_fb_gil : int;
+  cp_fb_stm : int;
+  cp_stm_commits : int;
+  cp_stm_validation_aborts : int;
+  cp_bumps : int;  (** commit-clock cell writes (what hardware sees) *)
+  cp_skipped : int;  (** GV5-mode commits that avoided the cell write *)
+  cp_switches : int;  (** GV6 regime changes *)
+  cp_kill_gil : int;  (** hardware aborts on the GIL word's line *)
+  cp_kill_clock : int;  (** hardware aborts on the clock cell's line *)
+}
+
+type clock_panel = {
+  cl_workload : string;
+  cl_machine : string;
+  cl_threads : int;
+  cl_points : clock_point list;  (** in {!clock_variants} order *)
+}
+
+val run_clock_panel :
+  ?size:Workloads.Size.t -> ?threads:int -> string -> clock_panel
+(** Run one workload through the whole {!clock_variants} grid under the
+    hybrid scheme on {!hybrid_machine} (capacity-starved, so the STM
+    fallback — and therefore the commit clock — is hot). *)
+
+val clock_cell :
+  clock_panel -> clock:string -> subscription:string -> clock_point option
+
+val print_clock_panel : Format.formatter -> clock_panel -> unit
+
+val clock_json : clock_panel -> Obs.Json.t
+(** Deterministic JSON for one panel — the "clock" member the bench
+    digests (FNV-1a) and the CI legs compare. *)
+
+val fig_clock : ?size:Workloads.Size.t -> Format.formatter -> clock_panel list
+(** The commit-clock/subscription ablation on WEBrick (GC-heavy server)
+    and IS (STM-fallback-heavy compute). *)
+
 val ablation :
   ?size:Workloads.Size.t ->
   ?threads:int ->

@@ -54,6 +54,13 @@ type 'a t = {
      this module, so it installs closures; [sw_mask] is a bitset of contexts
      currently inside a software transaction. Accesses from those contexts
      are routed to the hooks instead of the plain non-transactional path. *)
+  mutable subscription : Subscription.t;
+      (** how hardware windows subscribe to the GIL/clock words; the
+          runner sets it from its config at creation. [Eager] (the
+          default) is pure bookkeeping here — the subscribing reads are
+          issued by the runner — but [Lazy]/[Lazy_safe] gate the GC
+          quiesce protocol a layer above, so the policy lives on the
+          engine where both layers can see it *)
   mutable sw_mask : int;
   mutable sw_read : int -> int -> 'a;  (** ctx -> addr -> value *)
   mutable sw_write : int -> int -> 'a -> unit;
@@ -110,6 +117,7 @@ let create ?(mode = Htm_mode) ?(seed = 42) machine store =
       machine;
       store;
       mode;
+      subscription = Subscription.Eager;
       readers = [||];
       writers = [||];
       last_writers = [||];
@@ -144,11 +152,20 @@ let set_occupied t ctx v = t.occupied.(ctx) <- v
 let in_txn t ctx = t.txns.(ctx).active
 let active_count t = t.active
 let abort_line t ctx = t.txns.(ctx).abort_line
+let subscription t = t.subscription
+let set_subscription t s = t.subscription <- s
 
 (* ---- software-transaction plumbing -------------------------------------- *)
 
 let commit_clock t = t.commit_clock
 let line_version t id = Array.unsafe_get t.versions id
+
+(* The GV5 failure-driven catch-up: advance the engine's version clock
+   without touching any store cell. Readers whose snapshot lagged behind
+   a lazily stamped line re-begin at the caught-up clock and stop
+   failing; no hardware window subscribes to a host integer, so nothing
+   gets killed. *)
+let clock_advance t = t.commit_clock <- t.commit_clock + 1
 
 let set_software_hooks t ~read ~write ~track_read ~abort =
   t.sw_read <- read;
@@ -261,6 +278,30 @@ let abort_txn ?(line = -1) t (txn : 'a Txn.t) reason =
 
 let pending_abort t ctx = t.txns.(ctx).pending_abort
 let clear_pending_abort t ctx = t.txns.(ctx).pending_abort <- None
+
+(* Kill [ctx]'s own live transaction with a line attribution but without
+   raising: the lazy-subscription commit-point check runs host-side in
+   the runner (not inside a guest instruction), so there is no
+   interpreter frame to unwind. No-op when nothing is live. *)
+let abort_at t ~ctx ~line reason =
+  let txn = t.txns.(ctx) in
+  if txn.active then begin
+    if line >= 0 then
+      Array.unsafe_set t.conflicts line (Array.unsafe_get t.conflicts line + 1);
+    abort_txn ~line t txn reason
+  end
+
+(* Kill every live hardware transaction except [except]'s. The
+   [Lazy_safe] GC quiesce: Dice et al.'s extension lets software
+   explicitly doom every speculative window before the collector mutates
+   the store around the engine, replacing the eager-subscription kills
+   that Lazy turned off. *)
+let abort_all_hardware ?(except = -1) t reason =
+  if t.active > 0 then
+    for ctx = 0 to Array.length t.txns - 1 do
+      if ctx <> except && t.txns.(ctx).active then
+        abort_txn t t.txns.(ctx) reason
+    done
 
 (* SMT siblings share the L1/store buffers, halving the footprint budget
    when both are occupied (Section 5.4). Mirrors [Machine.sibling_ctx] but
@@ -394,6 +435,29 @@ let nontxn_write t ~ctx addr v =
   if t.sw_mask <> 0 then begin
     t.commit_clock <- t.commit_clock + 1;
     Array.unsafe_set t.versions (Store.line_of t.store addr) t.commit_clock
+  end;
+  Store.set_unsafe t.store addr v
+
+(* The GV5 publication path: like {!nontxn_write} but the line is stamped
+   [clock + 1] without bumping the clock — the stmx GV5 protocol. The
+   stamp is max-guarded so several skip-commits in a row keep the newest
+   stamp; monotonicity ([stamp > clock >= any live snapshot]) preserves
+   the TL2 invariant that a stale read always fails validation, at the
+   price of spurious failures for readers whose snapshot equals the
+   current clock (the failure-driven {!clock_advance} catches them up). *)
+let nontxn_write_lazy_stamp t ~ctx addr v =
+  t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
+  if t.active > 0 then begin
+    let id = Store.line_of t.store addr in
+    abort_conflicting t ~ctx ~id
+  end;
+  if t.mode = Coherent then
+    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
+  if t.sw_mask <> 0 then begin
+    let id = Store.line_of t.store addr in
+    let stamp = t.commit_clock + 1 in
+    if Array.unsafe_get t.versions id < stamp then
+      Array.unsafe_set t.versions id stamp
   end;
   Store.set_unsafe t.store addr v
 

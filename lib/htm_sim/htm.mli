@@ -70,6 +70,25 @@ val tabort : 'a t -> ctx:int -> Txn.abort_reason -> 'b
 val pending_abort : 'a t -> int -> Txn.abort_reason option
 val clear_pending_abort : 'a t -> int -> unit
 
+val abort_at : 'a t -> ctx:int -> line:int -> Txn.abort_reason -> unit
+(** Kill the context's own live hardware transaction with a line
+    attribution, without raising (the lazy-subscription commit-point
+    check runs host-side between instructions, so there is no
+    interpreter frame to unwind). Counts a conflict against [line] when
+    it is [>= 0]; no-op when no transaction is live. *)
+
+val abort_all_hardware : ?except:int -> 'a t -> Txn.abort_reason -> unit
+(** Abort every live hardware transaction (other than [except]'s): the
+    [Subscription.Lazy_safe] GC quiesce, modeling Dice et al.'s explicit
+    abort-speculative-readers extension. *)
+
+val subscription : 'a t -> Subscription.t
+val set_subscription : 'a t -> Subscription.t -> unit
+(** The lock-word subscription policy for hardware windows. The runner
+    issues (or defers) the subscribing reads; the engine records the
+    policy so the GC quiesce protocol can consult it. [Eager] at
+    creation. *)
+
 val read : 'a t -> ctx:int -> int -> 'a
 val write : 'a t -> ctx:int -> int -> 'a -> unit
 
@@ -89,8 +108,19 @@ val nontxn_write : 'a t -> ctx:int -> int -> 'a -> unit
     while any software transaction is live, stamps the line's version with a
     fresh commit-clock tick. STM commits publish their redo logs here. *)
 
+val nontxn_write_lazy_stamp : 'a t -> ctx:int -> int -> 'a -> unit
+(** The GV5 publication path: a committed write that stamps the line
+    [commit_clock + 1] (max-guarded) {e without} bumping the clock —
+    readers with the current snapshot pay a spurious validation failure,
+    repaired by {!clock_advance}, in exchange for skipping the clock-cell
+    write that kills subscribed hardware windows. *)
+
 val commit_clock : 'a t -> int
 (** Current global version clock (software transactions snapshot it). *)
+
+val clock_advance : 'a t -> unit
+(** Advance the engine's version clock by one without touching the store:
+    the GV5 failure-driven catch-up bump. *)
 
 val line_version : 'a t -> int -> int
 (** Commit-clock stamp of the last committed write to a line. *)

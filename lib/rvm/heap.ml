@@ -311,11 +311,31 @@ let gc_sweep h =
   link_free_slots h buf !n_free;
   !n_free
 
+(* The collector mutates the store *around* the engine (direct
+   [Store.get]/[Store.set] in mark/sweep), so no speculative state may
+   survive into it. Under [Subscription.Eager] the GIL acquisition that
+   precedes any GC already killed every hardware window via the
+   subscribed GIL word, and [Gil.take] killed every software transaction
+   through the engine hook — both asserts must hold. Under [Lazy] the
+   deferred subscription leaves doomed hardware windows running as
+   zombies right through the collection: that is exactly the Dice et al.
+   hazard this simulator models, so the hardware-side assert must NOT
+   fire (their speculative writes sit in the store; aborting later, they
+   roll stale values over whatever the collector rebuilt). [Lazy_safe]
+   models the proposed hardware fix: software can explicitly doom every
+   speculative window before touching anything. Software transactions
+   are quiesced by [Gil.take] under every policy. *)
+let quiesce_for_gc h =
+  (match Htm.subscription h.htm with
+  | Subscription.Eager -> assert (Htm.active_count h.htm = 0)
+  | Subscription.Lazy -> ()
+  | Subscription.Lazy_safe -> Htm.abort_all_hardware h.htm Txn.Conflict);
+  assert (not (Htm.software_any_active h.htm))
+
 (* Run a full collection on behalf of [th]; returns the cycle cost. The
    caller guarantees the GIL is held (so there are no live transactions). *)
 let run_gc h (th : Vmthread.t) =
-  assert (Htm.active_count h.htm = 0);
-  assert (not (Htm.software_any_active h.htm));
+  quiesce_for_gc h;
   h.gc_runs <- h.gc_runs + 1;
   let marked = gc_mark h h.gc_roots in
   let free = gc_sweep h in
@@ -427,8 +447,7 @@ let lazy_refill h (th : Vmthread.t) =
    resets, and threads reclaim garbage chunk by chunk as they allocate.
    Grows the heap when mostly live. Requires the GIL, like any GC. *)
 let run_mark_phase h (th : Vmthread.t) =
-  assert (Htm.active_count h.htm = 0);
-  assert (not (Htm.software_any_active h.htm));
+  quiesce_for_gc h;
   h.gc_runs <- h.gc_runs + 1;
   let marked = gc_mark h h.gc_roots in
   h.live_after_gc <- marked;
@@ -491,6 +510,10 @@ let rec alloc_slot h (th : Vmthread.t) ~class_id =
         if Htm.in_txn h.htm th.ctx then Htm.tabort h.htm ~ctx:th.ctx Txn.Explicit
         else if Htm.software_active h.htm th.ctx then
           Htm.software_abort h.htm th.ctx Txn.Explicit;
+        (* flush_locals writes around the engine too, so the collection's
+           speculative-state quiesce must precede it: an undo-log abort
+           after the flush would roll stale free-list cells back over it *)
+        quiesce_for_gc h;
         h.flush_locals ();
         if h.opts.lazy_sweep then ignore (run_mark_phase h th)
         else begin

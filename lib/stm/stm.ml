@@ -141,9 +141,17 @@ type 'a t = {
   costs : Machine.costs;
   sxs : 'a stx array;
   clock_cell : int;
-      (** store-resident commit clock: every writing commit rewrites it, so
-          hardware transactions subscribe to its line exactly as they
-          subscribe to the GIL word *)
+      (** store-resident commit clock: under the GV1 protocol every
+          writing commit rewrites it, so hardware transactions subscribe
+          to its line exactly as they subscribe to the GIL word; GV5
+          commits leave it alone (see [Tm_clock]) *)
+  bumps_cell : int;
+      (** store-resident mirror of [Tm_clock.bumps], padded to its own
+          line so reading the stat never shares a line with the clock
+          itself (the stmx global-clock layout). Written with
+          [Store.set_unsafe] — engine-invisible, never guest-read *)
+  skipped_cell : int;  (** mirror of [Tm_clock.skipped], same padding *)
+  clock : Tm_clock.t;
   mk_clock : int -> 'a;
   stats : stats;
 }
@@ -249,6 +257,9 @@ let footprint t ctx =
 
 let stats t = t.stats
 let clock_cell t = t.clock_cell
+let bumps_cell t = t.bumps_cell
+let skipped_cell t = t.skipped_cell
+let clock t = t.clock
 
 (* Abort: discard the redo log (a generation bump at the next begin), leave
    the reason for the owning scheme and restore the thread's registers via
@@ -259,7 +270,15 @@ let abort_stx t (sx : 'a stx) ?(line = -1) reason =
     sx.active <- false;
     Htm.set_software_active t.htm sx.ctx false;
     (match reason with
-    | Txn.Validation -> t.stats.aborts_validation <- t.stats.aborts_validation + 1
+    | Txn.Validation ->
+        t.stats.aborts_validation <- t.stats.aborts_validation + 1;
+        (* GV5's failure-driven catch-up: a validation failure may be the
+           spurious kind (snapshot = clock, stamp = clock + 1); advancing
+           the engine clock lets the retry begin at a snapshot that
+           covers the stamp. Harmless when the failure was real — the
+           clock is monotonic and no store cell moves. *)
+        if Tm_clock.note_validation_failure t.clock then
+          Htm.clock_advance t.htm
     | Txn.Explicit -> t.stats.aborts_explicit <- t.stats.aborts_explicit + 1
     | _ -> t.stats.aborts_conflict <- t.stats.aborts_conflict + 1);
     sx.pending_abort <- Some reason;
@@ -319,12 +338,20 @@ let sw_track_read t ctx id =
   end;
   ignore (rset_add sx id)
 
-let create ~(mk_clock : int -> 'a) htm =
+let create ?(clock = Tm_clock.create Tm_clock.Gv1) ~(mk_clock : int -> 'a)
+    htm =
   let store = Htm.store htm in
   let machine = Htm.machine htm in
   let n = max 1 (Machine.n_ctx machine) in
+  (* one aligned reservation each: the clock cell and the two stat
+     mirrors must never share a store line with each other (or anything
+     else), so a stat read can never look like clock traffic *)
   let clock_cell = Store.reserve_aligned store 1 in
   Store.set store clock_cell (mk_clock 0);
+  let bumps_cell = Store.reserve_aligned store 1 in
+  Store.set store bumps_cell (mk_clock 0);
+  let skipped_cell = Store.reserve_aligned store 1 in
+  Store.set store skipped_cell (mk_clock 0);
   let t =
     {
       htm;
@@ -332,6 +359,9 @@ let create ~(mk_clock : int -> 'a) htm =
       costs = machine.Machine.costs;
       sxs = Array.init n (stx_create ~dummy:(Store.dummy store));
       clock_cell;
+      bumps_cell;
+      skipped_cell;
+      clock;
       mk_clock;
       stats = stats_create ();
     }
@@ -387,13 +417,32 @@ let commit t ~ctx =
   if sx.w_len > s.ws_max then s.ws_max <- sx.w_len;
   if sx.w_len = 0 then s.read_only_commits <- s.read_only_commits + 1
   else begin
-    for j = 0 to sx.w_len - 1 do
-      Htm.nontxn_write t.htm ~ctx
-        (Array.unsafe_get sx.w_addrs j)
-        (Array.unsafe_get sx.w_vals j)
-    done;
-    Htm.nontxn_write t.htm ~ctx t.clock_cell
-      (t.mk_clock (Htm.commit_clock t.htm))
+    (match Tm_clock.effective t.clock with
+    | Tm_clock.Gv1 ->
+        for j = 0 to sx.w_len - 1 do
+          Htm.nontxn_write t.htm ~ctx
+            (Array.unsafe_get sx.w_addrs j)
+            (Array.unsafe_get sx.w_vals j)
+        done;
+        Htm.nontxn_write t.htm ~ctx t.clock_cell
+          (t.mk_clock (Htm.commit_clock t.htm));
+        Tm_clock.note_cell_write t.clock;
+        Store.set_unsafe t.store t.bumps_cell
+          (t.mk_clock (Tm_clock.bumps t.clock))
+    | Tm_clock.Gv5 ->
+        (* GV5 publication: every line gets the [clock + 1] stamp and the
+           clock-cell write is skipped entirely — no hardware window dies
+           for a software commit it did not actually conflict with *)
+        for j = 0 to sx.w_len - 1 do
+          Htm.nontxn_write_lazy_stamp t.htm ~ctx
+            (Array.unsafe_get sx.w_addrs j)
+            (Array.unsafe_get sx.w_vals j)
+        done;
+        Tm_clock.note_skip t.clock;
+        Store.set_unsafe t.store t.skipped_cell
+          (t.mk_clock (Tm_clock.skipped t.clock))
+    | Tm_clock.Gv6 -> assert false (* [effective] never answers Gv6 *));
+    Tm_clock.note_commit t.clock
   end;
   sx.active <- false;
   Htm.set_software_active t.htm ctx false

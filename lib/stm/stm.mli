@@ -13,14 +13,27 @@ open Htm_sim
 
 type 'a t
 
-val create : mk_clock:(int -> 'a) -> 'a Htm.t -> 'a t
+val create : ?clock:Tm_clock.t -> mk_clock:(int -> 'a) -> 'a Htm.t -> 'a t
 (** Builds the STM over the engine's store, reserves the (cache-line
-    aligned) commit-clock cell, and installs the software-access hooks so
+    aligned) commit-clock cell plus the two stat-mirror cells — each on
+    its own store line — and installs the software-access hooks so
     [Htm.read]/[Htm.write] route here for contexts inside a software
-    transaction. [mk_clock] boxes a clock value into a store cell. *)
+    transaction. [mk_clock] boxes a clock value into a store cell;
+    [clock] selects the global-clock scheme writing commits publish
+    under (a fresh GV1 clock — the paper's protocol — by default). *)
 
 val clock_cell : 'a t -> int
 (** Address of the commit-clock cell hardware transactions subscribe to. *)
+
+val bumps_cell : 'a t -> int
+(** Address of the stat cell mirroring [Tm_clock.bumps]; padded to its
+    own store line so stat reads never alias clock traffic. *)
+
+val skipped_cell : 'a t -> int
+(** Address of the stat cell mirroring [Tm_clock.skipped], same padding. *)
+
+val clock : 'a t -> Tm_clock.t
+(** The global-clock scheme instance this STM publishes under. *)
 
 val in_txn : 'a t -> int -> bool
 val pending_abort : 'a t -> int -> Txn.abort_reason option

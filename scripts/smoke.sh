@@ -23,6 +23,7 @@ d1=$(echo "$v1" | sed -n 's/^figures digest: //p')
 h1=$(echo "$v1" | sed -n 's/^hybrid digest: //p')
 l1=$(echo "$v1" | sed -n 's/^load digest: //p')
 s1=$(echo "$v1" | sed -n 's/^shard digest: //p')
+c1=$(echo "$v1" | sed -n 's/^clock digest: //p')
 
 SHARDS=4 BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
 v4=$(dune exec bench/main.exe -- validate BENCH_results.json)
@@ -30,6 +31,7 @@ d4=$(echo "$v4" | sed -n 's/^figures digest: //p')
 h4=$(echo "$v4" | sed -n 's/^hybrid digest: //p')
 l4=$(echo "$v4" | sed -n 's/^load digest: //p')
 s4=$(echo "$v4" | sed -n 's/^shard digest: //p')
+c4=$(echo "$v4" | sed -n 's/^clock digest: //p')
 
 if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
   echo "smoke: FAIL: figures differ between BENCH_JOBS=1 ($d1) and BENCH_JOBS=4 ($d4)" >&2
@@ -62,6 +64,14 @@ if [ -z "$s1" ] || [ "$s1" != "$s4" ]; then
 fi
 echo "smoke: shard panels identical across shard-domain placements (digest $s1)"
 
+# the commit-clock/subscription ablation panels (their own member, like
+# hybrid/load/shard) must be just as placement- and job-count-blind
+if [ -z "$c1" ] || [ "$c1" != "$c4" ]; then
+  echo "smoke: FAIL: clock panels differ between BENCH_JOBS=1 ($c1) and BENCH_JOBS=4 ($c4)" >&2
+  exit 1
+fi
+echo "smoke: clock panels identical across worker counts (digest $c1)"
+
 # the event-driven scheduler must reproduce the reference linear scan's
 # interleaving exactly: regenerate under BENCH_SCHED=ref and compare
 SHARDS=4 BENCH_SCHED=ref BENCH_SIZE=test BENCH_JOBS=4 dune exec bench/main.exe -- figures
@@ -70,6 +80,7 @@ dref=$(echo "$vref" | sed -n 's/^figures digest: //p')
 href=$(echo "$vref" | sed -n 's/^hybrid digest: //p')
 lref=$(echo "$vref" | sed -n 's/^load digest: //p')
 sref=$(echo "$vref" | sed -n 's/^shard digest: //p')
+cref=$(echo "$vref" | sed -n 's/^clock digest: //p')
 
 if [ -z "$dref" ] || [ "$d1" != "$dref" ]; then
   echo "smoke: FAIL: figures differ between heap ($d1) and reference ($dref) schedulers" >&2
@@ -87,6 +98,10 @@ if [ -z "$sref" ] || [ "$s1" != "$sref" ]; then
   echo "smoke: FAIL: shard panels differ between heap ($s1) and reference ($sref) schedulers" >&2
   exit 1
 fi
+if [ -z "$cref" ] || [ "$c1" != "$cref" ]; then
+  echo "smoke: FAIL: clock panels differ between heap ($c1) and reference ($cref) schedulers" >&2
+  exit 1
+fi
 echo "smoke: figures identical across schedulers (digest $dref)"
 
 # the compiled superblock tier (the default on the legs above) must
@@ -98,6 +113,7 @@ diref=$(echo "$viref" | sed -n 's/^figures digest: //p')
 hiref=$(echo "$viref" | sed -n 's/^hybrid digest: //p')
 liref=$(echo "$viref" | sed -n 's/^load digest: //p')
 siref=$(echo "$viref" | sed -n 's/^shard digest: //p')
+ciref=$(echo "$viref" | sed -n 's/^clock digest: //p')
 
 if [ -z "$diref" ] || [ "$d1" != "$diref" ]; then
   echo "smoke: FAIL: figures differ between compiled ($d1) and reference ($diref) interpreters" >&2
@@ -115,6 +131,10 @@ if [ -z "$siref" ] || [ "$s1" != "$siref" ]; then
   echo "smoke: FAIL: shard panels differ between compiled ($s1) and reference ($siref) interpreters" >&2
   exit 1
 fi
+if [ -z "$ciref" ] || [ "$c1" != "$ciref" ]; then
+  echo "smoke: FAIL: clock panels differ between compiled ($c1) and reference ($ciref) interpreters" >&2
+  exit 1
+fi
 echo "smoke: figures identical across compiled/ref interpreters (digest $diref)"
 
 # the middle tier: the pre-decoded threaded loop the compiled superblocks
@@ -125,6 +145,7 @@ dthr=$(echo "$vthr" | sed -n 's/^figures digest: //p')
 hthr=$(echo "$vthr" | sed -n 's/^hybrid digest: //p')
 lthr=$(echo "$vthr" | sed -n 's/^load digest: //p')
 sthr=$(echo "$vthr" | sed -n 's/^shard digest: //p')
+cthr=$(echo "$vthr" | sed -n 's/^clock digest: //p')
 
 if [ -z "$dthr" ] || [ "$d1" != "$dthr" ]; then
   echo "smoke: FAIL: figures differ between compiled ($d1) and threaded ($dthr) interpreters" >&2
@@ -140,6 +161,10 @@ if [ -z "$lthr" ] || [ "$l1" != "$lthr" ]; then
 fi
 if [ -z "$sthr" ] || [ "$s1" != "$sthr" ]; then
   echo "smoke: FAIL: shard panels differ between compiled ($s1) and threaded ($sthr) interpreters" >&2
+  exit 1
+fi
+if [ -z "$cthr" ] || [ "$c1" != "$cthr" ]; then
+  echo "smoke: FAIL: clock panels differ between compiled ($c1) and threaded ($cthr) interpreters" >&2
   exit 1
 fi
 echo "smoke: figures identical across all three interpreter tiers (digest $dthr)"

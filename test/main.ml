@@ -36,4 +36,5 @@ let () =
       ("shard", Test_shard.suite);
       ("domain-audit", Test_domain_audit.suite);
       ("stm", Test_stm.suite);
+      ("tm-clock", Test_tm_clock.suite);
     ]
