@@ -65,11 +65,16 @@ type config = {
   subscription : Subscription.t;
       (** how hardware windows subscribe to the GIL/clock words (eager
           unless BENCH_SUB or --subscription says otherwise) *)
+  hot : bool;
+      (** in-transaction access fast paths (engine line memos + the
+          superblock executor's batched cost accounting); on unless
+          BENCH_HOT=off or [?hot] says otherwise. Both settings replay
+          every observable decision byte-identically *)
 }
 
 let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended)
     ?(opts = Rvm.Options.default) ?txlen_params ?(max_insns = 400_000_000)
-    ?tracer ?sched ?interp ?clock ?subscription machine =
+    ?tracer ?sched ?interp ?clock ?subscription ?hot machine =
   let sched =
     match sched with Some s -> s | None -> default_sched_kind ()
   in
@@ -82,8 +87,9 @@ let config ?(scheme = Scheme.Htm_dynamic) ?(yield_points = Yield_points.Extended
   let subscription =
     match subscription with Some s -> s | None -> Subscription.default ()
   in
+  let hot = match hot with Some h -> h | None -> Htm.default_hot () in
   { machine; scheme; yield_points; opts; txlen_params; max_insns; tracer;
-    sched; interp; clock; subscription }
+    sched; interp; clock; subscription; hot }
 
 type breakdown = {
   mutable bd_txn_overhead : int;
@@ -195,6 +201,15 @@ type t = {
   sleepq : Sched.t;  (** sleeping / io-waiting threads, keyed by wake cycle *)
   accept_waiters : V.t Queue.t;
   mutable total_insns : int;
+  (* Pending batched accounting from the tier-3 fast window (see the
+     BENCH_HOT comment there): retired-instruction count and cycle
+     breakdowns accumulated in these fields instead of per component, and
+     flushed at window exit / component retirement. Live only inside one
+     thread's fast window; always zero outside it. Fields rather than
+     window-local refs so entering the window never allocates. *)
+  mutable fw_b_insns : int;
+  mutable fw_b_held : int;
+  mutable fw_b_other : int;
   prng : Prng.t;  (** scheduling-only randomness (retry backoff) *)
   breakdown : breakdown;
   mutable stop : unit -> bool;
@@ -291,6 +306,7 @@ let create ?(io : Netsim.t option) cfg ~source =
           (Machine.lazy_sub_safe is false)"
          cfg.machine.Machine.name);
   Htm.set_subscription vm.Rvm.Vm.htm cfg.subscription;
+  Htm.set_hot vm.Rvm.Vm.htm cfg.hot;
   (* the software fallback engine: created (and its commit-clock cell
      reserved) only for the schemes that can use it, so every other
      scheme's store layout — and therefore its figures — is untouched *)
@@ -401,6 +417,9 @@ let create ?(io : Netsim.t option) cfg ~source =
     sleepq = Sched.create ~dummy:main;
     accept_waiters = Queue.create ();
     total_insns = 0;
+    fw_b_insns = 0;
+    fw_b_held = 0;
+    fw_b_other = 0;
     prng = Prng.create 20140215;
     breakdown =
       {
@@ -600,6 +619,26 @@ let charge_txn_overhead t (th : V.t) c =
   th.clock <- th.clock + c;
   th.cyc_txn_overhead <- th.cyc_txn_overhead + c;
   t.breakdown.bd_txn_overhead <- t.breakdown.bd_txn_overhead + c
+
+(* Flush the tier-3 fast window's pending batched accounting (BENCH_HOT;
+   see the window) into the real accumulators. [th] must be the thread
+   whose window accumulated it — the batch never survives a window exit,
+   so the fields are zero whenever any other thread runs. *)
+let[@inline] flush_fw_acct t (th : V.t) =
+  if t.fw_b_insns <> 0 then begin
+    th.work <- th.work + t.fw_b_insns;
+    t.total_insns <- t.total_insns + t.fw_b_insns;
+    t.fw_b_insns <- 0
+  end;
+  if t.fw_b_held <> 0 then begin
+    th.cyc_gil_held <- th.cyc_gil_held + t.fw_b_held;
+    t.breakdown.bd_gil_held <- t.breakdown.bd_gil_held + t.fw_b_held;
+    t.fw_b_held <- 0
+  end;
+  if t.fw_b_other <> 0 then begin
+    t.breakdown.bd_other <- t.breakdown.bd_other + t.fw_b_other;
+    t.fw_b_other <- 0
+  end
 
 (* The rollback closure run by the engine whenever this thread's transaction
    dies (self-abort or victim of a conflict). The abort site — the bytecode
@@ -1614,6 +1653,7 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
       let horizon = t.horizon in
       let max_insns = t.cfg.max_insns in
       let cyc_mem = (costs t).cyc_mem in
+      let hot_acct = t.cfg.hot in
       let continue_ = ref true in
       while !continue_ do
         (* ---- tier-3 fast window ----------------------------------------
@@ -1660,16 +1700,13 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
                     + (accesses * cyc_mem) + extra
                   in
                   th.clock <- th.clock + cost;
-                  th.work <- th.work + 1;
-                  if fw_held then begin
-                    th.cyc_gil_held <- th.cyc_gil_held + cost;
-                    t.breakdown.bd_gil_held <-
-                      t.breakdown.bd_gil_held + cost
-                  end
+                  t.fw_b_insns <- t.fw_b_insns + 1;
+                  if fw_held then t.fw_b_held <- t.fw_b_held + cost
                   else if not fw_in_txn then
-                    t.breakdown.bd_other <- t.breakdown.bd_other + cost;
-                  t.total_insns <- t.total_insns + 1;
+                    t.fw_b_other <- t.fw_b_other + cost;
+                  if not hot_acct then flush_fw_acct t th;
                   if r <> 0 then begin
+                    flush_fw_acct t th;
                     let closed = window_close_for_retire t th in
                     if closed then on_thread_done t th
                     else th.status <- V.Runnable
@@ -1701,7 +1738,7 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
                     | Some s -> Stm.pending_abort s th.ctx <> None
                     | None -> false)
                  || main.V.status = V.Finished
-                 || t.total_insns >= max_insns
+                 || t.total_insns + t.fw_b_insns >= max_insns
                  || th.clock > horizon
                  || stop ()
                then begin
@@ -1729,7 +1766,8 @@ let step_thread_d t ~compiled ~stop (main : V.t) (th : V.t) =
                    then fast := false
                  end
                end
-             done
+             done;
+             flush_fw_acct t th
            end
          end);
         if !continue_ then begin

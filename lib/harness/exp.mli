@@ -21,6 +21,10 @@ type point = {
   subscription : Htm_sim.Subscription.t;
       (** hardware-window subscription policy; defaults to
           [Subscription.default ()] (eager unless [BENCH_SUB] is set) *)
+  hot : bool;
+      (** in-transaction access fast paths; defaults to
+          [Htm.default_hot ()] (on unless [BENCH_HOT=off]). Observable
+          results are byte-identical either way. *)
 }
 
 val point :
@@ -30,6 +34,7 @@ val point :
   ?mix:Netsim.mix ->
   ?clock:Tm_clock.scheme ->
   ?subscription:Htm_sim.Subscription.t ->
+  ?hot:bool ->
   workload:Workloads.Workload.t ->
   machine:Htm_sim.Machine.t ->
   scheme:Core.Scheme.kind ->

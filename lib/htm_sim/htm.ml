@@ -89,7 +89,41 @@ type 'a t = {
           transaction is live anywhere and no coherence charges apply, so
           [read]/[write] reduce to counting the access and touching the
           store. Recomputed at every [active]/[sw_mask] transition. *)
+  mutable hot : bool;
+      (** in-transaction fast paths enabled (the [BENCH_HOT] knob): the
+          per-context line memo below may short-circuit re-accesses to
+          lines already in the context's own footprint. Off retains the
+          un-memoized path for differential testing. *)
+  (* Per-context access memo: the last line this context's *live hardware
+     transaction* touched, as an address range plus footprint membership.
+     While the transaction is live nothing can remove its own marks — any
+     conflict aborts it outright, and [clear_marks] runs only from
+     [abort_txn]/[tend] — so membership cached here stays true until the
+     transaction ends. Invalidated at [tbegin] and [finish_txn] (which
+     covers commit, every abort and therefore every conflict event that
+     touches the context). *)
+  memo_lo : int array;  (** first addr of the memoized line; [max_int] = empty *)
+  memo_hi : int array;  (** last addr of the memoized line; [-1] = empty *)
+  memo_id : int array;  (** memoized line id, or -1 *)
+  memo_w : int array;  (** 1 = the memoized line is in the context's write set *)
+  memo_undo : int array;
+      (** address of the newest undo-log entry this transaction pushed, or
+          -1: a memo-hit write to exactly this address skips the duplicate
+          [Txn.push_undo] (replay is newest-first, so the surviving older
+          entry still restores the pre-transaction value) *)
+  mutable stamp_epoch : int;
+      (** bumped whenever any line's version stamp changes (hardware
+          commit stamping, committed writes, GV5 lazy stamps): the STM
+          layer's read memo is valid only while this is unchanged *)
 }
+
+(* BENCH_HOT=off flips the process-wide default so the smoke script and CI
+   can regenerate every figure with the memoized fast paths disabled,
+   mirroring the BENCH_SCHED/BENCH_INTERP pattern. *)
+let default_hot () =
+  match Sys.getenv_opt "BENCH_HOT" with
+  | Some ("off" | "OFF" | "0" | "no") -> false
+  | _ -> true
 
 let[@inline] update_fast t =
   t.fast <- t.mode <> Coherent && t.active = 0 && t.sw_mask = 0
@@ -140,6 +174,13 @@ let create ?(mode = Htm_mode) ?(seed = 42) machine store =
       step_accesses = 0;
       cur_ctx = 0;
       fast = mode <> Coherent;
+      hot = default_hot ();
+      memo_lo = Array.make n max_int;
+      memo_hi = Array.make n (-1);
+      memo_id = Array.make n (-1);
+      memo_w = Array.make n 0;
+      memo_undo = Array.make n (-1);
+      stamp_epoch = 0;
     }
   in
   Store.set_on_grow store (grow_line_tables t);
@@ -154,6 +195,28 @@ let active_count t = t.active
 let abort_line t ctx = t.txns.(ctx).abort_line
 let subscription t = t.subscription
 let set_subscription t s = t.subscription <- s
+
+let[@inline] memo_clear t ctx =
+  Array.unsafe_set t.memo_lo ctx max_int;
+  Array.unsafe_set t.memo_hi ctx (-1);
+  Array.unsafe_set t.memo_id ctx (-1);
+  Array.unsafe_set t.memo_w ctx 0;
+  Array.unsafe_set t.memo_undo ctx (-1)
+
+let hot t = t.hot
+
+let set_hot t v =
+  t.hot <- v;
+  (* drop every context's memo so flipping mid-run can never serve a stale
+     hit from the other setting *)
+  for ctx = 0 to Array.length t.txns - 1 do
+    memo_clear t ctx
+  done
+
+(* Test-only observer: the line id the context's memo currently holds
+   (-1 when empty), for pinning invalidation at txn boundaries. *)
+let memoized_line t ctx = t.memo_id.(ctx)
+let stamp_epoch t = t.stamp_epoch
 
 (* ---- software-transaction plumbing -------------------------------------- *)
 
@@ -249,9 +312,13 @@ let clear_marks t (txn : 'a Txn.t) =
   done;
   txn.lines_len <- 0
 
+(* Covers every transaction end — commit, explicit abort, and each
+   conflict/capacity abort (all funnel through here) — so the access memo
+   can never outlive the transaction whose footprint it describes. *)
 let finish_txn t (txn : 'a Txn.t) =
   txn.active <- false;
   txn.undo_len <- 0;
+  memo_clear t txn.ctx;
   t.active <- t.active - 1;
   update_fast t
 
@@ -337,6 +404,7 @@ let tbegin t ~ctx ~rollback =
   txn.rollback <- rollback;
   txn.pending_abort <- None;
   txn.abort_line <- -1;
+  memo_clear t ctx;
   t.active <- t.active + 1;
   update_fast t;
   t.stats.begins <- t.stats.begins + 1;
@@ -357,6 +425,7 @@ let tend t ~ctx =
      validation (one clock tick per commit) *)
   if t.sw_mask <> 0 && txn.ws > 0 then begin
     t.commit_clock <- t.commit_clock + 1;
+    t.stamp_epoch <- t.stamp_epoch + 1;
     let c = t.commit_clock in
     for i = 0 to txn.lines_len - 1 do
       let id = Array.unsafe_get txn.lines i in
@@ -406,19 +475,20 @@ let charge_coherence t ~ctx ~id ~is_write =
    before anyone else observes it), then reads. Shared by plain accesses and
    the STM engine's own reads; does not count the access (the public entry
    points do). *)
-let nontxn_read t ~ctx addr =
+let nontxn_read_at t ~ctx ~id addr =
   t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
   if t.active > 0 then begin
-    let id = Store.line_of t.store addr in
     let w = Array.unsafe_get t.writers id in
     if w >= 0 && w <> ctx then begin
       note_conflict t id;
       abort_txn ~line:id t t.txns.(w) Conflict
     end
   end;
-  if t.mode = Coherent then
-    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:false;
+  if t.mode = Coherent then charge_coherence t ~ctx ~id ~is_write:false;
   Store.get_unsafe t.store addr
+
+let nontxn_read t ~ctx addr =
+  nontxn_read_at t ~ctx ~id:(Store.line_of t.store addr) addr
 
 (* Non-transactional (committed) write: aborts every conflicting hardware
    transaction and stamps the line's version so live software transactions
@@ -426,15 +496,13 @@ let nontxn_read t ~ctx addr =
    redo log. *)
 let nontxn_write t ~ctx addr v =
   t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
-  if t.active > 0 then begin
-    let id = Store.line_of t.store addr in
-    abort_conflicting t ~ctx ~id
-  end;
-  if t.mode = Coherent then
-    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
+  let id = Store.line_of t.store addr in
+  if t.active > 0 then abort_conflicting t ~ctx ~id;
+  if t.mode = Coherent then charge_coherence t ~ctx ~id ~is_write:true;
   if t.sw_mask <> 0 then begin
     t.commit_clock <- t.commit_clock + 1;
-    Array.unsafe_set t.versions (Store.line_of t.store addr) t.commit_clock
+    t.stamp_epoch <- t.stamp_epoch + 1;
+    Array.unsafe_set t.versions id t.commit_clock
   end;
   Store.set_unsafe t.store addr v
 
@@ -447,43 +515,66 @@ let nontxn_write t ~ctx addr v =
    current clock (the failure-driven {!clock_advance} catches them up). *)
 let nontxn_write_lazy_stamp t ~ctx addr v =
   t.stats.non_txn_accesses <- t.stats.non_txn_accesses + 1;
-  if t.active > 0 then begin
-    let id = Store.line_of t.store addr in
-    abort_conflicting t ~ctx ~id
-  end;
-  if t.mode = Coherent then
-    charge_coherence t ~ctx ~id:(Store.line_of t.store addr) ~is_write:true;
+  let id = Store.line_of t.store addr in
+  if t.active > 0 then abort_conflicting t ~ctx ~id;
+  if t.mode = Coherent then charge_coherence t ~ctx ~id ~is_write:true;
   if t.sw_mask <> 0 then begin
-    let id = Store.line_of t.store addr in
     let stamp = t.commit_clock + 1 in
-    if Array.unsafe_get t.versions id < stamp then
+    if Array.unsafe_get t.versions id < stamp then begin
+      t.stamp_epoch <- t.stamp_epoch + 1;
       Array.unsafe_set t.versions id stamp
+    end
   end;
   Store.set_unsafe t.store addr v
+
+(* Install [id] as [ctx]'s memoized line. Only reached after the access
+   machinery has put the line in the context's own footprint, so every
+   later access to the same line while the transaction stays live is a
+   statically-known no-op on the line tables (see the memo field docs). *)
+let[@inline] memo_install t ~ctx ~id =
+  let lc = t.machine.line_cells in
+  let lo = id * lc in
+  Array.unsafe_set t.memo_lo ctx lo;
+  Array.unsafe_set t.memo_hi ctx (lo + lc - 1);
+  Array.unsafe_set t.memo_id ctx id;
+  Array.unsafe_set t.memo_w ctx
+    (if Array.unsafe_get t.writers id = ctx then 1 else 0)
 
 let read_slow t ~ctx addr =
   let txn = t.txns.(ctx) in
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
-    let id = Store.line_of t.store addr in
-    (* A line we already wrote is in our store buffer; reading it is free of
-       coherence interaction. *)
-    if Array.unsafe_get t.writers id <> ctx then begin
-      let w = Array.unsafe_get t.writers id in
-      if w >= 0 then begin
-        note_conflict t id;
-        abort_txn ~line:id t t.txns.(w) Conflict
+    if
+      t.hot
+      && addr >= Array.unsafe_get t.memo_lo ctx
+      && addr <= Array.unsafe_get t.memo_hi ctx
+    then
+      (* memo hit: the line is already in our footprint, so the baseline
+         body's writer/reader probes are statically no-ops — the access is
+         exactly the counter bump above plus the load *)
+      Store.get_unsafe t.store addr
+    else begin
+      let id = Store.line_of t.store addr in
+      (* A line we already wrote is in our store buffer; reading it is free
+         of coherence interaction. *)
+      if Array.unsafe_get t.writers id <> ctx then begin
+        let w = Array.unsafe_get t.writers id in
+        if w >= 0 then begin
+          note_conflict t id;
+          abort_txn ~line:id t t.txns.(w) Conflict
+        end;
+        let bit = 1 lsl ctx in
+        let r = Array.unsafe_get t.readers id in
+        if r land bit = 0 then begin
+          if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
+          Array.unsafe_set t.readers id (r lor bit);
+          txn.rs <- txn.rs + 1;
+          Txn.push_line txn id
+        end
       end;
-      let bit = 1 lsl ctx in
-      let r = Array.unsafe_get t.readers id in
-      if r land bit = 0 then begin
-        if txn.rs >= txn.rs_limit then tabort t ~ctx Overflow_read;
-        Array.unsafe_set t.readers id (r lor bit);
-        txn.rs <- txn.rs + 1;
-        Txn.push_line txn id
-      end
-    end;
-    Store.get_unsafe t.store addr
+      if t.hot then memo_install t ~ctx ~id;
+      Store.get_unsafe t.store addr
+    end
   end
   else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_read ctx addr
   else nontxn_read t ~ctx addr
@@ -503,26 +594,50 @@ let write_slow t ~ctx addr v =
   let txn = t.txns.(ctx) in
   if txn.active then begin
     t.stats.txn_accesses <- t.stats.txn_accesses + 1;
-    let id = Store.line_of t.store addr in
-    if Array.unsafe_get t.writers id <> ctx then begin
-      abort_conflicting t ~ctx ~id;
-      if txn.ws >= txn.ws_limit then tabort t ~ctx Overflow_write;
-      (* Haswell learning predictor: while suspicious after recent capacity
-         aborts, transactions that grow past half the budget are killed
-         eagerly with probability equal to the current suspicion level
-         (empirical behaviour from Figure 6a). *)
-      if
-        t.machine.learning
-        && t.suspicion.(ctx) > 0.001
-        && txn.ws >= txn.ws_limit / 2
-        && Prng.float t.prng < t.suspicion.(ctx)
-      then tabort t ~ctx Eager;
-      Array.unsafe_set t.writers id ctx;
-      txn.ws <- txn.ws + 1;
-      Txn.push_line txn id
-    end;
-    Txn.push_undo txn addr (Store.get_unsafe t.store addr);
-    Store.set_unsafe t.store addr v
+    if
+      t.hot
+      && Array.unsafe_get t.memo_w ctx = 1
+      && addr >= Array.unsafe_get t.memo_lo ctx
+      && addr <= Array.unsafe_get t.memo_hi ctx
+    then begin
+      (* memo hit on a line already in our write set: the baseline body's
+         conflict probe, capacity check and predictor draw are statically
+         skipped ([writers.(id) = ctx]). Coalesce the undo entry when the
+         newest logged address is this one — replay is newest-first, so
+         the older surviving entry still restores the pre-transaction
+         value and rollback order is unchanged. *)
+      if addr <> Array.unsafe_get t.memo_undo ctx then begin
+        Txn.push_undo txn addr (Store.get_unsafe t.store addr);
+        Array.unsafe_set t.memo_undo ctx addr
+      end;
+      Store.set_unsafe t.store addr v
+    end
+    else begin
+      let id = Store.line_of t.store addr in
+      if Array.unsafe_get t.writers id <> ctx then begin
+        abort_conflicting t ~ctx ~id;
+        if txn.ws >= txn.ws_limit then tabort t ~ctx Overflow_write;
+        (* Haswell learning predictor: while suspicious after recent
+           capacity aborts, transactions that grow past half the budget are
+           killed eagerly with probability equal to the current suspicion
+           level (empirical behaviour from Figure 6a). *)
+        if
+          t.machine.learning
+          && t.suspicion.(ctx) > 0.001
+          && txn.ws >= txn.ws_limit / 2
+          && Prng.float t.prng < t.suspicion.(ctx)
+        then tabort t ~ctx Eager;
+        Array.unsafe_set t.writers id ctx;
+        txn.ws <- txn.ws + 1;
+        Txn.push_line txn id
+      end;
+      Txn.push_undo txn addr (Store.get_unsafe t.store addr);
+      if t.hot then begin
+        memo_install t ~ctx ~id;
+        Array.unsafe_set t.memo_undo ctx addr
+      end;
+      Store.set_unsafe t.store addr v
+    end
   end
   else if t.sw_mask land (1 lsl ctx) <> 0 then t.sw_write ctx addr v
   else nontxn_write t ~ctx addr v

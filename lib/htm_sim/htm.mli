@@ -23,6 +23,32 @@ type mode =
 type 'a t
 
 val create : ?mode:mode -> ?seed:int -> Machine.t -> 'a Store.t -> 'a t
+(** The engine starts with the in-transaction fast paths set from
+    {!default_hot}. *)
+
+val default_hot : unit -> bool
+(** Process-wide default for the in-transaction fast paths: [false] when
+    [BENCH_HOT] is [off]/[OFF]/[0]/[no], [true] otherwise. Mirrors the
+    [BENCH_SCHED]/[BENCH_INTERP] knob pattern. *)
+
+val hot : 'a t -> bool
+
+val set_hot : 'a t -> bool -> unit
+(** Enable/disable the per-context line memo that short-circuits
+    re-accesses to lines already in a live transaction's own footprint
+    (and the undo-log write coalescing that rides on it). Both settings
+    replay every observable decision byte-identically; [off] keeps the
+    un-memoized baseline selectable for differential testing. Clears all
+    memos, so it is safe to flip mid-run. *)
+
+val memoized_line : 'a t -> int -> int
+(** Test-only observer: the line id currently memoized for a context, or
+    [-1] when the memo is empty (no live transaction, or invalidated). *)
+
+val stamp_epoch : 'a t -> int
+(** Bumped whenever any line's version stamp changes (hardware commit
+    stamping, committed writes, GV5 lazy stamps). The STM layer's read
+    memo is valid only while this is unchanged. *)
 
 val stats : 'a t -> Stats.t
 val store : 'a t -> 'a Store.t
@@ -102,6 +128,11 @@ val nontxn_read : 'a t -> ctx:int -> int -> 'a
 (** The committed (non-transactional) read path: aborts any hardware writer
     of the line first. Does not count the access — callers that model a
     guest access use {!read}. *)
+
+val nontxn_read_at : 'a t -> ctx:int -> id:int -> int -> 'a
+(** {!nontxn_read} with the address's line id already in hand (callers
+    holding a validated memo skip the recomputation). [id] must equal
+    [Store.line_of store addr]. *)
 
 val nontxn_write : 'a t -> ctx:int -> int -> 'a -> unit
 (** The committed write path: aborts conflicting hardware transactions and,

@@ -108,6 +108,20 @@ type 'a stx = {
   mutable rollback : Txn.abort_reason -> unit;
   mutable pending_abort : Txn.abort_reason option;
   mutable abort_line : int;
+  (* Read memo: the last line validated into this transaction's read set,
+     as an address range. A hit is valid only while [memo_gen] equals the
+     transaction's generation (same transaction, same [rv], line already
+     in the read set) AND [memo_epoch] equals the engine's stamp epoch (no
+     line version anywhere has changed, so the per-read validation outcome
+     is unchanged) — then the read skips [Store.line_of], the version
+     check and the read-set probe. The hardware-writer probe is NOT
+     skippable (hardware transactions cannot see invisible reads), so a
+     hit still goes through [Htm.nontxn_read_at]. *)
+  mutable memo_lo : int;
+  mutable memo_hi : int;
+  mutable memo_line : int;
+  mutable memo_gen : int;
+  mutable memo_epoch : int;
 }
 
 let table_initial = 64
@@ -133,6 +147,11 @@ let stx_create ~dummy ctx =
     rollback = (fun _ -> ());
     pending_abort = None;
     abort_line = -1;
+    memo_lo = max_int;
+    memo_hi = -1;
+    memo_line = -1;
+    memo_gen = -1;
+    memo_epoch = -1;
   }
 
 type 'a t = {
@@ -153,6 +172,7 @@ type 'a t = {
   skipped_cell : int;  (** mirror of [Tm_clock.skipped], same padding *)
   clock : Tm_clock.t;
   mk_clock : int -> 'a;
+  line_cells : int;  (** cells per store line, for the read-memo ranges *)
   stats : stats;
 }
 
@@ -298,6 +318,18 @@ let sw_read t ctx addr =
   if Array.unsafe_get sx.wt_gen i = sx.gen then
     (* read-your-own-write from the redo log *)
     Array.unsafe_get sx.w_vals (Array.unsafe_get sx.wt_idx i)
+  else if
+    Htm.hot t.htm
+    && addr >= sx.memo_lo
+    && addr <= sx.memo_hi
+    && sx.memo_gen = sx.gen
+    && sx.memo_epoch = Htm.stamp_epoch t.htm
+  then
+    (* memo hit: line already validated into the read set and no version
+       stamp anywhere has moved since, so the version check would pass and
+       [rset_add] would find the line present — only the hardware-writer
+       probe (requester wins) must still run *)
+    Htm.nontxn_read_at t.htm ~ctx ~id:sx.memo_line addr
   else begin
     (* requester wins: a hardware writer's speculative value must be rolled
        out of the store before we read it *)
@@ -308,6 +340,14 @@ let sw_read t ctx addr =
       raise (Htm.Abort_now Txn.Validation)
     end;
     ignore (rset_add sx id);
+    if Htm.hot t.htm then begin
+      let lo = id * t.line_cells in
+      sx.memo_lo <- lo;
+      sx.memo_hi <- lo + t.line_cells - 1;
+      sx.memo_line <- id;
+      sx.memo_gen <- sx.gen;
+      sx.memo_epoch <- Htm.stamp_epoch t.htm
+    end;
     v
   end
 
@@ -363,6 +403,7 @@ let create ?(clock = Tm_clock.create Tm_clock.Gv1) ~(mk_clock : int -> 'a)
       skipped_cell;
       clock;
       mk_clock;
+      line_cells = machine.Machine.line_cells;
       stats = stats_create ();
     }
   in

@@ -141,6 +141,49 @@ let test_stats () =
   Alcotest.(check int) "commits" 1 s.Stats.commits;
   Alcotest.(check int) "ws max" 1 s.Stats.ws_max
 
+(* The in-transaction access memo must be installed only while its
+   transaction is live and dropped at every boundary: tbegin, commit,
+   explicit abort, and a conflict abort inflicted by another context. *)
+let test_memo_invalidation () =
+  let store, htm = mk () in
+  Htm.set_hot htm true;
+  let a = Store.reserve_aligned store 64 in
+  let line = Store.line_of store a in
+  Alcotest.(check int) "no memo outside txn" (-1) (Htm.memoized_line htm 0);
+  (* commit boundary *)
+  begin_ htm 0;
+  Alcotest.(check int) "empty at tbegin" (-1) (Htm.memoized_line htm 0);
+  Htm.write htm ~ctx:0 a 1;
+  Alcotest.(check int) "installed after write" line (Htm.memoized_line htm 0);
+  ignore (Htm.read htm ~ctx:0 a);
+  Alcotest.(check int) "still installed after read" line
+    (Htm.memoized_line htm 0);
+  Htm.tend htm ~ctx:0;
+  Alcotest.(check int) "cleared at commit" (-1) (Htm.memoized_line htm 0);
+  (* explicit abort boundary *)
+  begin_ htm 0;
+  Htm.write htm ~ctx:0 a 2;
+  Alcotest.(check int) "installed again" line (Htm.memoized_line htm 0);
+  (try Htm.tabort htm ~ctx:0 Txn.Explicit with Htm.Abort_now _ -> ());
+  Htm.clear_pending_abort htm 0;
+  Alcotest.(check int) "cleared at explicit abort" (-1)
+    (Htm.memoized_line htm 0);
+  (* conflict boundary: ctx 1's write kills ctx 0's transaction and memo *)
+  begin_ htm 0;
+  Htm.write htm ~ctx:0 a 3;
+  Alcotest.(check int) "installed before conflict" line
+    (Htm.memoized_line htm 0);
+  begin_ htm 1;
+  Htm.write htm ~ctx:1 a 4;
+  Alcotest.(check bool) "victim aborted" false (Htm.in_txn htm 0);
+  Alcotest.(check int) "cleared at conflict abort" (-1)
+    (Htm.memoized_line htm 0);
+  Alcotest.(check int) "requester's own memo live" line
+    (Htm.memoized_line htm 1);
+  Htm.tend htm ~ctx:1;
+  Alcotest.(check int) "requester cleared at commit" (-1)
+    (Htm.memoized_line htm 1)
+
 (* Serializability on a shared counter: counters incremented under
    transactions with conflict-driven retries end with the exact total. *)
 let prop_counter_serializable =
@@ -194,5 +237,7 @@ let suite =
     Alcotest.test_case "SMT halves capacity" `Quick test_read_capacity_xeon_smt;
     Alcotest.test_case "Haswell learning predictor" `Quick test_learning_predictor;
     Alcotest.test_case "stats accounting" `Quick test_stats;
+    Alcotest.test_case "memo invalidation at txn boundaries" `Quick
+      test_memo_invalidation;
     prop_counter_serializable;
   ]

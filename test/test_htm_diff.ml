@@ -225,12 +225,13 @@ let check_states step htm (r : Reference.t) =
       Alcotest.failf "step %d: ctx %d pending-abort mismatch" step c
   done
 
-let run_differential ~seed ~steps =
+let run_differential ?(hot = true) ~seed ~steps () =
   let prng = Prng.create seed in
   (* A deliberately tiny initial store: reserving the region forces growth,
      exercising the line tables' lockstep [set_on_grow] resizing. *)
   let store = Store.create ~dummy:0 ~line_cells:machine.Machine.line_cells 64 in
   let htm = Htm.create machine store in
+  Htm.set_hot htm hot;
   let region = Store.reserve_aligned store region_cells in
   for ctx = 0 to n_ctx - 1 do
     Htm.set_occupied htm ctx true
@@ -293,8 +294,16 @@ let run_differential ~seed ~steps =
   check "rs_max" s.Stats.rs_max e.Stats.rs_max;
   check "ws_max" s.Stats.ws_max e.Stats.ws_max
 
+(* Both memo settings must match the (un-memoized) Hashtbl reference on
+   every per-step outcome, in-transaction state, pending-abort reason,
+   final memory and stat — the engine-level half of the BENCH_HOT
+   observational-equivalence acceptance check. *)
 let test_differential () =
-  List.iter (fun seed -> run_differential ~seed ~steps:4_000) [ 1; 2; 3; 4; 5 ]
+  List.iter
+    (fun seed ->
+      run_differential ~hot:true ~seed ~steps:4_000 ();
+      run_differential ~hot:false ~seed ~steps:4_000 ())
+    [ 1; 2; 3; 4; 5 ]
 
 let suite =
   [

@@ -43,10 +43,11 @@ let check_region step store region o =
         o.shadow.(off)
   done
 
-let run_fuzz ~seed ~steps =
+let run_fuzz ?(hot = true) ~seed ~steps () =
   let prng = Prng.create seed in
   let store = Store.create ~dummy:0 ~line_cells:machine.Machine.line_cells 64 in
   let htm = Htm.create machine store in
+  Htm.set_hot htm hot;
   let region = Store.reserve_aligned store region_cells in
   for ctx = 0 to n_ctx - 1 do
     Htm.set_occupied htm ctx true
@@ -125,10 +126,32 @@ let run_fuzz ~seed ~steps =
     end
   done;
   abort_all ();
-  check_region steps store region o
+  check_region steps store region o;
+  Htm.stats htm
 
 let test_fuzz () =
-  List.iter (fun seed -> run_fuzz ~seed ~steps:10_000) [ 11; 22; 33 ]
+  List.iter
+    (fun seed -> ignore (run_fuzz ~seed ~steps:10_000 ()))
+    [ 11; 22; 33 ]
+
+(* The memoized fast paths must not change a single observable decision:
+   the same fuzz schedule run with BENCH_HOT on and off (same seed, same
+   PRNG stream) has to produce identical engine statistics — including
+   every abort class — on top of the shadow-store check both runs already
+   passed. *)
+let test_fuzz_hot_parity () =
+  List.iter
+    (fun seed ->
+      let on = Stats.to_assoc (run_fuzz ~hot:true ~seed ~steps:10_000 ())
+      and off = Stats.to_assoc (run_fuzz ~hot:false ~seed ~steps:10_000 ()) in
+      List.iter2
+        (fun (k, v_on) (k', v_off) ->
+          assert (k = k');
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: %s identical hot on/off" seed k)
+            v_off v_on)
+        on off)
+    [ 11; 22; 33 ]
 
 (* Repeated writes to the same address inside one transaction: the undo log
    holds one entry per write, and the newest-first replay must restore the
@@ -180,6 +203,8 @@ let test_zero_alloc_steady_state () =
 let suite =
   [
     Alcotest.test_case "fuzz: shadow-store oracle" `Quick test_fuzz;
+    Alcotest.test_case "fuzz: identical stats with BENCH_HOT on/off" `Quick
+      test_fuzz_hot_parity;
     Alcotest.test_case "multi-write same address rollback" `Quick
       test_multi_write_same_addr;
     Alcotest.test_case "zero allocation in steady state" `Quick
